@@ -1,0 +1,354 @@
+// Package hsqp's benchmark harness: one testing.B benchmark per table and
+// figure of the paper's evaluation. Each benchmark regenerates the
+// corresponding rows/series (printed with -v through b.Log) and reports a
+// headline number via b.ReportMetric. Parameters are scaled down so the
+// whole suite runs in minutes; cmd/hsqp `experiment -id <x> -full` runs
+// the full grids.
+package hsqp
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"hsqp/internal/bench"
+	"hsqp/internal/cluster"
+	"hsqp/internal/queries"
+	"hsqp/internal/ser"
+	"hsqp/internal/storage"
+	"hsqp/internal/tpch"
+)
+
+// logTable emits the experiment's table through the benchmark log.
+func logTable(b *testing.B, buf *bytes.Buffer) {
+	b.Helper()
+	b.Log("\n" + buf.String())
+}
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		bench.Table1(&buf)
+		if i == 0 {
+			logTable(b, &buf)
+		}
+	}
+}
+
+func BenchmarkFigure2HybridVsClassic(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		pts, err := bench.Figure2{
+			Workload:  bench.Workload{SF: 0.05},
+			Servers:   3,
+			CoreSteps: []int{1, 2, 4},
+		}.Run(&buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			logTable(b, &buf)
+			last := pts[len(pts)-1]
+			b.ReportMetric(pts[0].Hybrid.Seconds()/last.Hybrid.Seconds(), "hybrid-speedup")
+			b.ReportMetric(pts[0].Classic.Seconds()/last.Classic.Seconds(), "classic-speedup")
+		}
+	}
+}
+
+func BenchmarkFigure3ScaleOut(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		pts, err := bench.Figure3{
+			Workload:   bench.Workload{SF: 0.1},
+			MaxServers: 4,
+		}.Run(&buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			logTable(b, &buf)
+			last := pts[len(pts)-1]
+			b.ReportMetric(last.Speedup["RDMA+sched"], "rdma-speedup")
+			b.ReportMetric(last.Speedup["TCP/GbE"], "gbe-speedup")
+		}
+	}
+}
+
+func BenchmarkFigure4MemoryTrips(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		bench.Figure4(&buf)
+		if i == 0 {
+			logTable(b, &buf)
+		}
+	}
+}
+
+func BenchmarkFigure5TransportTuning(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		pts, err := bench.Figure5{Messages: 120}.Run(&buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			logTable(b, &buf)
+			for _, p := range pts {
+				if p.Name == "default RDMA" {
+					b.ReportMetric(p.Unidirectional, "rdma-GB/s")
+				}
+				if p.Name == "TCP w/o offload" {
+					b.ReportMetric(p.Unidirectional, "tcp-slow-GB/s")
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkFigure6PlanShapes(b *testing.B) {
+	// Figure 6 is the Q17 plan transformation; regenerating it is plan
+	// construction + explain.
+	for i := 0; i < b.N; i++ {
+		q := queries.MustBuild(17, queries.Params{SF: 1})
+		if len(q.Name) == 0 {
+			b.Fatal("no plan")
+		}
+	}
+}
+
+func BenchmarkFigure8Serialization(b *testing.B) {
+	// Serialization throughput of the densely packed format over the
+	// Figure 8 example relation (partsupp).
+	db := tpch.Generate(0.01, 42)
+	ps := db.Tables["partsupp"]
+	codec := ser.NewCodec(ps.Schema)
+	var bytesTotal int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf []byte
+		for r := 0; r < ps.Rows(); r++ {
+			buf = codec.EncodeRow(ps, r, buf)
+		}
+		out := storage.NewBatch(ps.Schema, ps.Rows())
+		if _, err := codec.DecodeAll(buf, out); err != nil {
+			b.Fatal(err)
+		}
+		bytesTotal += int64(len(buf))
+	}
+	b.SetBytes(bytesTotal / int64(b.N))
+}
+
+func BenchmarkFigure9NUMAAllocation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		pts, err := bench.Figure9{Workload: bench.Workload{SF: 0.05}}.Run(&buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			logTable(b, &buf)
+			b.ReportMetric(pts[2].RemoteFrac, "one-socket-remote-frac")
+		}
+	}
+}
+
+func BenchmarkFigure10bScheduling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		pts, err := bench.Figure10b{ServerList: []int{2, 6, 8}}.Run(&buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			logTable(b, &buf)
+			last := pts[len(pts)-1]
+			b.ReportMetric(last.RoundRobin/last.AllToAll-1, "improvement-at-8")
+		}
+	}
+}
+
+func BenchmarkFigure10cMessageSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if _, err := (bench.Figure10c{}).Run(&buf); err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			logTable(b, &buf)
+		}
+	}
+}
+
+func BenchmarkFigure11PerQueryScalability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		_, err := bench.Figure11{
+			Workload:   bench.Workload{SF: 0.05, Queries: []int{1, 5, 12}},
+			ServerList: []int{1, 3},
+		}.Run(&buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			logTable(b, &buf)
+		}
+	}
+}
+
+func BenchmarkFigure12aSystems(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		pts, err := bench.Figure12a{
+			Workload:           bench.Workload{SF: 0.02},
+			IncludeInterpreted: true,
+		}.Run(&buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			logTable(b, &buf)
+			b.ReportMetric(pts[len(pts)-1].QpH, "hyper-partitioned-qph")
+			b.ReportMetric(pts[0].QpH, "slowest-style-qph")
+		}
+	}
+}
+
+func BenchmarkFigure12bBandwidthSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		_, err := bench.Figure12b{Workload: bench.Workload{SF: 0.05}}.Run(&buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			logTable(b, &buf)
+		}
+	}
+}
+
+func BenchmarkTable2DetailedRuntimes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		cols, err := bench.Table2{Workload: bench.Workload{SF: 0.05}}.Run(&buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			logTable(b, &buf)
+			for _, c := range cols {
+				if c.System == "HyPer (partitioned)" {
+					b.ReportMetric(c.QpH, "hyper-partitioned-qph")
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkSchedulingImpact(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		pts, err := bench.SchedulingImpact{Workload: bench.Workload{SF: 0.1}}.Run(&buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			logTable(b, &buf)
+			for _, p := range pts {
+				b.ReportMetric(p.Improvement, fmt.Sprintf("improvement-%s", p.Transport))
+			}
+		}
+	}
+}
+
+func BenchmarkScaleFactorScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		ratio, err := bench.ScaleFactorScaling{Workload: bench.Workload{SF: 0.03}}.Run(&buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			logTable(b, &buf)
+			b.ReportMetric(ratio, "time-ratio-3x-data")
+		}
+	}
+}
+
+func BenchmarkSkewAnalysis(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		pts := bench.Skew{}.Run(&buf)
+		if i == 0 {
+			logTable(b, &buf)
+			b.ReportMetric(pts[0].Overload, "overload-6-units")
+			b.ReportMetric(pts[1].Overload, "overload-240-units")
+		}
+	}
+}
+
+func BenchmarkSkewedJoinWorkStealing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		pts, err := bench.SkewedJoin{}.Run(&buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			logTable(b, &buf)
+			b.ReportMetric(pts[1].Time.Seconds()/pts[0].Time.Seconds(), "classic-slowdown")
+		}
+	}
+}
+
+func BenchmarkAblationPreAggregation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		res, err := bench.PreAggAblation{}.Run(&buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			logTable(b, &buf)
+			b.ReportMetric(float64(res.BytesWithout)/float64(res.BytesWith), "shuffle-reduction")
+		}
+	}
+}
+
+func BenchmarkAblationGroupJoin(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		gj, aj, err := bench.GroupJoinAblation{}.Run(&buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			logTable(b, &buf)
+			b.ReportMetric(aj.Seconds()/gj.Seconds(), "aggjoin-vs-groupjoin")
+		}
+	}
+}
+
+// BenchmarkSingleQuery measures one distributed TPC-H query end to end:
+// the building block of every engine experiment.
+func BenchmarkSingleQuery(b *testing.B) {
+	bench.Warmup()
+	c, err := cluster.New(cluster.Config{
+		Servers:          3,
+		WorkersPerServer: 4,
+		Transport:        cluster.RDMA,
+		Scheduling:       true,
+		TimeScale:        cluster.DefaultTimeScale,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	c.LoadTPCH(bench.DB(0.05, 42), false)
+	q := queries.MustBuild(5, queries.Params{SF: 0.05})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := c.Run(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,291 @@
+// Command hsqp is the CLI for the high-speed query processing
+// reproduction: generate TPC-H data, run queries on a simulated cluster,
+// explain plans and regenerate the paper's tables and figures.
+//
+// Usage:
+//
+//	hsqp dbgen -sf 0.1
+//	hsqp run -q 5 -servers 6 -transport rdma -sched -sf 0.05
+//	hsqp explain -q 17
+//	hsqp experiment -id fig3
+//	hsqp experiment -id all -full
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"hsqp/internal/bench"
+	"hsqp/internal/cluster"
+	"hsqp/internal/plan"
+	"hsqp/internal/queries"
+	"hsqp/internal/storage"
+	"hsqp/internal/tpch"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "dbgen":
+		err = cmdDbgen(os.Args[2:])
+	case "run":
+		err = cmdRun(os.Args[2:])
+	case "explain":
+		err = cmdExplain(os.Args[2:])
+	case "experiment":
+		err = cmdExperiment(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hsqp:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  hsqp dbgen      -sf <scale> [-seed N] [-o dir]
+  hsqp run        -q <1-22> [-servers N] [-workers N] [-sf S] [-transport rdma|tcp|gbe]
+                  [-sched] [-partitioned] [-classic] [-timescale X] [-rows N]
+  hsqp explain    -q <1-22>
+  hsqp experiment -id table1|fig2|fig3|fig4|fig5|fig9|fig10b|fig10c|fig11|fig12a|fig12b|table2|sched|sf|skew|skewjoin|all
+                  [-sf S] [-servers N] [-full]`)
+}
+
+func cmdDbgen(args []string) error {
+	fs := flag.NewFlagSet("dbgen", flag.ExitOnError)
+	sf := fs.Float64("sf", 0.01, "scale factor")
+	seed := fs.Uint64("seed", 42, "generator seed")
+	out := fs.String("o", "", "export directory for .tbl files (optional)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	db := tpch.Generate(*sf, *seed)
+	if *out != "" {
+		if err := db.Export(*out); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s/*.tbl\n", *out)
+	}
+	names := append([]string{}, tpch.TableNames...)
+	sort.Strings(names)
+	tab := &bench.Table{Title: fmt.Sprintf("TPC-H SF %g", *sf), Header: []string{"relation", "rows"}}
+	for _, n := range names {
+		tab.Add(n, fmt.Sprintf("%d", db.Tables[n].Rows()))
+	}
+	tab.Fprint(os.Stdout)
+	return nil
+}
+
+func parseTransport(s string) (cluster.TransportKind, error) {
+	switch s {
+	case "rdma":
+		return cluster.RDMA, nil
+	case "tcp":
+		return cluster.TCPoIB, nil
+	case "gbe":
+		return cluster.TCPGbE, nil
+	default:
+		return 0, fmt.Errorf("unknown transport %q (rdma|tcp|gbe)", s)
+	}
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	q := fs.Int("q", 1, "TPC-H query number")
+	servers := fs.Int("servers", 3, "cluster size")
+	workers := fs.Int("workers", 4, "workers per server")
+	sf := fs.Float64("sf", 0.01, "scale factor")
+	transport := fs.String("transport", "rdma", "rdma|tcp|gbe")
+	sched := fs.Bool("sched", true, "round-robin network scheduling")
+	partitioned := fs.Bool("partitioned", false, "partitioned placement")
+	classic := fs.Bool("classic", false, "classic exchange-operator model")
+	timescale := fs.Float64("timescale", cluster.DefaultTimeScale, "network time scale")
+	rows := fs.Int("rows", 20, "result rows to print")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	tk, err := parseTransport(*transport)
+	if err != nil {
+		return err
+	}
+	c, err := cluster.New(cluster.Config{
+		Servers:          *servers,
+		WorkersPerServer: *workers,
+		Transport:        tk,
+		Scheduling:       *sched,
+		Classic:          *classic,
+		TimeScale:        *timescale,
+	})
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	fmt.Printf("loading TPC-H SF %g (%s placement) on %d servers…\n",
+		*sf, map[bool]string{true: "partitioned", false: "chunked"}[*partitioned], *servers)
+	c.LoadTPCH(bench.DB(*sf, 42), *partitioned)
+	qp, err := queries.Build(*q, queries.Params{SF: *sf})
+	if err != nil {
+		return err
+	}
+	res, stats, err := c.Run(qp)
+	if err != nil {
+		return err
+	}
+	printBatch(res, *rows)
+	fmt.Printf("\n%d rows; %s; shuffled %s in %d messages (%d stolen, %d local)\n",
+		res.Rows(), stats.Duration, bench.MB(stats.BytesSent), stats.MessagesSent,
+		stats.StolenMsgs, stats.LocalMsgs)
+	return nil
+}
+
+func printBatch(b *storage.Batch, maxRows int) {
+	tab := &bench.Table{}
+	for _, f := range b.Schema.Fields {
+		tab.Header = append(tab.Header, f.Name)
+	}
+	n := b.Rows()
+	if maxRows > 0 && n > maxRows {
+		n = maxRows
+	}
+	for i := 0; i < n; i++ {
+		row := make([]string, b.Schema.Len())
+		for c := range b.Cols {
+			v := b.Cols[c].Value(i)
+			switch b.Schema.Fields[c].Type {
+			case storage.TDecimal:
+				if v != nil {
+					row[c] = fmt.Sprintf("%.2f", storage.DecimalFloat(v.(int64)))
+				}
+			case storage.TDate:
+				if v != nil {
+					row[c] = storage.FormatDate(v.(int64))
+				}
+			default:
+				row[c] = fmt.Sprintf("%v", v)
+			}
+		}
+		tab.Add(row...)
+	}
+	tab.Fprint(os.Stdout)
+}
+
+func cmdExplain(args []string) error {
+	fs := flag.NewFlagSet("explain", flag.ExitOnError)
+	q := fs.Int("q", 17, "TPC-H query number")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	qp, err := queries.Build(*q, queries.Params{SF: 1})
+	if err != nil {
+		return err
+	}
+	fmt.Print(plan.Explain(qp))
+	return nil
+}
+
+func cmdExperiment(args []string) error {
+	fs := flag.NewFlagSet("experiment", flag.ExitOnError)
+	id := fs.String("id", "", "experiment id")
+	sf := fs.Float64("sf", 0.05, "scale factor")
+	servers := fs.Int("servers", 3, "cluster size (engine experiments)")
+	full := fs.Bool("full", false, "run all 22 queries / full parameter grids")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	wl := bench.Workload{SF: *sf}
+	if *full {
+		wl.Queries = queries.All()
+	}
+	w := os.Stdout
+	run := func(name string, fn func() error) error {
+		fmt.Fprintf(w, "\n")
+		if err := fn(); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		return nil
+	}
+	all := map[string]func() error{
+		"table1": func() error { bench.Table1(w); return nil },
+		"fig2": func() error {
+			steps := []int{1, 2, 4}
+			if *full {
+				steps = []int{1, 2, 4, 8}
+			}
+			_, err := bench.Figure2{Workload: wl, Servers: *servers, CoreSteps: steps}.Run(w)
+			return err
+		},
+		"fig3": func() error {
+			maxS := 4
+			if *full {
+				maxS = 6
+			}
+			_, err := bench.Figure3{Workload: wl, MaxServers: maxS}.Run(w)
+			return err
+		},
+		"fig4": func() error { bench.Figure4(w); return nil },
+		"fig5": func() error { _, err := bench.Figure5{}.Run(w); return err },
+		"fig9": func() error {
+			_, err := bench.Figure9{Workload: wl, Servers: *servers}.Run(w)
+			return err
+		},
+		"fig10b": func() error { _, err := bench.Figure10b{}.Run(w); return err },
+		"fig10c": func() error { _, err := bench.Figure10c{}.Run(w); return err },
+		"fig11": func() error {
+			serverList := []int{1, 2, 4}
+			if *full {
+				serverList = []int{1, 2, 3, 4, 5, 6}
+			}
+			_, err := bench.Figure11{Workload: wl, ServerList: serverList}.Run(w)
+			return err
+		},
+		"fig12a": func() error {
+			_, err := bench.Figure12a{Workload: wl, Servers: *servers, IncludeInterpreted: *full}.Run(w)
+			return err
+		},
+		"fig12b": func() error {
+			_, err := bench.Figure12b{Workload: wl, Servers: *servers}.Run(w)
+			return err
+		},
+		"table2": func() error {
+			_, err := bench.Table2{Workload: wl, Servers: *servers, IncludeInterpreted: *full}.Run(w)
+			return err
+		},
+		"sched": func() error {
+			_, err := bench.SchedulingImpact{Workload: wl, Servers: *servers}.Run(w)
+			return err
+		},
+		"sf": func() error {
+			_, err := bench.ScaleFactorScaling{Workload: wl, Servers: *servers}.Run(w)
+			return err
+		},
+		"skew": func() error { bench.Skew{}.Run(w); return nil },
+		"skewjoin": func() error {
+			_, err := bench.SkewedJoin{Servers: *servers}.Run(w)
+			return err
+		},
+	}
+	if *id == "all" {
+		order := []string{"table1", "fig2", "fig3", "fig4", "fig5", "fig9", "fig10b",
+			"fig10c", "fig11", "fig12a", "fig12b", "table2", "sched", "sf", "skew", "skewjoin"}
+		for _, name := range order {
+			if err := run(name, all[name]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	fn, ok := all[*id]
+	if !ok {
+		return fmt.Errorf("unknown experiment %q", *id)
+	}
+	return run(*id, fn)
+}

@@ -1,0 +1,32 @@
+// Network-tuning: the §2 story as an application. Sweeps the transport
+// tuning ladder of Figure 5 (TCP datagram/connected modes, offload,
+// interrupt pinning, RDMA) on the simulated InfiniBand fabric, then shows
+// the effect of round-robin network scheduling on all-to-all shuffles
+// (Figure 10(b)).
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"hsqp"
+	"hsqp/internal/bench"
+)
+
+func main() {
+	fmt.Println("transport tuning on simulated InfiniBand 4×QDR (Figure 5):")
+	if err := hsqp.ExperimentFigure5(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Println("uncoordinated all-to-all vs round-robin scheduling (Figure 10(b)):")
+	if err := hsqp.ExperimentFigure10b(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Println("message size vs scheduling synchronization cost (Figure 10(c)):")
+	if _, err := (bench.Figure10c{}).Run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,144 @@
+// Package hsqp is a from-scratch Go reproduction of "High-Speed Query
+// Processing over High-Speed Networks" (Rödiger, Mühlbauer, Kemper,
+// Neumann; PVLDB 9(4), 2015): a distributed, NUMA-aware, morsel-driven
+// analytical query engine built on an RDMA-style communication multiplexer
+// with application-level round-robin network scheduling — running on a
+// simulated InfiniBand/Ethernet fabric so the paper's cluster experiments
+// reproduce on a single machine.
+//
+// This package is the public facade. A minimal session looks like:
+//
+//	c, _ := hsqp.NewCluster(hsqp.ClusterConfig{Servers: 6, Transport: hsqp.RDMA, Scheduling: true})
+//	defer c.Close()
+//	c.LoadTPCH(hsqp.GenerateTPCH(0.1, 42), false)
+//	result, stats, _ := c.Run(hsqp.TPCHQuery(5, 0.1))
+//
+// The paper's tables and figures regenerate through the Experiments API
+// (see ExperimentTable1 … or `go test -bench .` / cmd/hsqp).
+package hsqp
+
+import (
+	"io"
+
+	"hsqp/internal/bench"
+	"hsqp/internal/cluster"
+	"hsqp/internal/fabric"
+	"hsqp/internal/numa"
+	"hsqp/internal/plan"
+	"hsqp/internal/queries"
+	"hsqp/internal/storage"
+	"hsqp/internal/tpch"
+)
+
+// ClusterConfig configures a simulated cluster (see cluster.Config).
+type ClusterConfig = cluster.Config
+
+// Cluster is a running simulated deployment.
+type Cluster = cluster.Cluster
+
+// QueryStats reports per-query network activity.
+type QueryStats = cluster.QueryStats
+
+// Transport kinds (Figure 3's three engines).
+const (
+	RDMA   = cluster.RDMA
+	TCPoIB = cluster.TCPoIB
+	TCPGbE = cluster.TCPGbE
+)
+
+// Data rates (Table 1).
+const (
+	GbE     = fabric.GbE
+	IB4xSDR = fabric.IB4xSDR
+	IB4xDDR = fabric.IB4xDDR
+	IB4xQDR = fabric.IB4xQDR
+)
+
+// Placement policies for LoadTable.
+const (
+	PlacementChunked     = storage.PlacementChunked
+	PlacementPartitioned = storage.PlacementPartitioned
+	PlacementReplicated  = storage.PlacementReplicated
+)
+
+// NUMA buffer allocation policies (Figure 9).
+const (
+	AllocLocal        = numa.AllocLocal
+	AllocInterleaved  = numa.AllocInterleaved
+	AllocSingleSocket = numa.AllocSingleSocket
+)
+
+// Query is a compiled logical plan.
+type Query = plan.Query
+
+// Batch is a columnar result set.
+type Batch = storage.Batch
+
+// TPCHDatabase is a generated TPC-H database.
+type TPCHDatabase = tpch.Database
+
+// NewCluster builds and starts a simulated cluster.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) { return cluster.New(cfg) }
+
+// GenerateTPCH builds the TPC-H database at the given scale factor,
+// deterministically from seed.
+func GenerateTPCH(sf float64, seed uint64) *TPCHDatabase { return tpch.Generate(sf, seed) }
+
+// TPCHQuery returns TPC-H query q (1–22) as an executable plan. sf feeds
+// the scale-dependent parameters (Q11).
+func TPCHQuery(q int, sf float64) *Query {
+	return queries.MustBuild(q, queries.Params{SF: sf})
+}
+
+// ExplainQuery renders a query plan tree (Figure 6 style).
+func ExplainQuery(q *Query) string { return plan.Explain(q) }
+
+// TwoSocketTopology is the paper's evaluation server (2×10 cores).
+func TwoSocketTopology() *numa.Topology { return numa.TwoSocket() }
+
+// FourSocketTopology is the Figure 9 server (4×15 cores).
+func FourSocketTopology() *numa.Topology { return numa.FourSocket() }
+
+// --- experiment façade: one entry point per paper table/figure ---
+
+// Workload selects the dataset and query subset of an experiment.
+type Workload = bench.Workload
+
+// ExperimentTable1 prints the data-link standards table.
+func ExperimentTable1(w io.Writer) { bench.Table1(w) }
+
+// ExperimentFigure2 runs hybrid vs classic core scaling.
+func ExperimentFigure2(w io.Writer, wl Workload) error {
+	_, err := bench.Figure2{Workload: wl}.Run(w)
+	return err
+}
+
+// ExperimentFigure3 runs the scale-out comparison of the three engines.
+func ExperimentFigure3(w io.Writer, wl Workload, maxServers int) error {
+	_, err := bench.Figure3{Workload: wl, MaxServers: maxServers}.Run(w)
+	return err
+}
+
+// ExperimentFigure5 runs the transport tuning microbenchmark.
+func ExperimentFigure5(w io.Writer) error {
+	_, err := bench.Figure5{}.Run(w)
+	return err
+}
+
+// ExperimentFigure9 runs the NUMA allocation-policy comparison.
+func ExperimentFigure9(w io.Writer, wl Workload) error {
+	_, err := bench.Figure9{Workload: wl}.Run(w)
+	return err
+}
+
+// ExperimentFigure10b runs all-to-all vs round-robin scheduling.
+func ExperimentFigure10b(w io.Writer) error {
+	_, err := bench.Figure10b{}.Run(w)
+	return err
+}
+
+// ExperimentFigure12a runs the system-style comparison.
+func ExperimentFigure12a(w io.Writer, wl Workload) error {
+	_, err := bench.Figure12a{Workload: wl}.Run(w)
+	return err
+}

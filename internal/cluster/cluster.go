@@ -1,0 +1,410 @@
+// Package cluster assembles N in-process server nodes into the distributed
+// query engine of the paper: per server a NUMA topology, a registered
+// message pool, a communication multiplexer with its network goroutine,
+// an RDMA or TCP endpoint on the shared switch fabric, and a morsel-driven
+// execution engine. It loads TPC-H style databases under chunked,
+// partitioned or replicated placement (§4.1) and executes distributed
+// query plans.
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hsqp/internal/engine"
+	"hsqp/internal/fabric"
+	"hsqp/internal/memory"
+	"hsqp/internal/mux"
+	"hsqp/internal/numa"
+	"hsqp/internal/plan"
+	"hsqp/internal/rdma"
+	"hsqp/internal/spin"
+	"hsqp/internal/storage"
+	"hsqp/internal/tcp"
+	"hsqp/internal/tpch"
+)
+
+// TransportKind selects the wire protocol (the three engines of Figure 3).
+type TransportKind int
+
+const (
+	// RDMA is the paper's communication multiplexer over InfiniBand verbs.
+	RDMA TransportKind = iota
+	// TCPoIB is TCP via IP-over-InfiniBand (connected mode, tuned §2.1.2).
+	TCPoIB
+	// TCPGbE is TCP over Gigabit Ethernet.
+	TCPGbE
+)
+
+func (t TransportKind) String() string {
+	switch t {
+	case RDMA:
+		return "rdma"
+	case TCPoIB:
+		return "tcp-ipoib"
+	case TCPGbE:
+		return "tcp-gbe"
+	default:
+		return fmt.Sprintf("TransportKind(%d)", int(t))
+	}
+}
+
+// RegistrationCost is the modeled cost of registering (pinning) a fresh
+// memory region with the HCA (§2.2.2); amortized away by pool reuse.
+const RegistrationCost = 40 * time.Microsecond
+
+// Config configures a cluster.
+type Config struct {
+	Servers          int
+	Topology         *numa.Topology // per server; TwoSocket() if nil
+	WorkersPerServer int            // engine workers; topology cores if 0
+	Transport        TransportKind
+	// Rate overrides the link data rate; zero selects QDR for RDMA/TCPoIB
+	// and GbE for TCPGbE.
+	Rate fabric.Rate
+	// TimeScale converts simulated network seconds to wall seconds.
+	// Zero = DefaultTimeScale.
+	TimeScale float64
+	// Scheduling enables round-robin network scheduling (§3.2.3).
+	Scheduling bool
+	// AllocPolicy is the message-buffer allocation policy (Figure 9).
+	AllocPolicy numa.AllocPolicy
+	// Classic compiles plans in the classic exchange-operator model.
+	Classic bool
+	// DisablePreAgg turns off pre-aggregation (ablation).
+	DisablePreAgg bool
+	MorselSize    int
+	MessageSize   int
+	// AfterScan/AfterExchange insert extra operators into every compiled
+	// plan (competitor engine styles; see internal/competitors).
+	AfterScan     func(schema *storage.Schema) []engine.Op
+	AfterExchange func(schema *storage.Schema) []engine.Op
+}
+
+// DefaultTimeScale calibrates the simulated network against the in-process
+// engine's compute speed so that the paper's compute:network balance is
+// preserved (see DESIGN.md §2). Experiments at SF ≈ 0.05–0.2 with this
+// scale reproduce the paper's shapes.
+const DefaultTimeScale = 12.0
+
+// Node is one simulated server.
+type Node struct {
+	ID     int
+	Topo   *numa.Topology
+	Pool   *memory.Pool
+	Mux    *mux.Mux
+	Engine *engine.Engine
+
+	transport mux.Transport
+	tcpEP     *tcp.Endpoint
+	rdmaEP    *rdma.Endpoint
+
+	mu     sync.Mutex
+	tables map[string]plan.TableInfo
+}
+
+// Cluster is the whole simulated deployment.
+type Cluster struct {
+	cfg   Config
+	fab   *fabric.Fabric
+	Nodes []*Node
+
+	nextExID atomic.Int32
+	closed   atomic.Bool
+}
+
+// New builds and starts a cluster.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.Servers <= 0 {
+		return nil, fmt.Errorf("cluster: need at least one server, got %d", cfg.Servers)
+	}
+	if cfg.Topology == nil {
+		cfg.Topology = numa.TwoSocket()
+	}
+	if cfg.TimeScale == 0 {
+		cfg.TimeScale = DefaultTimeScale
+	}
+	if cfg.Rate == 0 {
+		if cfg.Transport == TCPGbE {
+			cfg.Rate = fabric.GbE
+		} else {
+			cfg.Rate = fabric.IB4xQDR
+		}
+	}
+	if cfg.MorselSize <= 0 {
+		cfg.MorselSize = engine.DefaultMorselSize
+	}
+
+	fab, err := fabric.New(fabric.Config{
+		Ports:     cfg.Servers,
+		Rate:      cfg.Rate,
+		TimeScale: cfg.TimeScale,
+	})
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{cfg: cfg, fab: fab}
+	c.nextExID.Store(1)
+
+	for id := 0; id < cfg.Servers; id++ {
+		topo := cfg.Topology
+		scale := cfg.TimeScale
+		pool := memory.NewPool(topo, cfg.AllocPolicy, cfg.MessageSize, func() {
+			spin.Burn(time.Duration(float64(RegistrationCost) * scale))
+		})
+		m, err := mux.New(mux.Config{
+			Server:     id,
+			Servers:    cfg.Servers,
+			Topology:   topo,
+			Pool:       pool,
+			Scheduling: cfg.Scheduling,
+		})
+		if err != nil {
+			return nil, err
+		}
+		var tr mux.Transport
+		node := &Node{ID: id, Topo: topo, Pool: pool, Mux: m, tables: map[string]plan.TableInfo{}}
+		switch cfg.Transport {
+		case RDMA:
+			ep := rdma.NewEndpoint(fab, id, m.RecvAlloc, m.OnRecv, m.OnInline)
+			node.rdmaEP = ep
+			tr = ep
+		case TCPoIB:
+			ep := tcp.NewEndpoint(fab, id,
+				tcp.Config{Mode: tcp.ModeConnected, NICLocal: true, TunedInterrupts: true},
+				m.RecvAlloc, m.OnRecv, m.OnInline)
+			node.tcpEP = ep
+			tr = ep
+		case TCPGbE:
+			ep := tcp.NewEndpoint(fab, id, tcp.Config{Mode: tcp.ModeEthernet, Offload: true, NICLocal: true},
+				m.RecvAlloc, m.OnRecv, m.OnInline)
+			node.tcpEP = ep
+			tr = ep
+		default:
+			return nil, fmt.Errorf("cluster: unknown transport %v", cfg.Transport)
+		}
+		m.SetTransport(tr)
+		node.transport = tr
+		eng, err := engine.New(engine.Config{
+			Topology:   topo,
+			Workers:    cfg.WorkersPerServer,
+			MorselSize: cfg.MorselSize,
+		})
+		if err != nil {
+			return nil, err
+		}
+		node.Engine = eng
+		c.Nodes = append(c.Nodes, node)
+	}
+
+	fab.Start()
+	for _, n := range c.Nodes {
+		n.transport.Start()
+		n.Mux.Start()
+	}
+	return c, nil
+}
+
+// Config returns the cluster configuration.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// Fabric exposes the underlying fabric (stats).
+func (c *Cluster) Fabric() *fabric.Fabric { return c.fab }
+
+// Close shuts everything down.
+func (c *Cluster) Close() {
+	if !c.closed.CompareAndSwap(false, true) {
+		return
+	}
+	for _, n := range c.Nodes {
+		n.Mux.Close()
+		n.transport.Close()
+	}
+	c.fab.Stop()
+}
+
+// LoadTable distributes one relation over the cluster.
+func (c *Cluster) LoadTable(name string, b *storage.Batch, placement storage.Placement, partCol int) {
+	n := c.cfg.Servers
+	var parts []*storage.Batch
+	var info func(id int) plan.TableInfo
+	switch placement {
+	case storage.PlacementChunked:
+		parts = storage.SplitChunked(b, n)
+		info = func(int) plan.TableInfo { return plan.TableInfo{} }
+	case storage.PlacementPartitioned:
+		parts = storage.SplitPartitioned(b, partCol, n)
+		info = func(int) plan.TableInfo { return plan.TableInfo{PartCols: []int{partCol}} }
+	case storage.PlacementReplicated:
+		parts = storage.Replicate(b, n)
+		info = func(int) plan.TableInfo { return plan.TableInfo{Replicated: true} }
+	default:
+		panic(fmt.Sprintf("cluster: unknown placement %v", placement))
+	}
+	for id, node := range c.Nodes {
+		t := storage.NewTable(name, b.Schema)
+		t.DistributeToSockets(parts[id], node.Topo)
+		ti := info(id)
+		ti.Table = t
+		node.mu.Lock()
+		node.tables[name] = ti
+		node.mu.Unlock()
+	}
+}
+
+// LoadTPCH loads a generated TPC-H database. Under partitioned placement,
+// nation and region are replicated and all other relations are
+// hash-partitioned by the first primary-key column (§4.3.1); under chunked
+// placement relations are split into contiguous chunks as generated, with
+// nation and region still replicated (they are fixed-size catalogs).
+func (c *Cluster) LoadTPCH(db *tpch.Database, partitioned bool) {
+	for name, b := range db.Tables {
+		switch {
+		case name == "nation" || name == "region":
+			c.LoadTable(name, b, storage.PlacementReplicated, 0)
+		case partitioned:
+			c.LoadTable(name, b, storage.PlacementPartitioned, tpch.PrimaryKeyColumn(name))
+		default:
+			c.LoadTable(name, b, storage.PlacementChunked, 0)
+		}
+	}
+}
+
+// QueryStats reports the network activity of one query run.
+type QueryStats struct {
+	Duration     time.Duration
+	BytesSent    uint64 // wire bytes between servers
+	MessagesSent uint64
+	StolenMsgs   uint64
+	LocalMsgs    uint64
+}
+
+// Run executes a query across the cluster and returns the coordinator's
+// result rows.
+func (c *Cluster) Run(q *plan.Query) (*storage.Batch, QueryStats, error) {
+	var before []mux.Stats
+	for _, n := range c.Nodes {
+		before = append(before, n.Mux.Stats())
+	}
+
+	compiled := make([]*plan.Compiled, c.cfg.Servers)
+	// All servers must compile the identical plan with the identical
+	// exchange-id sequence.
+	base := c.nextExID.Add(4096) - 4096
+	var used int32
+	for id, node := range c.Nodes {
+		next := base
+		env := &plan.Env{
+			ServerID:         id,
+			Servers:          c.cfg.Servers,
+			WorkersPerServer: node.Engine.Workers(),
+			Engine:           node.Engine,
+			Mux:              node.Mux,
+			Pool:             node.Pool,
+			Topo:             node.Topo,
+			Scale:            c.cfg.TimeScale,
+			Classic:          c.cfg.Classic,
+			DisablePreAgg:    c.cfg.DisablePreAgg,
+			MorselSize:       c.cfg.MorselSize,
+			AfterScan:        c.cfg.AfterScan,
+			AfterExchange:    c.cfg.AfterExchange,
+			Lookup:           node.lookup,
+			NextExID: func() int32 {
+				next++
+				return next - 1
+			},
+		}
+		cp, err := plan.Compile(q, env)
+		if err != nil {
+			return nil, QueryStats{}, err
+		}
+		compiled[id] = cp
+		used = next - base
+	}
+	defer func() {
+		// Forget this query's exchanges so the multiplexer maps don't grow
+		// across queries.
+		for _, node := range c.Nodes {
+			for e := base; e < base+used; e++ {
+				node.Mux.CloseExchange(e)
+			}
+		}
+	}()
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make([]error, c.cfg.Servers)
+	for id, node := range c.Nodes {
+		wg.Add(1)
+		go func(id int, node *Node) {
+			defer wg.Done()
+			errs[id] = node.Engine.RunPlan(compiled[id].Pipelines, id == 0)
+		}(id, node)
+	}
+	wg.Wait()
+	dur := time.Since(start)
+	for id, err := range errs {
+		if err != nil {
+			return nil, QueryStats{}, fmt.Errorf("cluster: server %d: %w", id, err)
+		}
+	}
+
+	stats := QueryStats{Duration: dur}
+	for id, n := range c.Nodes {
+		s := n.Mux.Stats()
+		stats.BytesSent += s.BytesSent - before[id].BytesSent
+		stats.MessagesSent += s.MsgsSent - before[id].MsgsSent
+		stats.StolenMsgs += s.StolenMsgs - before[id].StolenMsgs
+		stats.LocalMsgs += s.LocalMsgs - before[id].LocalMsgs
+	}
+	result := compiled[0].Result.Flatten(compiled[0].Schema)
+	return result, stats, nil
+}
+
+func (n *Node) lookup(name string) (plan.TableInfo, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ti, ok := n.tables[name]
+	if !ok {
+		return plan.TableInfo{}, fmt.Errorf("cluster: server %d has no table %q", n.ID, name)
+	}
+	return ti, nil
+}
+
+// TCPStats aggregates TCP endpoint statistics over all nodes (zero for
+// RDMA clusters).
+func (c *Cluster) TCPStats() tcp.Stats {
+	var out tcp.Stats
+	for _, n := range c.Nodes {
+		if n.tcpEP == nil {
+			continue
+		}
+		s := n.tcpEP.Stats()
+		out.BytesSent += s.BytesSent
+		out.BytesReceived += s.BytesReceived
+		out.MsgsSent += s.MsgsSent
+		out.MsgsReceived += s.MsgsReceived
+		out.Segments += s.Segments
+		out.CPUSeconds += s.CPUSeconds
+	}
+	return out
+}
+
+// RDMAStats aggregates RDMA endpoint statistics over all nodes.
+func (c *Cluster) RDMAStats() rdma.Stats {
+	var out rdma.Stats
+	for _, n := range c.Nodes {
+		if n.rdmaEP == nil {
+			continue
+		}
+		s := n.rdmaEP.Stats()
+		out.BytesSent += s.BytesSent
+		out.BytesReceived += s.BytesReceived
+		out.MsgsSent += s.MsgsSent
+		out.MsgsReceived += s.MsgsReceived
+		out.CPUSeconds += s.CPUSeconds
+	}
+	return out
+}

@@ -1,0 +1,167 @@
+// Package engine implements intra-server morsel-driven parallelism
+// (Leis et al. [20], §3.2 of the paper): query pipelines are executed by a
+// pool of workers pinned (logically) to NUMA sockets; the input of a
+// pipeline is split into constant-size morsels; workers prefer NUMA-local
+// morsels and steal across sockets when their own node runs dry. Each
+// worker pushes its morsel through the whole pipeline until a pipeline
+// breaker (sink) is reached, keeping intermediate data hot.
+package engine
+
+import (
+	"fmt"
+	"sync"
+
+	"hsqp/internal/numa"
+	"hsqp/internal/storage"
+)
+
+// DefaultMorselSize is the number of tuples per morsel.
+const DefaultMorselSize = 16384
+
+// Worker identifies one worker thread and its NUMA placement.
+type Worker struct {
+	ID   int
+	Node numa.Node
+}
+
+// Source produces morsels for a pipeline. Implementations must be safe for
+// concurrent use; Next returns nil when the source is exhausted for good.
+type Source interface {
+	Next(w *Worker) *storage.Batch
+}
+
+// Op transforms one morsel batch. It may return its input unchanged, a new
+// batch, or nil (all rows filtered). Implementations must be safe for
+// concurrent use by distinct workers.
+type Op interface {
+	Process(w *Worker, b *storage.Batch) *storage.Batch
+}
+
+// Sink is a pipeline breaker: it consumes the final batches of a pipeline
+// and materializes state (hash table, aggregate table, sort run, outgoing
+// exchange messages). Consume is called concurrently; Finalize exactly
+// once after all workers finished.
+type Sink interface {
+	Consume(w *Worker, b *storage.Batch)
+	Finalize() error
+}
+
+// Pipeline is one parallel execution stage: source → ops → sink.
+type Pipeline struct {
+	Name   string
+	Source Source
+	Ops    []Op
+	Sink   Sink
+	// CoordinatorOnly pipelines run only on the coordinating server
+	// (final merges of distributed plans).
+	CoordinatorOnly bool
+}
+
+// Engine is one server's worker pool.
+type Engine struct {
+	topo       *numa.Topology
+	workers    []Worker
+	morselSize int
+}
+
+// Config configures an engine.
+type Config struct {
+	Topology *numa.Topology
+	// Workers is the number of worker threads. Zero means one per core of
+	// the topology.
+	Workers int
+	// MorselSize overrides DefaultMorselSize when positive.
+	MorselSize int
+}
+
+// New creates an engine.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Topology == nil {
+		return nil, fmt.Errorf("engine: topology is required")
+	}
+	if err := cfg.Topology.Validate(); err != nil {
+		return nil, err
+	}
+	n := cfg.Workers
+	if n <= 0 {
+		n = cfg.Topology.TotalCores()
+	}
+	ms := cfg.MorselSize
+	if ms <= 0 {
+		ms = DefaultMorselSize
+	}
+	e := &Engine{topo: cfg.Topology, morselSize: ms}
+	for i := 0; i < n; i++ {
+		// Workers are assigned to sockets round-robin so every socket has
+		// workers even when n < TotalCores.
+		e.workers = append(e.workers, Worker{ID: i, Node: numa.Node(i % cfg.Topology.Sockets)})
+	}
+	return e, nil
+}
+
+// Workers returns the number of worker threads.
+func (e *Engine) Workers() int { return len(e.workers) }
+
+// MorselSize returns the configured morsel size.
+func (e *Engine) MorselSize() int { return e.morselSize }
+
+// Topology returns the engine's NUMA topology.
+func (e *Engine) Topology() *numa.Topology { return e.topo }
+
+// RunPipeline executes one pipeline to completion with all workers.
+func (e *Engine) RunPipeline(p *Pipeline) error {
+	if p.Source == nil || p.Sink == nil {
+		return fmt.Errorf("engine: pipeline %q needs a source and a sink", p.Name)
+	}
+	var wg sync.WaitGroup
+	panics := make(chan any, len(e.workers))
+	for i := range e.workers {
+		w := &e.workers[i]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panics <- r
+				}
+			}()
+			for {
+				b := p.Source.Next(w)
+				if b == nil {
+					return
+				}
+				for _, op := range p.Ops {
+					b = op.Process(w, b)
+					if b == nil || b.Rows() == 0 {
+						b = nil
+						break
+					}
+				}
+				if b != nil {
+					p.Sink.Consume(w, b)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case r := <-panics:
+		panic(fmt.Sprintf("engine: pipeline %q worker panicked: %v", p.Name, r))
+	default:
+	}
+	return p.Sink.Finalize()
+}
+
+// RunPlan executes pipelines in order; isCoordinator gates
+// coordinator-only pipelines.
+func (e *Engine) RunPlan(pipelines []*Pipeline, isCoordinator bool) error {
+	for _, p := range pipelines {
+		if p.CoordinatorOnly && !isCoordinator {
+			continue
+		}
+		if err := e.RunPipeline(p); err != nil {
+			return fmt.Errorf("engine: pipeline %q: %w", p.Name, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,281 @@
+// Package exchange implements the decoupled exchange operators of §3.2.1.
+//
+// A decoupled exchange operator only talks to its server's communication
+// multiplexer — it is unaware of every other exchange operator, local or
+// remote. The send side consumes tuples from the preceding pipeline
+// operator, partitions them by the CRC32 hash of the key attributes (or
+// serializes once and broadcasts with a retain count), fills 512 KB pooled
+// messages with the schema-specialized wire format of Figure 8, and hands
+// full messages to the multiplexer. The receive side pulls messages from
+// the per-NUMA-socket queues (stealing when local ones run dry),
+// deserializes and pushes the tuples into the next pipeline.
+//
+// The same package implements the classic exchange-operator baseline
+// (Mode ModeClassicPartition): n×t parallel units with fixed partition
+// assignment and no stealing — used by Figure 2's comparison.
+package exchange
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"hsqp/internal/engine"
+	"hsqp/internal/memory"
+	"hsqp/internal/mux"
+	"hsqp/internal/numa"
+	"hsqp/internal/ser"
+	"hsqp/internal/storage"
+)
+
+// Mode selects the data movement pattern.
+type Mode int
+
+const (
+	// ModePartition hash-partitions tuples into one message stream per
+	// server (hybrid parallelism: servers are the parallel units).
+	ModePartition Mode = iota
+	// ModeBroadcast serializes tuples once and sends the message to every
+	// server, using a retain count instead of copies.
+	ModeBroadcast
+	// ModeGather sends all tuples to the coordinator (server 0).
+	ModeGather
+	// ModeClassicPartition hash-partitions into n×t streams, one per
+	// (server, worker) parallel unit — the classic baseline.
+	ModeClassicPartition
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModePartition:
+		return "partition"
+	case ModeBroadcast:
+		return "broadcast"
+	case ModeGather:
+		return "gather"
+	case ModeClassicPartition:
+		return "classic-partition"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// SendConfig configures a send-side exchange operator.
+type SendConfig struct {
+	Mux     *mux.Mux
+	Pool    *memory.Pool
+	ExID    int32
+	Mode    Mode
+	Servers int
+	// WorkersPerServer is required for ModeClassicPartition (t).
+	WorkersPerServer int
+	// Keys are the partition key columns (partition modes).
+	Keys []int
+	// Codec serializes the input schema.
+	Codec *ser.Codec
+	// NumWorkers is this engine's worker count (per-worker send state).
+	NumWorkers int
+	// Topo/Scale charge the QPI cost of serializing into a message buffer
+	// homed on another socket (Figure 9's send-side share).
+	Topo  *numa.Topology
+	Scale float64
+}
+
+// Send is the send-side pipeline breaker.
+type Send struct {
+	cfg     SendConfig
+	units   int // number of destination streams
+	workers []workerSendState
+
+	tuplesSent atomic.Uint64
+}
+
+type workerSendState struct {
+	// open[unit] is the message currently being filled for a destination.
+	open []*memory.Message
+	_pad [8]uint64 // avoid false sharing between workers
+}
+
+// NewSend creates the sink.
+func NewSend(cfg SendConfig) *Send {
+	units := cfg.Servers
+	switch cfg.Mode {
+	case ModeClassicPartition:
+		units = cfg.Servers * cfg.WorkersPerServer
+		if cfg.WorkersPerServer <= 0 {
+			panic("exchange: classic partition needs WorkersPerServer")
+		}
+	case ModeBroadcast, ModeGather:
+		units = 1 // one stream, fanned out / directed by flush
+	}
+	s := &Send{cfg: cfg, units: units}
+	s.workers = make([]workerSendState, cfg.NumWorkers)
+	for i := range s.workers {
+		s.workers[i].open = make([]*memory.Message, units)
+	}
+	return s
+}
+
+// TuplesSent reports how many tuples passed through the operator.
+func (s *Send) TuplesSent() uint64 { return s.tuplesSent.Load() }
+
+// Consume implements engine.Sink: partition/serialize (step 2 of
+// Figure 7) and pass full messages to the multiplexer (step 3).
+func (s *Send) Consume(w *engine.Worker, b *storage.Batch) {
+	st := &s.workers[w.ID]
+	n := b.Rows()
+	s.tuplesSent.Add(uint64(n))
+	for i := 0; i < n; i++ {
+		unit := 0
+		switch s.cfg.Mode {
+		case ModePartition:
+			unit = storage.PartitionOf(storage.HashRow(b, s.cfg.Keys, i), s.cfg.Servers)
+		case ModeClassicPartition:
+			unit = storage.PartitionOf(storage.HashRow(b, s.cfg.Keys, i), s.units)
+		}
+		msg := st.open[unit]
+		if msg == nil {
+			msg = s.newMessage(w)
+			st.open[unit] = msg
+		}
+		need := s.cfg.Codec.RowSize(b, i)
+		if need > msg.Remaining() {
+			if need > msg.Capacity() {
+				panic(fmt.Sprintf("exchange: tuple of %d bytes exceeds message capacity %d", need, msg.Capacity()))
+			}
+			s.dispatch(unit, msg, false)
+			msg = s.newMessage(w)
+			st.open[unit] = msg
+		}
+		before := len(msg.Content)
+		msg.Content = s.cfg.Codec.EncodeRow(b, i, msg.Content)
+		if s.cfg.Topo != nil {
+			s.cfg.Topo.Charge(w.Node, msg.Node, len(msg.Content)-before, s.cfg.Scale)
+		}
+	}
+}
+
+func (s *Send) newMessage(w *engine.Worker) *memory.Message {
+	// Step 4 of Figure 7: reuse a NUMA-local message from the pool.
+	return s.cfg.Pool.Get(w.Node)
+}
+
+// dispatch routes one finished message stream unit. The header is stamped
+// here, before the message is handed over, because a broadcast shares one
+// buffer across destinations.
+func (s *Send) dispatch(unit int, msg *memory.Message, last bool) {
+	msg.Last = last
+	msg.ExchangeID = s.cfg.ExID
+	msg.Sender = s.cfg.Mux.ServerID()
+	switch s.cfg.Mode {
+	case ModePartition:
+		s.cfg.Mux.Send(unit, msg)
+	case ModeClassicPartition:
+		srv := unit / s.cfg.WorkersPerServer
+		msg.Part = int16(unit % s.cfg.WorkersPerServer)
+		s.cfg.Mux.Send(srv, msg)
+	case ModeGather:
+		s.cfg.Mux.Send(0, msg)
+	case ModeBroadcast:
+		// One buffer, n references: retain for the n−1 extra destinations.
+		if s.cfg.Servers > 1 {
+			msg.Retain(s.cfg.Servers - 1)
+		}
+		for d := 0; d < s.cfg.Servers; d++ {
+			s.cfg.Mux.Send(d, msg)
+		}
+	}
+}
+
+// Finalize flushes all partially filled messages and emits the Last
+// markers that close this server's contribution to the exchange.
+func (s *Send) Finalize() error {
+	for wi := range s.workers {
+		st := &s.workers[wi]
+		for unit, msg := range st.open {
+			if msg != nil && len(msg.Content) > 0 {
+				s.dispatch(unit, msg, false)
+			} else if msg != nil {
+				msg.Release()
+			}
+			st.open[unit] = nil
+		}
+	}
+	// Last markers: empty messages flagged Last.
+	stamp := func(m *memory.Message) *memory.Message {
+		m.Last = true
+		m.ExchangeID = s.cfg.ExID
+		m.Sender = s.cfg.Mux.ServerID()
+		return m
+	}
+	switch s.cfg.Mode {
+	case ModePartition:
+		for d := 0; d < s.cfg.Servers; d++ {
+			s.cfg.Mux.Send(d, stamp(s.cfg.Pool.Get(0)))
+		}
+	case ModeClassicPartition:
+		for u := 0; u < s.units; u++ {
+			m := stamp(s.cfg.Pool.Get(0))
+			m.Part = int16(u % s.cfg.WorkersPerServer)
+			s.cfg.Mux.Send(u/s.cfg.WorkersPerServer, m)
+		}
+	case ModeGather:
+		s.cfg.Mux.Send(0, stamp(s.cfg.Pool.Get(0)))
+	case ModeBroadcast:
+		for d := 0; d < s.cfg.Servers; d++ {
+			s.cfg.Mux.Send(d, stamp(s.cfg.Pool.Get(0)))
+		}
+	}
+	return nil
+}
+
+// Source is the receive-side exchange: an engine.Source yielding
+// deserialized batches (steps 5–7 of Figure 7).
+type Source struct {
+	Recv  *mux.ExchangeRecv
+	Codec *ser.Codec
+	Topo  *numa.Topology
+	// Scale is the simulation time scale for the NUMA remote-access
+	// charge.
+	Scale float64
+	// Classic makes workers consume only their fixed partition.
+	Classic bool
+
+	tuplesRecv atomic.Uint64
+}
+
+// Next implements engine.Source.
+func (src *Source) Next(w *engine.Worker) *storage.Batch {
+	for {
+		var msg *memory.Message
+		if src.Classic {
+			msg = src.Recv.RecvWorker(w.ID)
+		} else {
+			msg = src.Recv.Recv(w.Node)
+		}
+		if msg == nil {
+			return nil
+		}
+		if len(msg.Content) == 0 {
+			msg.Release()
+			continue // bare Last marker
+		}
+		// Step 6: deserialize. Touching a message homed on another socket
+		// streams it over QPI.
+		if src.Topo != nil {
+			src.Topo.Charge(w.Node, msg.Node, len(msg.Content), src.Scale)
+		}
+		b := storage.NewBatch(src.Codec.Schema(), 256)
+		if _, err := src.Codec.DecodeAll(msg.Content, b); err != nil {
+			msg.Release()
+			panic(fmt.Sprintf("exchange: corrupt message for exchange: %v", err))
+		}
+		msg.Release()
+		src.tuplesRecv.Add(uint64(b.Rows()))
+		if b.Rows() > 0 {
+			return b
+		}
+	}
+}
+
+// TuplesReceived reports how many tuples were deserialized.
+func (src *Source) TuplesReceived() uint64 { return src.tuplesRecv.Load() }

@@ -1,0 +1,232 @@
+package exchange
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"hsqp/internal/engine"
+	"hsqp/internal/fabric"
+	"hsqp/internal/memory"
+	"hsqp/internal/mux"
+	"hsqp/internal/numa"
+	"hsqp/internal/op"
+	"hsqp/internal/rdma"
+	"hsqp/internal/ser"
+	"hsqp/internal/storage"
+)
+
+type harness struct {
+	muxes []*mux.Mux
+	pools []*memory.Pool
+	engs  []*engine.Engine
+	topo  *numa.Topology
+	stop  func()
+}
+
+func newHarness(t *testing.T, servers int) *harness {
+	t.Helper()
+	fab, err := fabric.New(fabric.Config{Ports: servers, Rate: fabric.IB4xQDR, TimeScale: 0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo := numa.TwoSocket()
+	h := &harness{topo: topo}
+	eps := make([]*rdma.Endpoint, servers)
+	for i := 0; i < servers; i++ {
+		pool := memory.NewPool(topo, numa.AllocLocal, 4096, nil)
+		m, err := mux.New(mux.Config{Server: i, Servers: servers, Topology: topo, Pool: pool})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ep := rdma.NewEndpoint(fab, i, m.RecvAlloc, m.OnRecv, m.OnInline)
+		m.SetTransport(ep)
+		eng, err := engine.New(engine.Config{Topology: topo, Workers: 3, MorselSize: 32})
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.muxes = append(h.muxes, m)
+		h.pools = append(h.pools, pool)
+		h.engs = append(h.engs, eng)
+		eps[i] = ep
+	}
+	fab.Start()
+	for i, m := range h.muxes {
+		eps[i].Start()
+		m.Start()
+	}
+	h.stop = func() {
+		for i, m := range h.muxes {
+			m.Close()
+			eps[i].Close()
+		}
+		fab.Stop()
+	}
+	t.Cleanup(h.stop)
+	return h
+}
+
+func rows(n, server int) *storage.Batch {
+	schema := storage.NewSchema(
+		storage.Field{Name: "k", Type: storage.TInt64},
+		storage.Field{Name: "tag", Type: storage.TString},
+	)
+	b := storage.NewBatch(schema, n)
+	for i := 0; i < n; i++ {
+		b.AppendRow(int64(i), fmt.Sprintf("s%d-%d", server, i))
+	}
+	return b
+}
+
+// runExchange pushes each server's rows through a Send sink and collects
+// what each server's Source yields.
+func runExchange(t *testing.T, servers int, mode Mode, rowsPer int) []map[string]bool {
+	t.Helper()
+	h := newHarness(t, servers)
+	schema := rows(1, 0).Schema
+	codec := ser.NewCodec(schema)
+
+	recvs := make([]*mux.ExchangeRecv, servers)
+	for i, m := range h.muxes {
+		recvs[i] = m.OpenExchange(1, servers)
+	}
+	var wg sync.WaitGroup
+	got := make([]map[string]bool, servers)
+	for i := 0; i < servers; i++ {
+		i := i
+		got[i] = map[string]bool{}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			send := NewSend(SendConfig{
+				Mux:        h.muxes[i],
+				Pool:       h.pools[i],
+				ExID:       1,
+				Mode:       mode,
+				Servers:    servers,
+				Keys:       []int{0},
+				Codec:      codec,
+				NumWorkers: h.engs[i].Workers(),
+			})
+			if err := h.engs[i].RunPipeline(&engine.Pipeline{
+				Name:   "send",
+				Source: op.NewBatchSource(op.SplitIntoMorsels([]*storage.Batch{rows(rowsPer, i)}, 16)),
+				Sink:   send,
+			}); err != nil {
+				t.Error(err)
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			src := &Source{Recv: recvs[i], Codec: codec, Topo: h.topo, Scale: 0.001}
+			w := &engine.Worker{ID: 0, Node: 0}
+			for {
+				b := src.Next(w)
+				if b == nil {
+					return
+				}
+				for r := 0; r < b.Rows(); r++ {
+					got[i][b.Cols[1].Str[r]] = true
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return got
+}
+
+func TestPartitionExchangeCompleteAndDisjoint(t *testing.T) {
+	const servers, rowsPer = 3, 200
+	got := runExchange(t, servers, ModePartition, rowsPer)
+	union := map[string]int{}
+	for _, g := range got {
+		for tag := range g {
+			union[tag]++
+		}
+	}
+	if len(union) != servers*rowsPer {
+		t.Fatalf("union has %d tags, want %d", len(union), servers*rowsPer)
+	}
+	for tag, c := range union {
+		if c != 1 {
+			t.Fatalf("tag %s delivered to %d servers (partitioning must be disjoint)", tag, c)
+		}
+	}
+	// Same key from different servers must land on the same server.
+	keyHome := map[string]int{}
+	for srv, g := range got {
+		for tag := range g {
+			var s, k int
+			fmt.Sscanf(tag, "s%d-%d", &s, &k)
+			key := fmt.Sprintf("%d", k)
+			if prev, ok := keyHome[key]; ok && prev != srv {
+				t.Fatalf("key %s split across servers %d and %d", key, prev, srv)
+			}
+			keyHome[key] = srv
+		}
+	}
+}
+
+func TestBroadcastExchangeReachesEveryone(t *testing.T) {
+	const servers, rowsPer = 3, 50
+	got := runExchange(t, servers, ModeBroadcast, rowsPer)
+	for srv, g := range got {
+		if len(g) != servers*rowsPer {
+			t.Fatalf("server %d saw %d rows, want all %d", srv, len(g), servers*rowsPer)
+		}
+	}
+}
+
+func TestGatherExchangeCoordinatorOnly(t *testing.T) {
+	const servers, rowsPer = 3, 60
+	h := newHarness(t, servers)
+	schema := rows(1, 0).Schema
+	codec := ser.NewCodec(schema)
+	recv := h.muxes[0].OpenExchange(1, servers) // coordinator only
+	var wg sync.WaitGroup
+	for i := 0; i < servers; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			send := NewSend(SendConfig{
+				Mux: h.muxes[i], Pool: h.pools[i], ExID: 1, Mode: ModeGather,
+				Servers: servers, Codec: codec, NumWorkers: h.engs[i].Workers(),
+			})
+			if err := h.engs[i].RunPipeline(&engine.Pipeline{
+				Name:   "send",
+				Source: op.NewBatchSource([]*storage.Batch{rows(rowsPer, i)}),
+				Sink:   send,
+			}); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	count := 0
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		src := &Source{Recv: recv, Codec: codec, Topo: h.topo, Scale: 0.001}
+		w := &engine.Worker{ID: 0, Node: 0}
+		for {
+			b := src.Next(w)
+			if b == nil {
+				return
+			}
+			count += b.Rows()
+		}
+	}()
+	wg.Wait()
+	if count != servers*rowsPer {
+		t.Fatalf("coordinator received %d rows, want %d", count, servers*rowsPer)
+	}
+}
+
+func TestMessagePoolRecycledAcrossExchange(t *testing.T) {
+	const servers = 2
+	got := runExchange(t, servers, ModePartition, 500)
+	if len(got[0])+len(got[1]) != servers*500 {
+		t.Fatal("rows lost")
+	}
+}

@@ -1,0 +1,398 @@
+// Package mux implements the RDMA-based, NUMA-aware communication
+// multiplexer of §3.2.2 (Figure 7).
+//
+// One multiplexer runs per server. It is the only component that talks to
+// the network: decoupled exchange operators hand it full messages (step 3
+// in Figure 7) and consume incoming messages from per-NUMA-socket receive
+// queues (steps 5a/5b), stealing from remote sockets when their own queue
+// is empty. Only the multiplexers are interconnected, so a cluster of n
+// servers needs n(n−1) connections instead of the classic exchange
+// operator model's n²t²−t.
+//
+// With scheduling enabled the send loop follows the round-robin schedule
+// of package sched: up to BatchPerPhase messages to the phase's single
+// target, then a low-latency inline synchronization barrier with the
+// phase's single source before moving on (§3.2.3). Without scheduling it
+// drains all destination queues eagerly — the uncoordinated all-to-all
+// baseline that suffers switch contention.
+package mux
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hsqp/internal/memory"
+	"hsqp/internal/numa"
+	"hsqp/internal/sched"
+)
+
+// BatchPerPhase is how many messages are sent to the fixed target of a
+// phase before synchronizing (the paper uses 8 × 512 KB).
+const BatchPerPhase = 8
+
+// Transport abstracts the wire (RDMA or TCP endpoints satisfy it).
+type Transport interface {
+	Start()
+	Close()
+	// Send transfers ownership of m; the transport releases it once the
+	// buffer may be reused.
+	Send(dst int, m *memory.Message)
+	// SendInline sends a small latency-critical message.
+	SendInline(dst int, tag uint32)
+}
+
+// Config configures a multiplexer.
+type Config struct {
+	Server     int // this server's id
+	Servers    int // cluster size
+	Topology   *numa.Topology
+	Pool       *memory.Pool
+	Scheduling bool // round-robin network scheduling on/off
+	// SendQueue is the per-destination queue depth. Zero means 32.
+	SendQueue int
+	// IdleSleep throttles the schedule loop when a whole round moved no
+	// data. Zero means 200µs.
+	IdleSleep time.Duration
+}
+
+// Stats reports multiplexer activity.
+type Stats struct {
+	BytesSent    uint64 // wire bytes handed to the transport (remote only)
+	MsgsSent     uint64
+	LocalMsgs    uint64 // messages short-circuited to local exchanges
+	StolenMsgs   uint64 // messages consumed from a non-local NUMA queue
+	SyncBarriers uint64
+}
+
+// Mux is one server's communication multiplexer.
+type Mux struct {
+	cfg       Config
+	transport Transport
+	schedule  *sched.Schedule
+
+	sendQ []chan *memory.Message // per destination server
+
+	mu        sync.Mutex
+	exchanges map[int32]*ExchangeRecv
+	pending   map[int32][]*memory.Message // early arrivals before Open
+
+	recvRotate atomic.Uint64 // rotates posted receive buffers over sockets
+
+	inlineMu   sync.Mutex
+	inlineCond *sync.Cond
+	inlineSeen map[uint64]struct{} // key: src<<32 | tag
+
+	bytesSent  atomic.Uint64
+	msgsSent   atomic.Uint64
+	localMsgs  atomic.Uint64
+	stolenMsgs atomic.Uint64
+	barriers   atomic.Uint64
+
+	wakeCh  chan struct{} // pokes the network loop when work arrives
+	stopCh  chan struct{}
+	stopped atomic.Bool
+	wg      sync.WaitGroup
+}
+
+// New creates a multiplexer. Call SetTransport, then Start.
+func New(cfg Config) (*Mux, error) {
+	if cfg.Servers < 1 {
+		return nil, fmt.Errorf("mux: need at least one server, got %d", cfg.Servers)
+	}
+	if cfg.Server < 0 || cfg.Server >= cfg.Servers {
+		return nil, fmt.Errorf("mux: server id %d out of range [0,%d)", cfg.Server, cfg.Servers)
+	}
+	if cfg.Pool == nil || cfg.Topology == nil {
+		return nil, fmt.Errorf("mux: pool and topology are required")
+	}
+	if cfg.SendQueue == 0 {
+		cfg.SendQueue = 32
+	}
+	if cfg.IdleSleep == 0 {
+		cfg.IdleSleep = 200 * time.Microsecond
+	}
+	sc, err := sched.New(cfg.Servers)
+	if err != nil {
+		return nil, err
+	}
+	m := &Mux{
+		cfg:        cfg,
+		schedule:   sc,
+		sendQ:      make([]chan *memory.Message, cfg.Servers),
+		exchanges:  make(map[int32]*ExchangeRecv),
+		pending:    make(map[int32][]*memory.Message),
+		inlineSeen: make(map[uint64]struct{}),
+		wakeCh:     make(chan struct{}, 1),
+		stopCh:     make(chan struct{}),
+	}
+	m.inlineCond = sync.NewCond(&m.inlineMu)
+	for i := range m.sendQ {
+		m.sendQ[i] = make(chan *memory.Message, cfg.SendQueue)
+	}
+	return m, nil
+}
+
+// SetTransport installs the wire. Must be called before Start.
+func (m *Mux) SetTransport(t Transport) { m.transport = t }
+
+// RecvAlloc returns the next posted receive buffer; the multiplexer
+// receives messages for every NUMA region in turn (§3.2.2).
+func (m *Mux) RecvAlloc() *memory.Message {
+	n := m.recvRotate.Add(1)
+	node := numa.Node(int(n) % m.cfg.Topology.Sockets)
+	return m.cfg.Pool.GetOn(node)
+}
+
+// OnRecv is the transport's data-delivery callback.
+func (m *Mux) OnRecv(msg *memory.Message) {
+	m.route(msg, false)
+}
+
+// OnInline is the transport's inline-delivery callback (sync barriers).
+func (m *Mux) OnInline(src int, tag uint32) {
+	key := uint64(src)<<32 | uint64(tag)
+	m.inlineMu.Lock()
+	m.inlineSeen[key] = struct{}{}
+	m.inlineCond.Broadcast()
+	m.inlineMu.Unlock()
+}
+
+// Start launches the network goroutine. The caller is responsible for
+// starting the transport.
+func (m *Mux) Start() {
+	if m.transport == nil {
+		panic("mux: Start before SetTransport")
+	}
+	m.wg.Add(1)
+	go m.networkLoop()
+}
+
+// Close stops the network goroutine. Traffic should be quiesced first.
+func (m *Mux) Close() {
+	if m.stopped.CompareAndSwap(false, true) {
+		close(m.stopCh)
+		m.inlineMu.Lock()
+		m.inlineCond.Broadcast()
+		m.inlineMu.Unlock()
+		m.mu.Lock()
+		exs := make([]*ExchangeRecv, 0, len(m.exchanges))
+		for _, ex := range m.exchanges {
+			exs = append(exs, ex)
+		}
+		m.mu.Unlock()
+		for _, ex := range exs {
+			ex.Wake()
+		}
+	}
+	m.wg.Wait()
+}
+
+// Stats returns a snapshot of the counters.
+func (m *Mux) Stats() Stats {
+	return Stats{
+		BytesSent:    m.bytesSent.Load(),
+		MsgsSent:     m.msgsSent.Load(),
+		LocalMsgs:    m.localMsgs.Load(),
+		StolenMsgs:   m.stolenMsgs.Load(),
+		SyncBarriers: m.barriers.Load(),
+	}
+}
+
+// ServerID returns this multiplexer's server id (senders stamp it into
+// message headers).
+func (m *Mux) ServerID() int { return m.cfg.Server }
+
+// Send queues msg for delivery to server dst. The caller must have set
+// msg.ExchangeID and msg.Sender before the first Send — a broadcast hands
+// the *same* buffer to several destinations concurrently, so the header
+// must not be written here. Messages to the local server bypass the
+// network entirely: the buffer is routed (zero-copy, NUMA home preserved)
+// to the local receive queues.
+func (m *Mux) Send(dst int, msg *memory.Message) {
+	if dst == m.cfg.Server {
+		m.localMsgs.Add(1)
+		m.route(msg, true)
+		return
+	}
+	select {
+	case m.sendQ[dst] <- msg:
+		select {
+		case m.wakeCh <- struct{}{}:
+		default:
+		}
+	case <-m.stopCh:
+		msg.Release()
+	}
+}
+
+// route hands a message to its exchange's receive queues, buffering it if
+// the exchange has not been opened yet.
+func (m *Mux) route(msg *memory.Message, local bool) {
+	m.mu.Lock()
+	ex, ok := m.exchanges[msg.ExchangeID]
+	if !ok {
+		m.pending[msg.ExchangeID] = append(m.pending[msg.ExchangeID], msg)
+		m.mu.Unlock()
+		return
+	}
+	m.mu.Unlock()
+	ex.push(msg)
+}
+
+// OpenExchange registers a logical exchange operator that will receive
+// from `senders` servers (each sends exactly one Last-flagged message).
+// Early arrivals buffered under this id are replayed.
+func (m *Mux) OpenExchange(exID int32, senders int) *ExchangeRecv {
+	ex := newExchangeRecv(m, exID, senders, m.cfg.Topology.Sockets)
+	m.mu.Lock()
+	if _, dup := m.exchanges[exID]; dup {
+		m.mu.Unlock()
+		panic(fmt.Sprintf("mux: exchange %d opened twice", exID))
+	}
+	m.exchanges[exID] = ex
+	early := m.pending[exID]
+	delete(m.pending, exID)
+	m.mu.Unlock()
+	for _, msg := range early {
+		ex.push(msg)
+	}
+	return ex
+}
+
+// CloseExchange forgets a finished exchange.
+func (m *Mux) CloseExchange(exID int32) {
+	m.mu.Lock()
+	delete(m.exchanges, exID)
+	m.mu.Unlock()
+}
+
+// networkLoop is the dedicated network goroutine.
+func (m *Mux) networkLoop() {
+	defer m.wg.Done()
+	if m.cfg.Servers == 1 {
+		// Single server: nothing to do; local sends short-circuit.
+		<-m.stopCh
+		return
+	}
+	if m.cfg.Scheduling {
+		m.scheduledLoop()
+	} else {
+		m.eagerLoop()
+	}
+}
+
+// eagerLoop drains all destination queues as fast as possible —
+// uncoordinated all-to-all (the contention-prone baseline). The drain
+// order is randomized per round: deterministic order would make all
+// multiplexers pick the same target simultaneously, which is a stronger
+// adversary than the uncoordinated traffic the paper compares against.
+func (m *Mux) eagerLoop() {
+	n := m.cfg.Servers
+	rng := uint64(m.cfg.Server)*0x9e3779b97f4a7c15 + 1
+	for {
+		moved := false
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		off := int(rng % uint64(n))
+		for k := 0; k < n; k++ {
+			d := (k + off) % n
+			if d == m.cfg.Server {
+				continue
+			}
+			select {
+			case msg := <-m.sendQ[d]:
+				m.transportSend(d, msg)
+				moved = true
+			default:
+			}
+		}
+		if !moved {
+			select {
+			case <-m.stopCh:
+				return
+			case <-m.wakeCh:
+			case <-time.After(m.cfg.IdleSleep):
+			}
+		} else {
+			select {
+			case <-m.stopCh:
+				return
+			default:
+			}
+		}
+	}
+}
+
+// scheduledLoop follows the round-robin schedule: per phase, send up to
+// BatchPerPhase messages to the single target, then barrier with the
+// single source via inline messages.
+func (m *Mux) scheduledLoop() {
+	phases := m.schedule.Phases()
+	var seq uint32
+	for {
+		roundMoved := false
+		for k := 0; k < phases; k++ {
+			target := m.schedule.Target(m.cfg.Server, k)
+			source := m.schedule.Source(m.cfg.Server, k)
+			sent := 0
+		drain:
+			for sent < BatchPerPhase {
+				select {
+				case msg := <-m.sendQ[target]:
+					m.transportSend(target, msg)
+					sent++
+				case <-m.stopCh:
+					return
+				default:
+					break drain // nothing queued for this target right now
+				}
+			}
+			if sent > 0 {
+				roundMoved = true
+			}
+			// Barrier: tell the target this phase is over; wait for the
+			// matching signal from the source.
+			m.transport.SendInline(target, seq)
+			m.barriers.Add(1)
+			if !m.waitInline(source, seq) {
+				return // shutting down
+			}
+			seq++
+		}
+		if !roundMoved {
+			select {
+			case <-m.stopCh:
+				return
+			case <-m.wakeCh:
+			case <-time.After(m.cfg.IdleSleep):
+			}
+		}
+	}
+}
+
+func (m *Mux) transportSend(dst int, msg *memory.Message) {
+	m.bytesSent.Add(uint64(msg.WireSize()))
+	m.msgsSent.Add(1)
+	m.transport.Send(dst, msg)
+}
+
+// waitInline blocks until the inline sync (src, tag) has been observed.
+// Returns false if the mux is shutting down.
+func (m *Mux) waitInline(src int, tag uint32) bool {
+	key := uint64(src)<<32 | uint64(tag)
+	m.inlineMu.Lock()
+	defer m.inlineMu.Unlock()
+	for {
+		if _, ok := m.inlineSeen[key]; ok {
+			delete(m.inlineSeen, key)
+			return true
+		}
+		if m.stopped.Load() {
+			return false
+		}
+		m.inlineCond.Wait()
+	}
+}

@@ -1,0 +1,285 @@
+package mux
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"hsqp/internal/fabric"
+	"hsqp/internal/memory"
+	"hsqp/internal/numa"
+	"hsqp/internal/rdma"
+)
+
+// testCluster wires n muxes over a fast fabric with RDMA endpoints.
+func testCluster(t *testing.T, n int, scheduling bool) ([]*Mux, func()) {
+	t.Helper()
+	fab, err := fabric.New(fabric.Config{Ports: n, Rate: fabric.IB4xQDR, TimeScale: 0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo := numa.TwoSocket()
+	muxes := make([]*Mux, n)
+	eps := make([]*rdma.Endpoint, n)
+	for i := 0; i < n; i++ {
+		pool := memory.NewPool(topo, numa.AllocLocal, 4096, nil)
+		m, err := New(Config{Server: i, Servers: n, Topology: topo, Pool: pool, Scheduling: scheduling})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ep := rdma.NewEndpoint(fab, i, m.RecvAlloc, m.OnRecv, m.OnInline)
+		m.SetTransport(ep)
+		muxes[i] = m
+		eps[i] = ep
+	}
+	fab.Start()
+	for i, m := range muxes {
+		eps[i].Start()
+		m.Start()
+	}
+	return muxes, func() {
+		for i, m := range muxes {
+			m.Close()
+			eps[i].Close()
+		}
+		fab.Stop()
+	}
+}
+
+func sendAll(m *Mux, pool *memory.Pool, exID int32, servers, msgsPerDst int) {
+	for d := 0; d < servers; d++ {
+		for k := 0; k < msgsPerDst; k++ {
+			msg := pool.Get(0)
+			msg.ExchangeID = exID
+			msg.Sender = m.ServerID()
+			msg.Content = append(msg.Content, byte(d), byte(k))
+			m.Send(d, msg)
+		}
+		last := pool.Get(0)
+		last.ExchangeID = exID
+		last.Sender = m.ServerID()
+		last.Last = true
+		m.Send(d, last)
+	}
+}
+
+func TestAllToAllDelivery(t *testing.T) {
+	for _, sched := range []bool{false, true} {
+		t.Run(fmt.Sprintf("sched=%v", sched), func(t *testing.T) {
+			const n = 4
+			const msgs = 10
+			muxes, stop := testCluster(t, n, sched)
+			defer stop()
+			topo := numa.TwoSocket()
+			recvs := make([]*ExchangeRecv, n)
+			for i, m := range muxes {
+				recvs[i] = m.OpenExchange(1, n)
+			}
+			var wg sync.WaitGroup
+			got := make([]int, n)
+			for i := range muxes {
+				i := i
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					pool := memory.NewPool(topo, numa.AllocLocal, 4096, nil)
+					sendAll(muxes[i], pool, 1, n, msgs)
+				}()
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						msg := recvs[i].Recv(0)
+						if msg == nil {
+							return
+						}
+						if len(msg.Content) > 0 {
+							got[i]++
+						}
+						msg.Release()
+					}
+				}()
+			}
+			wg.Wait()
+			for i, g := range got {
+				if g != n*msgs {
+					t.Errorf("server %d received %d messages, want %d", i, g, n*msgs)
+				}
+				if !recvs[i].Drained() {
+					t.Errorf("server %d exchange not drained", i)
+				}
+			}
+		})
+	}
+}
+
+func TestEarlyArrivalsBuffered(t *testing.T) {
+	muxes, stop := testCluster(t, 2, false)
+	defer stop()
+	topo := numa.TwoSocket()
+	pool := memory.NewPool(topo, numa.AllocLocal, 4096, nil)
+
+	// Server 0 sends before server 1 opens the exchange.
+	msg := pool.Get(0)
+	msg.ExchangeID = 9
+	msg.Sender = 0
+	msg.Content = append(msg.Content, 42)
+	muxes[0].Send(1, msg)
+	last := pool.Get(0)
+	last.ExchangeID = 9
+	last.Sender = 0
+	last.Last = true
+	muxes[0].Send(1, last)
+	// Our own contribution for exchange 9 on server 0 is irrelevant; open
+	// with senders=1 on server 1 only.
+	recv := muxes[1].OpenExchange(9, 1)
+	var payloads [][]byte
+	for {
+		m := recv.Recv(0)
+		if m == nil {
+			break
+		}
+		if len(m.Content) > 0 {
+			payloads = append(payloads, append([]byte{}, m.Content...))
+		}
+		m.Release()
+	}
+	if len(payloads) != 1 || payloads[0][0] != 42 {
+		t.Fatalf("early message lost: %v", payloads)
+	}
+}
+
+func TestWorkStealingAcrossSockets(t *testing.T) {
+	muxes, stop := testCluster(t, 1, false)
+	defer stop()
+	topo := numa.TwoSocket()
+	pool := memory.NewPool(topo, numa.AllocLocal, 4096, nil)
+	recv := muxes[0].OpenExchange(3, 1)
+	// All messages homed on socket 1; the consumer sits on socket 0.
+	for k := 0; k < 5; k++ {
+		msg := pool.GetOn(1)
+		msg.ExchangeID = 3
+		msg.Sender = 0
+		msg.Content = append(msg.Content, byte(k))
+		muxes[0].Send(0, msg)
+	}
+	last := pool.GetOn(1)
+	last.ExchangeID = 3
+	last.Sender = 0
+	last.Last = true
+	muxes[0].Send(0, last)
+
+	seen := 0
+	for {
+		m := recv.Recv(0) // socket 0 worker must steal from socket 1
+		if m == nil {
+			break
+		}
+		if len(m.Content) > 0 {
+			seen++
+		}
+		m.Release()
+	}
+	if seen != 5 {
+		t.Fatalf("stole %d messages, want 5", seen)
+	}
+	if recv.StolenCount() == 0 {
+		t.Fatal("steals not counted")
+	}
+}
+
+func TestClassicModeRouting(t *testing.T) {
+	muxes, stop := testCluster(t, 2, false)
+	defer stop()
+	topo := numa.TwoSocket()
+	pool := memory.NewPool(topo, numa.AllocLocal, 4096, nil)
+	const workers = 3
+	recv := muxes[1].OpenExchangeClassic(5, 1, workers)
+
+	// Address each worker individually from server 0.
+	for w := 0; w < workers; w++ {
+		msg := pool.Get(0)
+		msg.ExchangeID = 5
+		msg.Sender = 0
+		msg.Part = int16(w)
+		msg.Content = append(msg.Content, byte(w))
+		muxes[0].Send(1, msg)
+	}
+	for w := 0; w < workers; w++ {
+		last := pool.Get(0)
+		last.ExchangeID = 5
+		last.Sender = 0
+		last.Part = int16(w)
+		last.Last = true
+		muxes[0].Send(1, last)
+	}
+	for w := 0; w < workers; w++ {
+		var payloads [][]byte
+		for {
+			m := recv.RecvWorker(w)
+			if m == nil {
+				break
+			}
+			if len(m.Content) > 0 {
+				payloads = append(payloads, append([]byte{}, m.Content...))
+			}
+			m.Release()
+		}
+		if len(payloads) != 1 || payloads[0][0] != byte(w) {
+			t.Fatalf("worker %d got %v, want exactly its own message", w, payloads)
+		}
+	}
+}
+
+func TestDuplicateOpenPanics(t *testing.T) {
+	muxes, stop := testCluster(t, 1, false)
+	defer stop()
+	muxes[0].OpenExchange(7, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate OpenExchange did not panic")
+		}
+	}()
+	muxes[0].OpenExchange(7, 1)
+}
+
+func TestStatsCounters(t *testing.T) {
+	muxes, stop := testCluster(t, 2, true)
+	defer stop()
+	topo := numa.TwoSocket()
+	pool := memory.NewPool(topo, numa.AllocLocal, 4096, nil)
+	recv0 := muxes[0].OpenExchange(2, 2)
+	recv1 := muxes[1].OpenExchange(2, 2)
+	var wg sync.WaitGroup
+	for i, m := range muxes {
+		i, m := i, m
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p := memory.NewPool(topo, numa.AllocLocal, 4096, nil)
+			sendAll(m, p, 2, 2, 4)
+			_ = i
+		}()
+	}
+	drain := func(r *ExchangeRecv) {
+		for {
+			m := r.Recv(0)
+			if m == nil {
+				return
+			}
+			m.Release()
+		}
+	}
+	wg.Add(2)
+	go func() { defer wg.Done(); drain(recv0) }()
+	go func() { defer wg.Done(); drain(recv1) }()
+	wg.Wait()
+	_ = pool
+	s := muxes[0].Stats()
+	if s.MsgsSent == 0 || s.LocalMsgs == 0 {
+		t.Fatalf("stats not counting: %+v", s)
+	}
+	if s.SyncBarriers == 0 {
+		t.Fatal("scheduled mux performed no barriers")
+	}
+}

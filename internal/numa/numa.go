@@ -1,0 +1,209 @@
+// Package numa models the "network in the small": the non-uniform memory
+// architecture inside a single server (Figure 1 of the paper).
+//
+// Real NUMA placement cannot be controlled from portable Go, so the model
+// is explicit: a Topology describes sockets, cores per socket and the QPI
+// interconnect between sockets. Workers are logically pinned to sockets,
+// buffers carry a home socket, and code that touches memory on a remote
+// socket calls Charge, which delays the caller by the simulated QPI
+// transfer time. This reproduces the mechanism behind Figure 9 (NUMA-aware
+// vs interleaved vs single-socket message allocation): the *fraction of
+// remote accesses* determined by the allocation policy drives the penalty.
+package numa
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"hsqp/internal/spin"
+)
+
+// Node identifies a NUMA socket within a server.
+type Node int
+
+// NodeInterleaved marks memory whose pages are interleaved across all
+// sockets: every streaming access touches (sockets−1)/sockets of its bytes
+// remotely, regardless of which core reads it.
+const NodeInterleaved Node = -1
+
+// AllocPolicy selects where message buffers are allocated (Figure 9).
+type AllocPolicy int
+
+const (
+	// AllocLocal allocates each buffer on the socket of the requesting
+	// worker (the paper's NUMA-aware policy).
+	AllocLocal AllocPolicy = iota
+	// AllocInterleaved round-robins allocations across all sockets.
+	AllocInterleaved
+	// AllocSingleSocket allocates every buffer on socket 0.
+	AllocSingleSocket
+)
+
+func (p AllocPolicy) String() string {
+	switch p {
+	case AllocLocal:
+		return "numa-aware"
+	case AllocInterleaved:
+		return "interleaved"
+	case AllocSingleSocket:
+		return "one-socket"
+	default:
+		return fmt.Sprintf("AllocPolicy(%d)", int(p))
+	}
+}
+
+// Topology describes the sockets of one server and the cost of crossing
+// the QPI interconnect between them.
+type Topology struct {
+	// Sockets is the number of NUMA nodes (CPUs) in the server.
+	Sockets int
+	// CoresPerSocket is the number of worker threads pinned to each socket.
+	CoresPerSocket int
+	// LocalBandwidth is local memory bandwidth in bytes/second (simulated).
+	LocalBandwidth float64
+	// QPIBandwidth is the per-link QPI bandwidth in bytes/second
+	// (simulated). Remote accesses are charged at this rate in addition to
+	// the local access the caller performs anyway.
+	QPIBandwidth float64
+	// QPILatency is the fixed latency added per remote transfer.
+	QPILatency time.Duration
+
+	// NICSocket is the socket the host channel adapter is attached to
+	// (non-uniform I/O access, §2.1.1). The network thread should be
+	// pinned here.
+	NICSocket Node
+
+	// AccessPasses calibrates how many effective streaming passes over a
+	// message buffer query processing performs (deserialization, hash
+	// probes, aggregate updates all touch the tuple data). The QPI charge
+	// is per pass. Zero means 6.
+	AccessPasses float64
+
+	interleave atomic.Uint64
+	remoteByte atomic.Uint64
+	localByte  atomic.Uint64
+}
+
+// TwoSocket returns the paper's evaluation server: 2 sockets, 10 cores
+// each, well connected via two QPI links.
+func TwoSocket() *Topology {
+	return &Topology{
+		Sockets:        2,
+		CoresPerSocket: 10,
+		LocalBandwidth: 59.7e9,
+		QPIBandwidth:   2 * 16e9, // two QPI links between the two sockets
+		QPILatency:     100 * time.Nanosecond,
+		NICSocket:      0,
+	}
+}
+
+// FourSocket returns the 4-socket Sandy Bridge EP server of Figure 9
+// (15 cores per socket, fully connected with one QPI link per pair).
+func FourSocket() *Topology {
+	return &Topology{
+		Sockets:        4,
+		CoresPerSocket: 15,
+		LocalBandwidth: 59.7e9,
+		QPIBandwidth:   16e9,
+		QPILatency:     150 * time.Nanosecond,
+		NICSocket:      0,
+	}
+}
+
+// Validate checks the topology for usability.
+func (t *Topology) Validate() error {
+	if t.Sockets <= 0 {
+		return fmt.Errorf("numa: topology needs at least one socket, got %d", t.Sockets)
+	}
+	if t.CoresPerSocket <= 0 {
+		return fmt.Errorf("numa: topology needs at least one core per socket, got %d", t.CoresPerSocket)
+	}
+	if t.LocalBandwidth <= 0 || t.QPIBandwidth <= 0 {
+		return fmt.Errorf("numa: bandwidths must be positive")
+	}
+	if t.NICSocket < 0 || int(t.NICSocket) >= t.Sockets {
+		return fmt.Errorf("numa: NIC socket %d out of range [0,%d)", t.NICSocket, t.Sockets)
+	}
+	return nil
+}
+
+// TotalCores returns Sockets × CoresPerSocket.
+func (t *Topology) TotalCores() int { return t.Sockets * t.CoresPerSocket }
+
+// SocketOfCore maps a core index in [0, TotalCores) to its socket.
+func (t *Topology) SocketOfCore(core int) Node {
+	return Node(core / t.CoresPerSocket)
+}
+
+// AllocNode returns the socket a new buffer should live on for a worker
+// pinned to socket local, under the given policy.
+func (t *Topology) AllocNode(policy AllocPolicy, local Node) Node {
+	switch policy {
+	case AllocInterleaved:
+		n := t.interleave.Add(1)
+		return Node(int(n) % t.Sockets)
+	case AllocSingleSocket:
+		return 0
+	default:
+		return local
+	}
+}
+
+// RemoteCost returns the simulated extra time for a worker on socket `at`
+// to stream n bytes that live on socket `home`. Local access costs zero
+// extra (the real work the caller does *is* the local access); interleaved
+// memory pays for the remote share of its pages.
+func (t *Topology) RemoteCost(at, home Node, n int) time.Duration {
+	if n <= 0 {
+		return 0
+	}
+	passes := t.AccessPasses
+	if passes == 0 {
+		passes = 6
+	}
+	if home == NodeInterleaved {
+		if t.Sockets <= 1 {
+			return 0
+		}
+		share := float64(t.Sockets-1) / float64(t.Sockets)
+		sec := float64(n) * share * passes / t.QPIBandwidth
+		return t.QPILatency + time.Duration(sec*float64(time.Second))
+	}
+	if at == home {
+		return 0
+	}
+	sec := float64(n) * passes / t.QPIBandwidth
+	return t.QPILatency + time.Duration(sec*float64(time.Second))
+}
+
+// Charge records and *waits out* the remote-access penalty. It is the hook
+// the execution engine calls when deserializing a message that lives on
+// another socket. Scale < 1 compresses simulated time uniformly (the same
+// scale used by the fabric) so tests stay fast while ratios hold.
+func (t *Topology) Charge(at, home Node, n int, scale float64) {
+	if n <= 0 {
+		return
+	}
+	if at == home {
+		t.localByte.Add(uint64(n))
+		return
+	}
+	t.remoteByte.Add(uint64(n))
+	d := t.RemoteCost(at, home, n)
+	if scale > 0 {
+		d = time.Duration(float64(d) * scale)
+	}
+	spin.Burn(d)
+}
+
+// Stats reports the bytes accessed locally and remotely since start.
+func (t *Topology) Stats() (local, remote uint64) {
+	return t.localByte.Load(), t.remoteByte.Load()
+}
+
+// ResetStats clears the access counters.
+func (t *Topology) ResetStats() {
+	t.localByte.Store(0)
+	t.remoteByte.Store(0)
+}

@@ -1,0 +1,97 @@
+package numa
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTopologies(t *testing.T) {
+	for _, topo := range []*Topology{TwoSocket(), FourSocket()} {
+		if err := topo.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if TwoSocket().TotalCores() != 20 || FourSocket().TotalCores() != 60 {
+		t.Fatal("core counts off")
+	}
+	topo := FourSocket()
+	if topo.SocketOfCore(0) != 0 || topo.SocketOfCore(59) != 3 {
+		t.Fatal("SocketOfCore mapping broken")
+	}
+}
+
+func TestValidateRejectsBadTopology(t *testing.T) {
+	bad := &Topology{Sockets: 0, CoresPerSocket: 1, LocalBandwidth: 1, QPIBandwidth: 1}
+	if bad.Validate() == nil {
+		t.Fatal("zero sockets accepted")
+	}
+	bad2 := TwoSocket()
+	bad2.NICSocket = 9
+	if bad2.Validate() == nil {
+		t.Fatal("out-of-range NIC socket accepted")
+	}
+}
+
+func TestAllocNode(t *testing.T) {
+	topo := FourSocket()
+	if topo.AllocNode(AllocLocal, 2) != 2 {
+		t.Fatal("local policy should return the local node")
+	}
+	if topo.AllocNode(AllocSingleSocket, 2) != 0 {
+		t.Fatal("single-socket policy should return node 0")
+	}
+	seen := map[Node]bool{}
+	for i := 0; i < 16; i++ {
+		seen[topo.AllocNode(AllocInterleaved, 0)] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("interleaved policy covered %d sockets, want 4", len(seen))
+	}
+}
+
+func TestRemoteCostOrdering(t *testing.T) {
+	topo := FourSocket()
+	const n = 512 * 1024
+	local := topo.RemoteCost(1, 1, n)
+	remote := topo.RemoteCost(1, 2, n)
+	interleaved := topo.RemoteCost(1, NodeInterleaved, n)
+	if local != 0 {
+		t.Fatalf("local access should be free, got %v", local)
+	}
+	if remote <= 0 {
+		t.Fatal("remote access should cost")
+	}
+	// Interleaved pays the remote share (3/4 on a 4-socket box): cheaper
+	// than fully remote, more than local — the Figure 9 ordering.
+	if !(interleaved > 0 && interleaved < remote) {
+		t.Fatalf("interleaved cost %v should be in (0, %v)", interleaved, remote)
+	}
+	if topo.RemoteCost(0, 1, 0) != 0 {
+		t.Fatal("zero bytes should be free")
+	}
+}
+
+func TestChargeAccounting(t *testing.T) {
+	topo := TwoSocket()
+	topo.Charge(0, 0, 1000, 0.001)
+	topo.Charge(0, 1, 2000, 0.001)
+	l, r := topo.Stats()
+	if l != 1000 || r != 2000 {
+		t.Fatalf("stats local=%d remote=%d", l, r)
+	}
+	topo.ResetStats()
+	if l, r := topo.Stats(); l != 0 || r != 0 {
+		t.Fatal("ResetStats did not clear")
+	}
+}
+
+func TestChargeActuallyWaits(t *testing.T) {
+	topo := TwoSocket()
+	topo.AccessPasses = 1
+	start := time.Now()
+	// 32 MB remote at 32 GB/s = 1 ms sim; scale 3 → 3 ms wall.
+	topo.Charge(0, 1, 32<<20, 3)
+	if elapsed := time.Since(start); elapsed < 2*time.Millisecond {
+		t.Fatalf("remote charge returned too fast: %v", elapsed)
+	}
+}

@@ -1,0 +1,478 @@
+package op
+
+import (
+	"fmt"
+
+	"hsqp/internal/engine"
+	"hsqp/internal/storage"
+)
+
+// AggKind selects an aggregate function.
+type AggKind int
+
+const (
+	// Sum adds the argument (int64/decimal or float).
+	Sum AggKind = iota
+	// Count counts rows (Arg nil) or non-NULL arguments.
+	Count
+	// Min keeps the smallest argument.
+	Min
+	// Max keeps the largest argument.
+	Max
+	// Avg divides the sum by the count (decimal or float).
+	Avg
+	// AvgMerge combines partial (sum, count) pairs — used by the final
+	// stage of a distributed average; Arg is the sum column, Arg2 the
+	// count column.
+	AvgMerge
+)
+
+func (k AggKind) String() string {
+	switch k {
+	case Sum:
+		return "sum"
+	case Count:
+		return "count"
+	case Min:
+		return "min"
+	case Max:
+		return "max"
+	case Avg:
+		return "avg"
+	case AvgMerge:
+		return "avgmerge"
+	default:
+		return fmt.Sprintf("AggKind(%d)", int(k))
+	}
+}
+
+// AggSpec describes one aggregate output.
+type AggSpec struct {
+	Kind    AggKind
+	Name    string
+	Arg     Expr         // nil only for Count(*)
+	Arg2    Expr         // AvgMerge: the partial count column
+	ArgType storage.Type // type of Arg (drives arithmetic and output type)
+}
+
+// ResultField returns the output schema field of the aggregate.
+func (a AggSpec) ResultField() storage.Field {
+	switch a.Kind {
+	case Count:
+		return storage.Field{Name: a.Name, Type: storage.TInt64}
+	case Avg, AvgMerge:
+		t := a.ArgType
+		if t != storage.TFloat64 {
+			t = storage.TDecimal
+		}
+		return storage.Field{Name: a.Name, Type: t}
+	default:
+		return storage.Field{Name: a.Name, Type: a.ArgType}
+	}
+}
+
+// aggState is the running state of one aggregate in one group.
+type aggState struct {
+	i   int64
+	f   float64
+	s   string
+	cnt int64
+	set bool
+}
+
+// aggTable is one worker's (or the merged) grouping hash table.
+type aggTable struct {
+	keys   *storage.Batch // one row per group: the key columns
+	m      map[uint32][]int32
+	states [][]aggState // [group][agg]
+}
+
+func newAggTable(keySchema *storage.Schema) *aggTable {
+	return &aggTable{
+		keys: storage.NewBatch(keySchema, 64),
+		m:    make(map[uint32][]int32),
+	}
+}
+
+// groupFor finds or creates the group of row i (keyed by keyCols of b).
+func (t *aggTable) groupFor(b *storage.Batch, keyCols []int, i int, nAggs int) int32 {
+	if len(keyCols) == 0 {
+		if len(t.states) == 0 {
+			t.states = append(t.states, make([]aggState, nAggs))
+		}
+		return 0
+	}
+	h := storage.HashRow(b, keyCols, i)
+	for _, g := range t.m[h] {
+		if keysEqual(t.keys, int(g), b, keyCols, i) {
+			return g
+		}
+	}
+	g := int32(len(t.states))
+	for k, kc := range keyCols {
+		t.keys.Cols[k].AppendFrom(b.Cols[kc], i)
+	}
+	t.states = append(t.states, make([]aggState, nAggs))
+	t.m[h] = append(t.m[h], g)
+	return g
+}
+
+func keysEqual(keys *storage.Batch, g int, b *storage.Batch, keyCols []int, i int) bool {
+	for k := range keys.Cols {
+		kc := keys.Cols[k]
+		bc := b.Cols[keyCols[k]]
+		kn, bn := kc.IsNull(g), bc.IsNull(i)
+		if kn || bn {
+			if kn && bn {
+				continue // grouping treats NULLs as equal
+			}
+			return false
+		}
+		switch kc.Type {
+		case storage.TString:
+			if kc.Str[g] != bc.Str[i] {
+				return false
+			}
+		case storage.TFloat64:
+			if kc.F64[g] != bc.F64[i] {
+				return false
+			}
+		default:
+			if kc.I64[g] != bc.I64[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// GroupBy is the hash-aggregation pipeline breaker. Workers aggregate into
+// thread-local tables; Finalize merges them. It supports both roles of a
+// distributed aggregation: PartialBatches emits mergeable state (the
+// pre-aggregation of Figure 6(c)), FinalBatches emits finished values.
+type GroupBy struct {
+	Keys     []int
+	Aggs     []AggSpec
+	InSchema *storage.Schema
+
+	keySchema *storage.Schema
+	tables    []*aggTable // per worker
+	merged    *aggTable
+}
+
+// NewGroupBy creates the sink. numWorkers is the engine's worker count.
+func NewGroupBy(in *storage.Schema, keys []int, aggs []AggSpec, numWorkers int) *GroupBy {
+	ks := in.Project(keys)
+	g := &GroupBy{Keys: keys, Aggs: aggs, InSchema: in, keySchema: ks}
+	g.tables = make([]*aggTable, numWorkers)
+	for i := range g.tables {
+		g.tables[i] = newAggTable(ks)
+	}
+	return g
+}
+
+// Consume implements engine.Sink: thread-local aggregation.
+func (g *GroupBy) Consume(w *engine.Worker, b *storage.Batch) {
+	t := g.tables[w.ID]
+	n := b.Rows()
+	for i := 0; i < n; i++ {
+		grp := t.groupFor(b, g.Keys, i, len(g.Aggs))
+		st := t.states[grp]
+		for a := range g.Aggs {
+			g.update(&st[a], &g.Aggs[a], b, i)
+		}
+	}
+}
+
+func (g *GroupBy) update(st *aggState, spec *AggSpec, b *storage.Batch, i int) {
+	switch spec.Kind {
+	case Count:
+		if spec.Arg != nil {
+			if v := spec.Arg(b, i); v.Null {
+				return
+			}
+		}
+		st.cnt++
+	case Sum:
+		v := spec.Arg(b, i)
+		if v.Null {
+			return
+		}
+		if spec.ArgType == storage.TFloat64 {
+			st.f += v.F
+		} else {
+			st.i += v.I
+		}
+		st.set = true
+	case Avg:
+		v := spec.Arg(b, i)
+		if v.Null {
+			return
+		}
+		if spec.ArgType == storage.TFloat64 {
+			st.f += v.F
+		} else {
+			st.i += v.I
+		}
+		st.cnt++
+		st.set = true
+	case AvgMerge:
+		v, c := spec.Arg(b, i), spec.Arg2(b, i)
+		if v.Null {
+			return
+		}
+		if spec.ArgType == storage.TFloat64 {
+			st.f += v.F
+		} else {
+			st.i += v.I
+		}
+		st.cnt += c.I
+		st.set = true
+	case Min, Max:
+		v := spec.Arg(b, i)
+		if v.Null {
+			return
+		}
+		if !st.set {
+			st.i, st.f, st.s, st.set = v.I, v.F, v.S, true
+			return
+		}
+		less := false
+		switch spec.ArgType {
+		case storage.TFloat64:
+			less = v.F < st.f
+		case storage.TString:
+			less = v.S < st.s
+		default:
+			less = v.I < st.I64()
+		}
+		if (spec.Kind == Min) == less {
+			st.i, st.f, st.s = v.I, v.F, v.S
+		}
+	}
+}
+
+// I64 is a tiny accessor keeping update readable.
+func (s *aggState) I64() int64 { return s.i }
+
+// Finalize merges the thread-local tables.
+func (g *GroupBy) Finalize() error {
+	merged := newAggTable(g.keySchema)
+	for _, t := range g.tables {
+		for grp := range t.states {
+			mg := merged.groupFor(t.keys, identityCols(len(g.Keys)), grp, len(g.Aggs))
+			dst := merged.states[mg]
+			src := t.states[grp]
+			for a := range g.Aggs {
+				mergeState(&dst[a], &src[a], &g.Aggs[a])
+			}
+		}
+	}
+	// Scalar aggregation always has its single group, even on empty input.
+	if len(g.Keys) == 0 && len(merged.states) == 0 {
+		merged.states = append(merged.states, make([]aggState, len(g.Aggs)))
+	}
+	g.merged = merged
+	g.tables = nil
+	return nil
+}
+
+// identityCols returns [0,1,…,n).
+func identityCols(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func mergeState(dst, src *aggState, spec *AggSpec) {
+	switch spec.Kind {
+	case Count:
+		dst.cnt += src.cnt
+	case Sum, Avg, AvgMerge:
+		dst.i += src.i
+		dst.f += src.f
+		dst.cnt += src.cnt
+		dst.set = dst.set || src.set
+	case Min, Max:
+		if !src.set {
+			return
+		}
+		if !dst.set {
+			*dst = *src
+			return
+		}
+		less := false
+		switch spec.ArgType {
+		case storage.TFloat64:
+			less = src.f < dst.f
+		case storage.TString:
+			less = src.s < dst.s
+		default:
+			less = src.i < dst.i
+		}
+		if (spec.Kind == Min) == less {
+			dst.i, dst.f, dst.s = src.i, src.f, src.s
+		}
+	}
+}
+
+// FinalSchema is the output schema of FinalBatches: keys then aggregates.
+func (g *GroupBy) FinalSchema() *storage.Schema {
+	out := &storage.Schema{Fields: append([]storage.Field{}, g.keySchema.Fields...)}
+	for _, a := range g.Aggs {
+		out.Fields = append(out.Fields, a.ResultField())
+	}
+	return out
+}
+
+// PartialSchema is the output schema of PartialBatches: keys, then per
+// aggregate its mergeable state columns (Avg contributes sum and count).
+func (g *GroupBy) PartialSchema() *storage.Schema {
+	out := &storage.Schema{Fields: append([]storage.Field{}, g.keySchema.Fields...)}
+	for _, a := range g.Aggs {
+		switch a.Kind {
+		case Count:
+			out.Fields = append(out.Fields, storage.Field{Name: a.Name, Type: storage.TInt64})
+		case Avg, AvgMerge:
+			t := a.ArgType
+			if t != storage.TFloat64 {
+				t = storage.TDecimal
+			}
+			out.Fields = append(out.Fields,
+				storage.Field{Name: a.Name + "$sum", Type: t},
+				storage.Field{Name: a.Name + "$cnt", Type: storage.TInt64})
+		case Min, Max:
+			out.Fields = append(out.Fields, storage.Field{Name: a.Name, Type: a.ArgType, Nullable: true})
+		default: // Sum
+			out.Fields = append(out.Fields, storage.Field{Name: a.Name, Type: a.ArgType})
+		}
+	}
+	return out
+}
+
+// FinalBatches materializes finished aggregate values.
+func (g *GroupBy) FinalBatches() []*storage.Batch {
+	return g.emit(true)
+}
+
+// PartialBatches materializes mergeable state for a downstream merge
+// aggregation.
+func (g *GroupBy) PartialBatches() []*storage.Batch {
+	return g.emit(false)
+}
+
+func (g *GroupBy) emit(final bool) []*storage.Batch {
+	if g.merged == nil {
+		panic("op: GroupBy batches requested before Finalize")
+	}
+	schema := g.PartialSchema()
+	if final {
+		schema = g.FinalSchema()
+	}
+	t := g.merged
+	out := storage.NewBatch(schema, len(t.states))
+	for grp := range t.states {
+		for k := range g.Keys {
+			out.Cols[k].AppendFrom(t.keys.Cols[k], grp)
+		}
+		c := len(g.Keys)
+		for a := range g.Aggs {
+			st := &t.states[grp][a]
+			spec := &g.Aggs[a]
+			if final {
+				appendFinal(out.Cols[c], st, spec)
+				c++
+				continue
+			}
+			switch spec.Kind {
+			case Count:
+				out.Cols[c].AppendI64(st.cnt)
+				c++
+			case Avg, AvgMerge:
+				if spec.ArgType == storage.TFloat64 {
+					out.Cols[c].AppendF64(st.f)
+				} else {
+					out.Cols[c].AppendI64(st.i)
+				}
+				out.Cols[c+1].AppendI64(st.cnt)
+				c += 2
+			case Min, Max:
+				if !st.set {
+					out.Cols[c].AppendNull()
+				} else {
+					appendFinal(out.Cols[c], st, spec)
+				}
+				c++
+			default:
+				if spec.ArgType == storage.TFloat64 {
+					out.Cols[c].AppendF64(st.f)
+				} else {
+					out.Cols[c].AppendI64(st.i)
+				}
+				c++
+			}
+		}
+	}
+	return []*storage.Batch{out}
+}
+
+func appendFinal(col *storage.Column, st *aggState, spec *AggSpec) {
+	switch spec.Kind {
+	case Count:
+		col.AppendI64(st.cnt)
+	case Avg, AvgMerge:
+		if st.cnt == 0 {
+			if col.Nullable {
+				col.AppendNull()
+			} else if spec.ArgType == storage.TFloat64 {
+				col.AppendF64(0)
+			} else {
+				col.AppendI64(0)
+			}
+			return
+		}
+		if spec.ArgType == storage.TFloat64 {
+			col.AppendF64(st.f / float64(st.cnt))
+		} else {
+			col.AppendI64(st.i / st.cnt)
+		}
+	default:
+		switch spec.ArgType {
+		case storage.TFloat64:
+			col.AppendF64(st.f)
+		case storage.TString:
+			col.AppendStr(st.s)
+		default:
+			col.AppendI64(st.i)
+		}
+	}
+}
+
+// MergeSpecs rewrites aggregate specs to run over a partial schema
+// produced by PartialBatches: Sum→Sum, Count→Sum, Min→Min, Max→Max,
+// Avg→AvgMerge. keyCount is the number of key columns preceding the state
+// columns in the partial schema.
+func MergeSpecs(aggs []AggSpec, keyCount int) []AggSpec {
+	out := make([]AggSpec, 0, len(aggs))
+	c := keyCount
+	for _, a := range aggs {
+		switch a.Kind {
+		case Count:
+			out = append(out, AggSpec{Kind: Sum, Name: a.Name, Arg: Col(c), ArgType: storage.TInt64})
+			c++
+		case Avg, AvgMerge:
+			t := a.ArgType
+			if t != storage.TFloat64 {
+				t = storage.TDecimal
+			}
+			out = append(out, AggSpec{Kind: AvgMerge, Name: a.Name, Arg: Col(c), Arg2: Col(c + 1), ArgType: t})
+			c += 2
+		default:
+			out = append(out, AggSpec{Kind: a.Kind, Name: a.Name, Arg: Col(c), ArgType: a.ArgType})
+			c++
+		}
+	}
+	return out
+}

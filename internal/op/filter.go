@@ -1,0 +1,111 @@
+package op
+
+import (
+	"hsqp/internal/engine"
+	"hsqp/internal/storage"
+)
+
+// Filter keeps the rows satisfying the predicate.
+type Filter struct {
+	Pred Pred
+}
+
+// Process implements engine.Op.
+func (f *Filter) Process(_ *engine.Worker, b *storage.Batch) *storage.Batch {
+	n := b.Rows()
+	// First pass: find the passing rows; avoid copying when all pass.
+	var keep []int
+	allPass := true
+	for i := 0; i < n; i++ {
+		if f.Pred(b, i) {
+			if !allPass {
+				keep = append(keep, i)
+			}
+		} else if allPass {
+			keep = make([]int, i, n)
+			for j := 0; j < i; j++ {
+				keep[j] = j
+			}
+			allPass = false
+		}
+	}
+	if allPass {
+		return b
+	}
+	if len(keep) == 0 {
+		return nil
+	}
+	out := storage.NewBatch(b.Schema, len(keep))
+	for _, i := range keep {
+		out.AppendRowFrom(b, i)
+	}
+	return out
+}
+
+// Project keeps (and reorders) the given columns. Column storage is shared
+// with the input: batches are immutable once produced.
+type Project struct {
+	Cols []int
+	// Schema is the output schema (projection of the input schema).
+	Schema *storage.Schema
+}
+
+// NewProject builds a projection over the input schema.
+func NewProject(in *storage.Schema, cols []int) *Project {
+	return &Project{Cols: cols, Schema: in.Project(cols)}
+}
+
+// Process implements engine.Op.
+func (p *Project) Process(_ *engine.Worker, b *storage.Batch) *storage.Batch {
+	out := &storage.Batch{Schema: p.Schema, Cols: make([]*storage.Column, len(p.Cols))}
+	for i, c := range p.Cols {
+		out.Cols[i] = b.Cols[c]
+	}
+	return out
+}
+
+// NamedExpr is a computed output column.
+type NamedExpr struct {
+	Name string
+	Type storage.Type
+	Expr Expr
+}
+
+// MapOp appends computed columns to the batch (keeping all input columns).
+type MapOp struct {
+	Exprs []NamedExpr
+	// Schema is the output schema: input schema + computed fields.
+	Schema *storage.Schema
+}
+
+// NewMap builds a map operator over the input schema.
+func NewMap(in *storage.Schema, exprs []NamedExpr) *MapOp {
+	out := &storage.Schema{Fields: append([]storage.Field{}, in.Fields...)}
+	for _, e := range exprs {
+		out.Fields = append(out.Fields, storage.Field{Name: e.Name, Type: e.Type})
+	}
+	return &MapOp{Exprs: exprs, Schema: out}
+}
+
+// Process implements engine.Op.
+func (m *MapOp) Process(_ *engine.Worker, b *storage.Batch) *storage.Batch {
+	n := b.Rows()
+	out := &storage.Batch{Schema: m.Schema, Cols: make([]*storage.Column, 0, len(b.Cols)+len(m.Exprs))}
+	out.Cols = append(out.Cols, b.Cols...)
+	for _, e := range m.Exprs {
+		col := storage.NewColumn(e.Type, false, n)
+		for i := 0; i < n; i++ {
+			v := e.Expr(b, i)
+			switch e.Type {
+			case storage.TFloat64:
+				col.AppendF64(v.F)
+			case storage.TString:
+				col.AppendStr(v.S)
+			default:
+				col.AppendI64(v.I)
+			}
+		}
+		out.Cols = append(out.Cols, col)
+	}
+	return out
+}

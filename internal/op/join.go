@@ -1,0 +1,260 @@
+package op
+
+import (
+	"fmt"
+	"sync"
+
+	"hsqp/internal/engine"
+	"hsqp/internal/storage"
+)
+
+// JoinType selects the join semantics. All joins are probe-side oriented:
+// the build side is materialized into a hash table, the probe side streams.
+type JoinType int
+
+const (
+	// Inner emits probe⨝build combinations.
+	Inner JoinType = iota
+	// LeftOuter preserves probe rows without matches (build columns NULL).
+	LeftOuter
+	// Semi emits probe rows that have at least one match.
+	Semi
+	// Anti emits probe rows that have no match.
+	Anti
+)
+
+func (t JoinType) String() string {
+	switch t {
+	case Inner:
+		return "inner"
+	case LeftOuter:
+		return "leftouter"
+	case Semi:
+		return "semi"
+	case Anti:
+		return "anti"
+	default:
+		return fmt.Sprintf("JoinType(%d)", int(t))
+	}
+}
+
+// ResidualPred evaluates a non-equality join condition over a matched
+// (probe row, build row) pair.
+type ResidualPred func(probe *storage.Batch, pi int, build *storage.Batch, bi int) bool
+
+// HashTable is the shared build-side state of a hash join.
+type HashTable struct {
+	Build *storage.Batch
+	Keys  []int
+	m     map[uint32][]int32
+}
+
+// Lookup returns the candidate build rows for a hash.
+func (h *HashTable) Lookup(hash uint32) []int32 { return h.m[hash] }
+
+// KeyEq checks key equality between build row bi and probe row pi.
+func (h *HashTable) KeyEq(bi int32, probe *storage.Batch, probeKeys []int, pi int) bool {
+	for k, bk := range h.Keys {
+		bc := h.Build.Cols[bk]
+		pc := probe.Cols[probeKeys[k]]
+		if bc.IsNull(int(bi)) || pc.IsNull(pi) {
+			return false
+		}
+		switch bc.Type {
+		case storage.TString:
+			if bc.Str[bi] != pc.Str[pi] {
+				return false
+			}
+		case storage.TFloat64:
+			if bc.F64[bi] != pc.F64[pi] {
+				return false
+			}
+		default:
+			if bc.I64[bi] != pc.I64[pi] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Size returns the number of build rows.
+func (h *HashTable) Size() int { return h.Build.Rows() }
+
+// JoinBuild is the build-side pipeline breaker: workers collect morsels,
+// Finalize consolidates them and builds the hash table.
+type JoinBuild struct {
+	Keys   []int
+	Schema *storage.Schema
+
+	mu      sync.Mutex
+	batches []*storage.Batch
+	rows    int
+	ht      *HashTable
+}
+
+// NewJoinBuild creates a build sink keyed on the given columns of schema.
+func NewJoinBuild(schema *storage.Schema, keys []int) *JoinBuild {
+	return &JoinBuild{Keys: keys, Schema: schema}
+}
+
+// Consume implements engine.Sink.
+func (jb *JoinBuild) Consume(_ *engine.Worker, b *storage.Batch) {
+	jb.mu.Lock()
+	jb.batches = append(jb.batches, b)
+	jb.rows += b.Rows()
+	jb.mu.Unlock()
+}
+
+// Finalize consolidates the collected batches and builds the table.
+func (jb *JoinBuild) Finalize() error {
+	build := storage.NewBatch(jb.Schema, jb.rows)
+	for _, b := range jb.batches {
+		for i := 0; i < b.Rows(); i++ {
+			build.AppendRowFrom(b, i)
+		}
+	}
+	jb.batches = nil
+	m := make(map[uint32][]int32, build.Rows())
+	for i := 0; i < build.Rows(); i++ {
+		h := storage.HashRow(build, jb.Keys, i)
+		m[h] = append(m[h], int32(i))
+	}
+	jb.ht = &HashTable{Build: build, Keys: jb.Keys, m: m}
+	return nil
+}
+
+// Table returns the built hash table (after Finalize).
+func (jb *JoinBuild) Table() *HashTable {
+	if jb.ht == nil {
+		panic("op: JoinBuild.Table before Finalize")
+	}
+	return jb.ht
+}
+
+// JoinProbe is the probe-side operator.
+type JoinProbe struct {
+	Build     *JoinBuild
+	Type      JoinType
+	ProbeKeys []int
+	Residual  ResidualPred // optional
+
+	// Output column selection: probe columns first, then build columns.
+	// For Semi/Anti only probe columns are emitted.
+	ProbeCols []int
+	BuildCols []int
+	Schema    *storage.Schema
+}
+
+// NewJoinProbe constructs the probe operator. probeSchema is the schema of
+// the probe stream; probeCols/buildCols select the output (pruning unused
+// columns as early as possible, §3.2.1). For LeftOuter, emitted build
+// columns become nullable in the output schema.
+func NewJoinProbe(build *JoinBuild, typ JoinType, probeSchema *storage.Schema,
+	probeKeys []int, probeCols, buildCols []int, residual ResidualPred) *JoinProbe {
+
+	if len(probeKeys) != len(build.Keys) {
+		panic(fmt.Sprintf("op: probe has %d keys, build %d", len(probeKeys), len(build.Keys)))
+	}
+	out := &storage.Schema{}
+	for _, c := range probeCols {
+		out.Fields = append(out.Fields, probeSchema.Fields[c])
+	}
+	if typ == Inner || typ == LeftOuter {
+		for _, c := range buildCols {
+			f := build.Schema.Fields[c]
+			if typ == LeftOuter {
+				f.Nullable = true
+			}
+			out.Fields = append(out.Fields, f)
+		}
+	} else {
+		buildCols = nil
+	}
+	return &JoinProbe{
+		Build:     build,
+		Type:      typ,
+		ProbeKeys: probeKeys,
+		Residual:  residual,
+		ProbeCols: probeCols,
+		BuildCols: buildCols,
+		Schema:    out,
+	}
+}
+
+// Process implements engine.Op.
+func (jp *JoinProbe) Process(_ *engine.Worker, b *storage.Batch) *storage.Batch {
+	ht := jp.Build.Table()
+	out := storage.NewBatch(jp.Schema, b.Rows())
+	for i := 0; i < b.Rows(); i++ {
+		matched := false
+		for _, bi := range ht.Lookup(storage.HashRow(b, jp.ProbeKeys, i)) {
+			if !ht.KeyEq(bi, b, jp.ProbeKeys, i) {
+				continue
+			}
+			if jp.Residual != nil && !jp.Residual(b, i, ht.Build, int(bi)) {
+				continue
+			}
+			matched = true
+			switch jp.Type {
+			case Inner, LeftOuter:
+				jp.emit(out, b, i, ht.Build, int(bi))
+			case Semi:
+				// One match suffices.
+			case Anti:
+				// A match disqualifies the probe row.
+			}
+			if jp.Type != Inner && jp.Type != LeftOuter {
+				break
+			}
+		}
+		switch jp.Type {
+		case Semi:
+			if matched {
+				jp.emitProbeOnly(out, b, i)
+			}
+		case Anti:
+			if !matched {
+				jp.emitProbeOnly(out, b, i)
+			}
+		case LeftOuter:
+			if !matched {
+				jp.emitProbeWithNulls(out, b, i)
+			}
+		}
+	}
+	if out.Rows() == 0 {
+		return nil
+	}
+	return out
+}
+
+func (jp *JoinProbe) emit(out, probe *storage.Batch, pi int, build *storage.Batch, bi int) {
+	c := 0
+	for _, pc := range jp.ProbeCols {
+		out.Cols[c].AppendFrom(probe.Cols[pc], pi)
+		c++
+	}
+	for _, bc := range jp.BuildCols {
+		out.Cols[c].AppendFrom(build.Cols[bc], bi)
+		c++
+	}
+}
+
+func (jp *JoinProbe) emitProbeOnly(out, probe *storage.Batch, pi int) {
+	for c, pc := range jp.ProbeCols {
+		out.Cols[c].AppendFrom(probe.Cols[pc], pi)
+	}
+}
+
+func (jp *JoinProbe) emitProbeWithNulls(out, probe *storage.Batch, pi int) {
+	c := 0
+	for _, pc := range jp.ProbeCols {
+		out.Cols[c].AppendFrom(probe.Cols[pc], pi)
+		c++
+	}
+	for range jp.BuildCols {
+		out.Cols[c].AppendNull()
+		c++
+	}
+}

@@ -1,0 +1,428 @@
+package op
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"hsqp/internal/engine"
+	"hsqp/internal/numa"
+	"hsqp/internal/storage"
+)
+
+func testEngine(t *testing.T, workers int) *engine.Engine {
+	t.Helper()
+	e, err := engine.New(engine.Config{Topology: numa.TwoSocket(), Workers: workers, MorselSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func intBatch(n int) *storage.Batch {
+	s := storage.NewSchema(
+		storage.Field{Name: "k", Type: storage.TInt64},
+		storage.Field{Name: "v", Type: storage.TInt64},
+	)
+	b := storage.NewBatch(s, n)
+	for i := 0; i < n; i++ {
+		b.AppendRow(int64(i), int64(i%10))
+	}
+	return b
+}
+
+func tableOf(b *storage.Batch, topo *numa.Topology) *storage.Table {
+	t := storage.NewTable("t", b.Schema)
+	t.DistributeToSockets(b, topo)
+	return t
+}
+
+func TestFilterKeepsMatching(t *testing.T) {
+	f := &Filter{Pred: I64LT(0, 10)}
+	b := intBatch(100)
+	out := f.Process(nil, b)
+	if out.Rows() != 10 {
+		t.Fatalf("filtered to %d rows, want 10", out.Rows())
+	}
+	// All-pass returns the input unchanged (no copy).
+	all := &Filter{Pred: I64GE(0, 0)}
+	if got := all.Process(nil, b); got != b {
+		t.Fatal("all-pass filter copied the batch")
+	}
+	// None-pass returns nil.
+	none := &Filter{Pred: I64LT(0, 0)}
+	if got := none.Process(nil, b); got != nil {
+		t.Fatal("none-pass filter returned rows")
+	}
+}
+
+func TestProjectSharesColumns(t *testing.T) {
+	b := intBatch(10)
+	p := NewProject(b.Schema, []int{1})
+	out := p.Process(nil, b)
+	if out.Schema.Fields[0].Name != "v" || out.Rows() != 10 {
+		t.Fatalf("projection wrong: %v", out.Schema)
+	}
+	if out.Cols[0] != b.Cols[1] {
+		t.Fatal("projection should share column storage")
+	}
+}
+
+func TestMapComputes(t *testing.T) {
+	b := intBatch(5)
+	m := NewMap(b.Schema, []NamedExpr{{
+		Name: "sum", Type: storage.TInt64,
+		Expr: func(b *storage.Batch, i int) Val {
+			return Val{I: b.Cols[0].I64[i] + b.Cols[1].I64[i]}
+		},
+	}})
+	out := m.Process(nil, b)
+	for i := 0; i < 5; i++ {
+		if out.Cols[2].I64[i] != b.Cols[0].I64[i]+b.Cols[1].I64[i] {
+			t.Fatalf("row %d wrong", i)
+		}
+	}
+}
+
+func runJoin(t *testing.T, typ JoinType, residual ResidualPred) *storage.Batch {
+	t.Helper()
+	e := testEngine(t, 4)
+	topo := e.Topology()
+
+	buildSchema := storage.NewSchema(
+		storage.Field{Name: "bk", Type: storage.TInt64},
+		storage.Field{Name: "bv", Type: storage.TString},
+	)
+	build := storage.NewBatch(buildSchema, 8)
+	for i := 0; i < 8; i++ {
+		build.AppendRow(int64(i), fmt.Sprintf("b%d", i))
+	}
+	probe := intBatch(100) // k: 0..99, v: k%10
+
+	jb := NewJoinBuild(buildSchema, []int{0})
+	if err := e.RunPipeline(&engine.Pipeline{
+		Name:   "build",
+		Source: NewTableSource(tableOf(build, topo), topo.Sockets, 16),
+		Sink:   jb,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var buildCols []int
+	if typ == Inner || typ == LeftOuter {
+		buildCols = []int{1}
+	}
+	probeOp := NewJoinProbe(jb, typ, probe.Schema, []int{1}, []int{0, 1}, buildCols, residual)
+	col := &Collector{}
+	if err := e.RunPipeline(&engine.Pipeline{
+		Name:   "probe",
+		Source: NewTableSource(tableOf(probe, topo), topo.Sockets, 16),
+		Ops:    []engine.Op{probeOp},
+		Sink:   col,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return col.Flatten(probeOp.Schema)
+}
+
+func TestHashJoinTypes(t *testing.T) {
+	// probe.v ∈ 0..9; build.bk ∈ 0..7 → v 0..7 match (80 rows), 8..9 not.
+	inner := runJoin(t, Inner, nil)
+	if inner.Rows() != 80 {
+		t.Fatalf("inner: %d rows, want 80", inner.Rows())
+	}
+	semi := runJoin(t, Semi, nil)
+	if semi.Rows() != 80 {
+		t.Fatalf("semi: %d rows, want 80", semi.Rows())
+	}
+	anti := runJoin(t, Anti, nil)
+	if anti.Rows() != 20 {
+		t.Fatalf("anti: %d rows, want 20", anti.Rows())
+	}
+	outer := runJoin(t, LeftOuter, nil)
+	if outer.Rows() != 100 {
+		t.Fatalf("leftouter: %d rows, want 100", outer.Rows())
+	}
+	nulls := 0
+	for i := 0; i < outer.Rows(); i++ {
+		if outer.Cols[2].IsNull(i) {
+			nulls++
+		}
+	}
+	if nulls != 20 {
+		t.Fatalf("leftouter: %d NULL build values, want 20", nulls)
+	}
+}
+
+func TestJoinResidual(t *testing.T) {
+	// Residual keeps only probe rows with k < 50.
+	res := func(probe *storage.Batch, pi int, _ *storage.Batch, _ int) bool {
+		return probe.Cols[0].I64[pi] < 50
+	}
+	inner := runJoin(t, Inner, res)
+	if inner.Rows() != 40 {
+		t.Fatalf("residual inner: %d rows, want 40", inner.Rows())
+	}
+	anti := runJoin(t, Anti, res)
+	// Anti: no match ⇔ v ∈ {8,9} or k ≥ 50 → 20 + 40 (k≥50, v≤7) = 60.
+	if anti.Rows() != 60 {
+		t.Fatalf("residual anti: %d rows, want 60", anti.Rows())
+	}
+}
+
+func TestGroupByParallelMatchesSequential(t *testing.T) {
+	b := intBatch(5000)
+	topo := numa.TwoSocket()
+	want := map[int64]int64{}
+	for i := 0; i < b.Rows(); i++ {
+		want[b.Cols[1].I64[i]] += b.Cols[0].I64[i]
+	}
+	for _, workers := range []int{1, 4, 8} {
+		e := testEngine(t, workers)
+		gb := NewGroupBy(b.Schema, []int{1}, []AggSpec{
+			{Kind: Sum, Name: "s", Arg: Col(0), ArgType: storage.TInt64},
+			{Kind: Count, Name: "c"},
+			{Kind: Min, Name: "mn", Arg: Col(0), ArgType: storage.TInt64},
+			{Kind: Max, Name: "mx", Arg: Col(0), ArgType: storage.TInt64},
+			{Kind: Avg, Name: "av", Arg: Col(0), ArgType: storage.TInt64},
+		}, e.Workers())
+		if err := e.RunPipeline(&engine.Pipeline{
+			Name:   "agg",
+			Source: NewTableSource(tableOf(b, topo), topo.Sockets, 64),
+			Sink:   gb,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		out := gb.FinalBatches()[0]
+		if out.Rows() != len(want) {
+			t.Fatalf("workers=%d: %d groups, want %d", workers, out.Rows(), len(want))
+		}
+		for i := 0; i < out.Rows(); i++ {
+			k := out.Cols[0].I64[i]
+			if out.Cols[1].I64[i] != want[k] {
+				t.Fatalf("workers=%d group %d: sum %d want %d", workers, k, out.Cols[1].I64[i], want[k])
+			}
+			if out.Cols[2].I64[i] != 500 {
+				t.Fatalf("count %d, want 500", out.Cols[2].I64[i])
+			}
+			if out.Cols[3].I64[i] != k { // min of i with i%10==k is k itself
+				t.Fatalf("min %d want %d", out.Cols[3].I64[i], k)
+			}
+			if out.Cols[4].I64[i] != 4990+k {
+				t.Fatalf("max %d want %d", out.Cols[4].I64[i], 4990+k)
+			}
+			if out.Cols[5].I64[i] != want[k]/500 {
+				t.Fatalf("avg %d want %d", out.Cols[5].I64[i], want[k]/500)
+			}
+		}
+	}
+}
+
+func TestPartialMergeEqualsDirect(t *testing.T) {
+	// Property: partial aggregation + merge must equal direct aggregation.
+	b := intBatch(3000)
+	topo := numa.TwoSocket()
+	aggs := []AggSpec{
+		{Kind: Sum, Name: "s", Arg: Col(0), ArgType: storage.TInt64},
+		{Kind: Count, Name: "c"},
+		{Kind: Avg, Name: "a", Arg: Col(0), ArgType: storage.TInt64},
+		{Kind: Min, Name: "mn", Arg: Col(0), ArgType: storage.TInt64},
+	}
+	e := testEngine(t, 4)
+	direct := NewGroupBy(b.Schema, []int{1}, aggs, e.Workers())
+	if err := e.RunPipeline(&engine.Pipeline{
+		Name: "direct", Source: NewTableSource(tableOf(b, topo), topo.Sockets, 64), Sink: direct,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	partial := NewGroupBy(b.Schema, []int{1}, aggs, e.Workers())
+	if err := e.RunPipeline(&engine.Pipeline{
+		Name: "partial", Source: NewTableSource(tableOf(b, topo), topo.Sockets, 64), Sink: partial,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ps := partial.PartialSchema()
+	merge := NewGroupBy(ps, []int{0}, MergeSpecs(aggs, 1), e.Workers())
+	if err := e.RunPipeline(&engine.Pipeline{
+		Name: "merge", Source: NewBatchSource(partial.PartialBatches()), Sink: merge,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	d := direct.FinalBatches()[0]
+	m := merge.FinalBatches()[0]
+	if d.Rows() != m.Rows() {
+		t.Fatalf("group counts differ: %d vs %d", d.Rows(), m.Rows())
+	}
+	index := map[int64][]any{}
+	for i := 0; i < d.Rows(); i++ {
+		index[d.Cols[0].I64[i]] = d.Row(i)
+	}
+	for i := 0; i < m.Rows(); i++ {
+		want := index[m.Cols[0].I64[i]]
+		got := m.Row(i)
+		for c := range got {
+			if got[c] != want[c] {
+				t.Fatalf("group %d col %d: %v vs %v", m.Cols[0].I64[i], c, got[c], want[c])
+			}
+		}
+	}
+}
+
+func TestScalarAggEmptyInput(t *testing.T) {
+	e := testEngine(t, 2)
+	schema := intBatch(0).Schema
+	gb := NewGroupBy(schema, nil, []AggSpec{
+		{Kind: Count, Name: "c"},
+		{Kind: Sum, Name: "s", Arg: Col(0), ArgType: storage.TInt64},
+	}, e.Workers())
+	if err := e.RunPipeline(&engine.Pipeline{
+		Name: "scalar", Source: NewBatchSource(nil), Sink: gb,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	out := gb.FinalBatches()[0]
+	if out.Rows() != 1 || out.Cols[0].I64[0] != 0 || out.Cols[1].I64[0] != 0 {
+		t.Fatalf("empty scalar agg: %v", out.Row(0))
+	}
+}
+
+func TestTopKOrderAndLimit(t *testing.T) {
+	e := testEngine(t, 4)
+	topo := e.Topology()
+	b := intBatch(1000)
+	tk := NewTopK(b.Schema, []SortKey{{Col: 0, Desc: true}}, 7)
+	if err := e.RunPipeline(&engine.Pipeline{
+		Name: "topk", Source: NewTableSource(tableOf(b, topo), topo.Sockets, 64), Sink: tk,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	out := tk.Batches()[0]
+	if out.Rows() != 7 {
+		t.Fatalf("rows %d", out.Rows())
+	}
+	for i := 0; i < 7; i++ {
+		if out.Cols[0].I64[i] != int64(999-i) {
+			t.Fatalf("rank %d: %d", i, out.Cols[0].I64[i])
+		}
+	}
+}
+
+func TestGroupJoinMatchesAggThenJoin(t *testing.T) {
+	e := testEngine(t, 4)
+	topo := e.Topology()
+	buildSchema := storage.NewSchema(storage.Field{Name: "gk", Type: storage.TInt64})
+	build := storage.NewBatch(buildSchema, 5)
+	for i := 0; i < 5; i++ {
+		build.AppendRow(int64(i))
+	}
+	probe := intBatch(1000) // v = k%10; groups 0..4 match
+
+	gjb := NewGroupJoinBuild(buildSchema, []int{0}, []AggSpec{
+		{Kind: Sum, Name: "s", Arg: Col(0), ArgType: storage.TInt64},
+		{Kind: Count, Name: "c"},
+	})
+	if err := e.RunPipeline(&engine.Pipeline{
+		Name: "gj-build", Source: NewTableSource(tableOf(build, topo), topo.Sockets, 16), Sink: gjb,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RunPipeline(&engine.Pipeline{
+		Name:   "gj-probe",
+		Source: NewTableSource(tableOf(probe, topo), topo.Sockets, 64),
+		Sink:   &GroupJoinProbe{Build: gjb, ProbeKeys: []int{1}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	out := gjb.ResultBatches()[0]
+	if out.Rows() != 5 {
+		t.Fatalf("%d matched groups, want 5", out.Rows())
+	}
+	want := map[int64]int64{}
+	for i := 0; i < probe.Rows(); i++ {
+		want[probe.Cols[1].I64[i]] += probe.Cols[0].I64[i]
+	}
+	for i := 0; i < out.Rows(); i++ {
+		g := out.Cols[0].I64[i]
+		if out.Cols[1].I64[i] != want[g] {
+			t.Fatalf("group %d: sum %d want %d", g, out.Cols[1].I64[i], want[g])
+		}
+		if out.Cols[2].I64[i] != 100 {
+			t.Fatalf("group %d: count %d want 100", g, out.Cols[2].I64[i])
+		}
+	}
+}
+
+func TestExprHelpers(t *testing.T) {
+	s := storage.NewSchema(
+		storage.Field{Name: "d", Type: storage.TDecimal},
+		storage.Field{Name: "dt", Type: storage.TDate},
+		storage.Field{Name: "s", Type: storage.TString},
+	)
+	b := storage.NewBatch(s, 1)
+	b.AppendRow(int64(250), storage.MustDate("1997-03-15"), "49-123-456-7890")
+
+	if MulDec(Col(0), ConstI(200))(b, 0).I != 500 { // 2.50 × 2.00
+		t.Fatal("MulDec")
+	}
+	if SubDecConst(100, Col(0))(b, 0).I != -150 {
+		t.Fatal("SubDecConst")
+	}
+	if AddDecConst(100, Col(0))(b, 0).I != 350 {
+		t.Fatal("AddDecConst")
+	}
+	if Year(1)(b, 0).I != 1997 {
+		t.Fatal("Year")
+	}
+	if DivDecConst(Col(0), 7)(b, 0).I != 35 {
+		t.Fatal("DivDecConst")
+	}
+	if Ratio(Col(0), ConstI(1000), 100)(b, 0).I != 25 {
+		t.Fatal("Ratio")
+	}
+	if Substr(2, 0, 2)(b, 0).S != "49" {
+		t.Fatal("Substr")
+	}
+	if !StrPrefixIn(2, 2, "49", "13")(b, 0) {
+		t.Fatal("StrPrefixIn")
+	}
+	if CaseWhen(I64GT(0, 0), ConstI(1), ConstI(2))(b, 0).I != 1 {
+		t.Fatal("CaseWhen")
+	}
+}
+
+func TestPredicateCombinators(t *testing.T) {
+	b := intBatch(1)
+	tr := func(*storage.Batch, int) bool { return true }
+	fa := func(*storage.Batch, int) bool { return false }
+	if !And(tr, tr)(b, 0) || And(tr, fa)(b, 0) {
+		t.Fatal("And")
+	}
+	if !Or(fa, tr)(b, 0) || Or(fa, fa)(b, 0) {
+		t.Fatal("Or")
+	}
+	if Not(tr)(b, 0) {
+		t.Fatal("Not")
+	}
+}
+
+func TestCompareRowsProperty(t *testing.T) {
+	s := storage.NewSchema(storage.Field{Name: "x", Type: storage.TInt64})
+	keys := []SortKey{{Col: 0}}
+	f := func(a, b int64) bool {
+		ba := storage.NewBatch(s, 1)
+		ba.AppendRow(a)
+		bb := storage.NewBatch(s, 1)
+		bb.AppendRow(b)
+		cmp := CompareRows(ba, 0, bb, 0, keys)
+		switch {
+		case a < b:
+			return cmp < 0
+		case a > b:
+			return cmp > 0
+		default:
+			return cmp == 0
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

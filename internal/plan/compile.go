@@ -1,0 +1,604 @@
+package plan
+
+import (
+	"fmt"
+
+	"hsqp/internal/engine"
+	"hsqp/internal/exchange"
+	"hsqp/internal/memory"
+	"hsqp/internal/mux"
+	"hsqp/internal/numa"
+	"hsqp/internal/op"
+	"hsqp/internal/ser"
+	"hsqp/internal/storage"
+)
+
+// TableInfo is what the compiler needs to know about a base relation on
+// this server.
+type TableInfo struct {
+	Table *storage.Table
+	// PartCols are the columns the relation is hash-partitioned on across
+	// servers (nil for chunked placement).
+	PartCols []int
+	// Replicated marks relations fully present on every server.
+	Replicated bool
+}
+
+// Env is the per-server compilation environment.
+type Env struct {
+	ServerID         int
+	Servers          int
+	WorkersPerServer int
+	Engine           *engine.Engine
+	Mux              *mux.Mux
+	Pool             *memory.Pool
+	Topo             *numa.Topology
+	Scale            float64
+	// Classic compiles exchanges in the classic exchange-operator model
+	// (n×t fixed parallel units, Figure 2 baseline).
+	Classic bool
+	// DisablePreAgg turns off pre-aggregation before group-by exchanges
+	// (ablation).
+	DisablePreAgg bool
+	// Lookup resolves a table name.
+	Lookup func(name string) (TableInfo, error)
+	// NextExID allocates globally consistent exchange ids; every server
+	// must produce the same sequence for the same plan.
+	NextExID func() int32
+	// MorselSize for splitting materialized intermediates.
+	MorselSize int
+	// AfterScan, if set, returns extra operators inserted after every base
+	// relation scan (competitor engine styles model scan-time
+	// deserialization and row-at-a-time interpretation here).
+	AfterScan func(schema *storage.Schema) []engine.Op
+	// AfterExchange, if set, returns extra operators inserted after every
+	// receive-side exchange.
+	AfterExchange func(schema *storage.Schema) []engine.Op
+}
+
+// stream is a partially compiled dataflow: a source plus pending operators.
+type stream struct {
+	source engine.Source
+	ops    []engine.Op
+	schema *storage.Schema
+	// part: the stream is hash-partitioned across servers on these
+	// columns (nil = unknown/not partitioned).
+	part []int
+	// replicated: every server sees the full stream.
+	replicated bool
+	// coordOnly: the stream only exists on the coordinator.
+	coordOnly bool
+}
+
+// Compiled is the result of compiling a query for one server.
+type Compiled struct {
+	Pipelines []*engine.Pipeline
+	// Result collects the final rows (only populated on the coordinator).
+	Result *op.Collector
+	Schema *storage.Schema
+}
+
+type compiler struct {
+	env  *Env
+	pipe []*engine.Pipeline
+}
+
+// Compile lowers a query to this server's pipelines.
+func Compile(q *Query, env *Env) (*Compiled, error) {
+	c := &compiler{env: env}
+	out, err := c.build(q.Root)
+	if err != nil {
+		return nil, fmt.Errorf("plan: compile %s: %w", q.Name, err)
+	}
+	// Bring the final stream to the coordinator.
+	res := &op.Collector{}
+	if out.coordOnly || env.Servers == 1 {
+		c.add(&engine.Pipeline{
+			Name:            q.Name + "/output",
+			Source:          out.source,
+			Ops:             out.ops,
+			Sink:            res,
+			CoordinatorOnly: out.coordOnly,
+		})
+	} else {
+		gathered := c.gather(q.Name+"/gather", out)
+		c.add(&engine.Pipeline{
+			Name:            q.Name + "/output",
+			Source:          gathered.source,
+			Ops:             gathered.ops,
+			Sink:            res,
+			CoordinatorOnly: true,
+		})
+	}
+	return &Compiled{Pipelines: c.pipe, Result: res, Schema: q.Root.Schema()}, nil
+}
+
+func (c *compiler) add(p *engine.Pipeline) { c.pipe = append(c.pipe, p) }
+
+func (c *compiler) build(n *Node) (*stream, error) {
+	switch n.Kind {
+	case KScan:
+		return c.buildScan(n)
+	case KSelect:
+		in, err := c.build(n.In)
+		if err != nil {
+			return nil, err
+		}
+		in.ops = append(in.ops, &op.Filter{Pred: n.Pred})
+		in.schema = n.schema
+		return in, nil
+	case KMap:
+		in, err := c.build(n.In)
+		if err != nil {
+			return nil, err
+		}
+		in.ops = append(in.ops, op.NewMap(in.schema, n.Exprs))
+		in.schema = n.schema
+		return in, nil
+	case KProject:
+		in, err := c.build(n.In)
+		if err != nil {
+			return nil, err
+		}
+		in.ops = append(in.ops, op.NewProject(in.schema, n.Cols))
+		in.part = remap(in.part, n.Cols)
+		in.schema = n.schema
+		return in, nil
+	case KJoin:
+		return c.buildJoin(n)
+	case KGroupJoin:
+		return c.buildGroupJoin(n)
+	case KGroupBy:
+		return c.buildGroupBy(n)
+	case KTopK:
+		return c.buildTopK(n)
+	default:
+		return nil, fmt.Errorf("plan: unknown node kind %d", n.Kind)
+	}
+}
+
+func (c *compiler) buildScan(n *Node) (*stream, error) {
+	info, err := c.env.Lookup(n.Table)
+	if err != nil {
+		return nil, err
+	}
+	if !info.Table.Schema.Equal(n.schema) {
+		return nil, fmt.Errorf("plan: scan %s schema mismatch: plan %v vs stored %v",
+			n.Table, n.schema, info.Table.Schema)
+	}
+	out := &stream{
+		source:     op.NewTableSource(info.Table, c.env.Topo.Sockets, c.env.MorselSize),
+		schema:     n.schema,
+		part:       info.PartCols,
+		replicated: info.Replicated,
+	}
+	if c.env.AfterScan != nil {
+		out.ops = append(out.ops, c.env.AfterScan(n.schema)...)
+	}
+	return out, nil
+}
+
+// exchangeStream cuts the stream with a send-side exchange and returns the
+// receive-side stream. senders is the number of servers contributing.
+func (c *compiler) exchangeStream(name string, in *stream, mode exchange.Mode, keys []int) *stream {
+	env := c.env
+	if env.Classic && mode == exchange.ModePartition {
+		mode = exchange.ModeClassicPartition
+	}
+	exID := env.NextExID()
+	codec := ser.NewCodec(in.schema)
+	senders := env.Servers
+	if in.coordOnly {
+		senders = 1
+	}
+	send := exchange.NewSend(exchange.SendConfig{
+		Mux:              env.Mux,
+		Pool:             env.Pool,
+		ExID:             exID,
+		Mode:             mode,
+		Servers:          env.Servers,
+		WorkersPerServer: env.WorkersPerServer,
+		Keys:             keys,
+		Codec:            codec,
+		NumWorkers:       env.Engine.Workers(),
+		Topo:             env.Topo,
+		Scale:            env.Scale,
+	})
+	c.add(&engine.Pipeline{
+		Name:            name,
+		Source:          in.source,
+		Ops:             in.ops,
+		Sink:            send,
+		CoordinatorOnly: in.coordOnly,
+	})
+	// Non-coordinator servers still contribute a Last marker when they
+	// skip a coordinator-only send pipeline? No: senders is 1 then, and
+	// only the coordinator opens/sends. Receivers must know the count.
+	var recv *mux.ExchangeRecv
+	classic := mode == exchange.ModeClassicPartition
+	openHere := true
+	if mode == exchange.ModeGather && env.ServerID != 0 {
+		openHere = false
+	}
+	if openHere {
+		if classic {
+			recv = env.Mux.OpenExchangeClassic(exID, senders, env.Engine.Workers())
+		} else {
+			recv = env.Mux.OpenExchange(exID, senders)
+		}
+	}
+	out := &stream{
+		schema: in.schema,
+	}
+	if recv != nil {
+		out.source = &exchange.Source{
+			Recv:    recv,
+			Codec:   codec,
+			Topo:    env.Topo,
+			Scale:   env.Scale,
+			Classic: classic,
+		}
+		if env.AfterExchange != nil {
+			out.ops = append(out.ops, env.AfterExchange(in.schema)...)
+		}
+	} else {
+		out.source = op.EmptySource{}
+	}
+	switch mode {
+	case exchange.ModePartition, exchange.ModeClassicPartition:
+		out.part = append([]int{}, keys...)
+	case exchange.ModeBroadcast:
+		out.replicated = true
+	case exchange.ModeGather:
+		out.coordOnly = true
+	}
+	return out
+}
+
+// gather routes a stream to the coordinator.
+func (c *compiler) gather(name string, in *stream) *stream {
+	if in.coordOnly {
+		return in
+	}
+	return c.exchangeStream(name, in, exchange.ModeGather, nil)
+}
+
+func (c *compiler) buildJoin(n *Node) (*stream, error) {
+	bs, err := c.build(n.Build)
+	if err != nil {
+		return nil, err
+	}
+	ps, err := c.build(n.Probe)
+	if err != nil {
+		return nil, err
+	}
+	strat := c.decideJoin(n, bs, ps)
+
+	switch strat {
+	case BroadcastBuild:
+		if !bs.replicated {
+			bs = c.exchangeStream(joinName(n, "broadcast"), bs, exchange.ModeBroadcast, nil)
+		}
+	case PartitionBoth:
+		if !aligned(bs.part, n.BuildKeys) {
+			bs = c.exchangeStream(joinName(n, "shuffle-build"), bs, exchange.ModePartition, n.BuildKeys)
+		}
+		if !aligned(ps.part, n.ProbeKeys) {
+			ps = c.exchangeStream(joinName(n, "shuffle-probe"), ps, exchange.ModePartition, n.ProbeKeys)
+		}
+	case LocalJoin:
+		// Nothing to move.
+	}
+	if bs.coordOnly && !ps.coordOnly {
+		// A coordinator-only build (e.g. a gathered scalar) joined with a
+		// distributed probe must be broadcast back to all servers.
+		bs = c.exchangeStream(joinName(n, "scalar-broadcast"), bs, exchange.ModeBroadcast, nil)
+	}
+
+	jb := op.NewJoinBuild(n.Build.Schema(), n.BuildKeys)
+	c.add(&engine.Pipeline{
+		Name:            joinName(n, "build"),
+		Source:          bs.source,
+		Ops:             bs.ops,
+		Sink:            jb,
+		CoordinatorOnly: bs.coordOnly,
+	})
+	probe := op.NewJoinProbe(jb, n.JoinType, n.Probe.Schema(), n.ProbeKeys, n.ProbeOut, n.BuildOut, n.Residual)
+	ps.ops = append(ps.ops, probe)
+	ps.schema = n.schema
+	// Resulting partitioning: the probe keys survive if they are among the
+	// emitted probe columns.
+	switch strat {
+	case PartitionBoth:
+		ps.part = remap(n.ProbeKeys, n.ProbeOut)
+	default:
+		ps.part = remap(ps.part, n.ProbeOut)
+	}
+	ps.replicated = ps.replicated && bs.replicated
+	return ps, nil
+}
+
+func (c *compiler) decideJoin(n *Node, bs, ps *stream) JoinStrategy {
+	if c.env.Servers == 1 || (bs.coordOnly && ps.coordOnly) {
+		return LocalJoin
+	}
+	if n.Strategy == LocalJoin {
+		return LocalJoin
+	}
+	if bs.replicated {
+		// The build side is already everywhere.
+		return LocalJoin
+	}
+	if n.Strategy == BroadcastBuild {
+		return BroadcastBuild
+	}
+	if aligned(bs.part, n.BuildKeys) && aligned(ps.part, n.ProbeKeys) {
+		return LocalJoin
+	}
+	return PartitionBoth
+}
+
+func (c *compiler) buildGroupJoin(n *Node) (*stream, error) {
+	bs, err := c.build(n.Build)
+	if err != nil {
+		return nil, err
+	}
+	ps, err := c.build(n.Probe)
+	if err != nil {
+		return nil, err
+	}
+	if c.env.Servers > 1 && !(bs.coordOnly && ps.coordOnly) {
+		if !bs.replicated && !aligned(bs.part, n.BuildKeys) {
+			bs = c.exchangeStream(joinName(n, "gj-shuffle-build"), bs, exchange.ModePartition, n.BuildKeys)
+		}
+		if !aligned(ps.part, n.ProbeKeys) && !bs.replicated {
+			ps = c.exchangeStream(joinName(n, "gj-shuffle-probe"), ps, exchange.ModePartition, n.ProbeKeys)
+		}
+	}
+	gjb := op.NewGroupJoinBuild(n.Build.Schema(), n.BuildKeys, n.Aggs)
+	c.add(&engine.Pipeline{
+		Name:   joinName(n, "gj-build"),
+		Source: bs.source,
+		Ops:    bs.ops,
+		Sink:   gjb,
+	})
+	gjp := &op.GroupJoinProbe{Build: gjb, ProbeKeys: n.ProbeKeys, Residual: n.Residual}
+	c.add(&engine.Pipeline{
+		Name:   joinName(n, "gj-probe"),
+		Source: ps.source,
+		Ops:    ps.ops,
+		Sink:   gjp,
+	})
+	// The output schema is the build schema plus aggregates, so the build
+	// stream's partitioning survives positionally.
+	return &stream{
+		source: &op.LazySource{Fn: gjb.ResultBatches, Morsel: c.env.MorselSize},
+		schema: n.schema,
+		part:   bs.part,
+	}, nil
+}
+
+func (c *compiler) buildGroupBy(n *Node) (*stream, error) {
+	in, err := c.build(n.In)
+	if err != nil {
+		return nil, err
+	}
+	env := c.env
+	workers := env.Engine.Workers()
+
+	// A replicated input would multiply counts if every server aggregated
+	// its full copy: restrict it to the coordinator's copy instead.
+	if in.replicated && env.Servers > 1 && !in.coordOnly {
+		in.coordOnly = true
+		in.replicated = false
+	}
+	local := env.Servers == 1 || in.coordOnly ||
+		(len(n.Keys) > 0 && aligned(in.part, n.Keys))
+
+	if local {
+		gb := op.NewGroupBy(in.schema, n.Keys, n.Aggs, workers)
+		c.add(&engine.Pipeline{
+			Name:            gbName(n, "agg"),
+			Source:          in.source,
+			Ops:             in.ops,
+			Sink:            gb,
+			CoordinatorOnly: in.coordOnly,
+		})
+		return &stream{
+			source:    &op.LazySource{Fn: gb.FinalBatches, Morsel: env.MorselSize},
+			schema:    n.schema,
+			part:      groupPart(n, in),
+			coordOnly: in.coordOnly,
+		}, nil
+	}
+
+	if len(n.Keys) == 0 {
+		// Scalar aggregate: local partial → gather → merge on coordinator.
+		partial := op.NewGroupBy(in.schema, nil, n.Aggs, workers)
+		c.add(&engine.Pipeline{
+			Name:   gbName(n, "partial"),
+			Source: in.source,
+			Ops:    in.ops,
+			Sink:   partial,
+		})
+		ps := partial.PartialSchema()
+		mid := &stream{
+			source: &op.LazySource{Fn: partial.PartialBatches, Morsel: env.MorselSize},
+			schema: ps,
+		}
+		mid = c.gather(gbName(n, "gather"), mid)
+		merge := op.NewGroupBy(ps, nil, op.MergeSpecs(n.Aggs, 0), workers)
+		c.add(&engine.Pipeline{
+			Name:            gbName(n, "merge"),
+			Source:          mid.source,
+			Ops:             mid.ops,
+			Sink:            merge,
+			CoordinatorOnly: true,
+		})
+		return &stream{
+			source:    &op.LazySource{Fn: merge.FinalBatches, Morsel: env.MorselSize},
+			schema:    n.schema,
+			coordOnly: true,
+		}, nil
+	}
+
+	if env.DisablePreAgg {
+		// Ablation: shuffle raw rows, aggregate once after the exchange.
+		shuffled := c.exchangeStream(gbName(n, "shuffle-raw"), in, exchange.ModePartition, n.Keys)
+		gb := op.NewGroupBy(shuffled.schema, n.Keys, n.Aggs, workers)
+		c.add(&engine.Pipeline{
+			Name:   gbName(n, "agg"),
+			Source: shuffled.source,
+			Ops:    shuffled.ops,
+			Sink:   gb,
+		})
+		return &stream{
+			source: &op.LazySource{Fn: gb.FinalBatches, Morsel: env.MorselSize},
+			schema: n.schema,
+			part:   identity(len(n.Keys)),
+		}, nil
+	}
+
+	// Pre-aggregate locally (Figure 6(c)), shuffle partials on the group
+	// keys, merge.
+	partial := op.NewGroupBy(in.schema, n.Keys, n.Aggs, workers)
+	c.add(&engine.Pipeline{
+		Name:   gbName(n, "preagg"),
+		Source: in.source,
+		Ops:    in.ops,
+		Sink:   partial,
+	})
+	ps := partial.PartialSchema()
+	mid := &stream{
+		source: &op.LazySource{Fn: partial.PartialBatches, Morsel: env.MorselSize},
+		schema: ps,
+	}
+	mid = c.exchangeStream(gbName(n, "shuffle"), mid, exchange.ModePartition, identity(len(n.Keys)))
+	merge := op.NewGroupBy(ps, identity(len(n.Keys)), op.MergeSpecs(n.Aggs, len(n.Keys)), workers)
+	c.add(&engine.Pipeline{
+		Name:   gbName(n, "merge"),
+		Source: mid.source,
+		Ops:    mid.ops,
+		Sink:   merge,
+	})
+	return &stream{
+		source: &op.LazySource{Fn: merge.FinalBatches, Morsel: env.MorselSize},
+		schema: n.schema,
+		part:   identity(len(n.Keys)),
+	}, nil
+}
+
+func (c *compiler) buildTopK(n *Node) (*stream, error) {
+	in, err := c.build(n.In)
+	if err != nil {
+		return nil, err
+	}
+	env := c.env
+	if env.Servers == 1 || in.coordOnly {
+		tk := op.NewTopK(in.schema, n.SortKeys, n.Limit)
+		c.add(&engine.Pipeline{
+			Name:            "topk",
+			Source:          in.source,
+			Ops:             in.ops,
+			Sink:            tk,
+			CoordinatorOnly: in.coordOnly,
+		})
+		return &stream{
+			source:    &op.LazySource{Fn: tk.Batches, Morsel: env.MorselSize},
+			schema:    n.schema,
+			coordOnly: in.coordOnly,
+		}, nil
+	}
+	// Local top-k bounds what is shipped; the coordinator re-sorts.
+	local := op.NewTopK(in.schema, n.SortKeys, n.Limit)
+	c.add(&engine.Pipeline{
+		Name:   "topk/local",
+		Source: in.source,
+		Ops:    in.ops,
+		Sink:   local,
+	})
+	mid := &stream{
+		source: &op.LazySource{Fn: local.Batches, Morsel: env.MorselSize},
+		schema: in.schema,
+	}
+	mid = c.gather("topk/gather", mid)
+	final := op.NewTopK(in.schema, n.SortKeys, n.Limit)
+	c.add(&engine.Pipeline{
+		Name:            "topk/final",
+		Source:          mid.source,
+		Ops:             mid.ops,
+		Sink:            final,
+		CoordinatorOnly: true,
+	})
+	return &stream{
+		source:    &op.LazySource{Fn: final.Batches, Morsel: env.MorselSize},
+		schema:    n.schema,
+		coordOnly: true,
+	}, nil
+}
+
+// aligned reports whether the stream partitioning matches the keys
+// positionally.
+func aligned(part, keys []int) bool {
+	if part == nil || len(part) != len(keys) {
+		return false
+	}
+	for i := range part {
+		if part[i] != keys[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// remap translates column indexes through a projection; nil if any column
+// is dropped.
+func remap(cols, proj []int) []int {
+	if cols == nil {
+		return nil
+	}
+	if proj == nil {
+		return cols
+	}
+	out := make([]int, len(cols))
+	for i, c := range cols {
+		found := -1
+		for p, pc := range proj {
+			if pc == c {
+				found = p
+				break
+			}
+		}
+		if found < 0 {
+			return nil
+		}
+		out[i] = found
+	}
+	return out
+}
+
+func identity(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func groupPart(n *Node, in *stream) []int {
+	if len(n.Keys) == 0 {
+		return nil
+	}
+	if aligned(in.part, n.Keys) {
+		return identity(len(n.Keys))
+	}
+	return nil
+}
+
+func joinName(n *Node, stage string) string {
+	return fmt.Sprintf("join(%s)/%s", n.JoinType, stage)
+}
+
+func gbName(n *Node, stage string) string {
+	return fmt.Sprintf("groupby(%d keys)/%s", len(n.Keys), stage)
+}

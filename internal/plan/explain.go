@@ -1,0 +1,78 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Explain renders the logical plan tree (Figure 6 style): one operator per
+// line, children indented.
+func Explain(q *Query) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", q.Name)
+	explainNode(&sb, q.Root, 0)
+	return sb.String()
+}
+
+func explainNode(sb *strings.Builder, n *Node, depth int) {
+	indent := strings.Repeat("  ", depth)
+	switch n.Kind {
+	case KScan:
+		fmt.Fprintf(sb, "%sscan %s %v\n", indent, n.Table, colNames(n))
+	case KSelect:
+		fmt.Fprintf(sb, "%sselect\n", indent)
+		explainNode(sb, n.In, depth+1)
+	case KMap:
+		names := make([]string, len(n.Exprs))
+		for i, e := range n.Exprs {
+			names[i] = e.Name
+		}
+		fmt.Fprintf(sb, "%smap %v\n", indent, names)
+		explainNode(sb, n.In, depth+1)
+	case KProject:
+		fmt.Fprintf(sb, "%sproject %v\n", indent, colNames(n))
+		explainNode(sb, n.In, depth+1)
+	case KJoin:
+		strat := ""
+		switch n.Strategy {
+		case BroadcastBuild:
+			strat = " [broadcast build]"
+		case PartitionBoth:
+			strat = " [partition both]"
+		case LocalJoin:
+			strat = " [local]"
+		}
+		fmt.Fprintf(sb, "%s%s join%s\n", indent, n.JoinType, strat)
+		fmt.Fprintf(sb, "%s  probe:\n", indent)
+		explainNode(sb, n.Probe, depth+2)
+		fmt.Fprintf(sb, "%s  build:\n", indent)
+		explainNode(sb, n.Build, depth+2)
+	case KGroupJoin:
+		fmt.Fprintf(sb, "%sgroupjoin (Γ⨝, %d aggs)\n", indent, len(n.Aggs))
+		fmt.Fprintf(sb, "%s  probe:\n", indent)
+		explainNode(sb, n.Probe, depth+2)
+		fmt.Fprintf(sb, "%s  build:\n", indent)
+		explainNode(sb, n.Build, depth+2)
+	case KGroupBy:
+		fmt.Fprintf(sb, "%sgroupby (%d keys, %d aggs)\n", indent, len(n.Keys), len(n.Aggs))
+		explainNode(sb, n.In, depth+1)
+	case KTopK:
+		if n.Limit > 0 {
+			fmt.Fprintf(sb, "%stop-%d\n", indent, n.Limit)
+		} else {
+			fmt.Fprintf(sb, "%ssort\n", indent)
+		}
+		explainNode(sb, n.In, depth+1)
+	}
+}
+
+func colNames(n *Node) []string {
+	out := make([]string, n.schema.Len())
+	for i, f := range n.schema.Fields {
+		out[i] = f.Name
+	}
+	if len(out) > 6 {
+		out = append(out[:6], fmt.Sprintf("…+%d", len(out)-6))
+	}
+	return out
+}

@@ -1,0 +1,75 @@
+package queries
+
+import (
+	"strings"
+	"testing"
+
+	"hsqp/internal/plan"
+)
+
+// TestAllQueriesBuild verifies every query constructs a well-formed plan
+// with a stable output schema.
+func TestAllQueriesBuild(t *testing.T) {
+	wantCols := map[int]int{
+		1: 10, 2: 8, 3: 4, 4: 2, 5: 2, 6: 1, 7: 4, 8: 2, 9: 3, 10: 8,
+		11: 2, 12: 3, 13: 2, 14: 1, 15: 5, 16: 4, 17: 1, 18: 6, 19: 1,
+		20: 2, 21: 2, 22: 3,
+	}
+	for _, q := range All() {
+		qp, err := Build(q, Params{SF: 1})
+		if err != nil {
+			t.Fatalf("q%d: %v", q, err)
+		}
+		if got := qp.Root.Schema().Len(); got != wantCols[q] {
+			t.Errorf("q%d: %d output columns, want %d (%v)", q, got, wantCols[q], qp.Root.Schema())
+		}
+	}
+	if _, err := Build(0, Params{}); err == nil {
+		t.Fatal("q0 accepted")
+	}
+	if _, err := Build(23, Params{}); err == nil {
+		t.Fatal("q23 accepted")
+	}
+}
+
+// TestExplainShapes spot-checks the plan shapes the paper calls out.
+func TestExplainShapes(t *testing.T) {
+	q17 := plan.Explain(MustBuild(17, Params{SF: 1}))
+	if !strings.Contains(q17, "groupjoin") {
+		t.Fatalf("Q17 must use the groupjoin (Figure 6):\n%s", q17)
+	}
+	q18 := plan.Explain(MustBuild(18, Params{SF: 1}))
+	if !strings.Contains(q18, "groupjoin") {
+		t.Fatalf("Q18 must use the groupjoin:\n%s", q18)
+	}
+	q3 := plan.Explain(MustBuild(3, Params{SF: 1}))
+	if !strings.Contains(q3, "[broadcast build]") {
+		t.Fatalf("Q3 must broadcast its small build side:\n%s", q3)
+	}
+	if !strings.Contains(q3, "top-10") {
+		t.Fatalf("Q3 must end in a top-10:\n%s", q3)
+	}
+	q13 := plan.Explain(MustBuild(13, Params{SF: 1}))
+	if !strings.Contains(q13, "leftouter join") {
+		t.Fatalf("Q13 must use a left outer join:\n%s", q13)
+	}
+	q21 := plan.Explain(MustBuild(21, Params{SF: 1}))
+	if !strings.Contains(q21, "anti join") || !strings.Contains(q21, "semi join") {
+		t.Fatalf("Q21 must combine semi and anti joins:\n%s", q21)
+	}
+}
+
+// TestDeterministicConstruction: two builds of the same query must produce
+// plans that compile to the same exchange-id sequence on every server —
+// the distributed-correctness precondition.
+func TestDeterministicConstruction(t *testing.T) {
+	for _, q := range All() {
+		a := MustBuild(q, Params{SF: 0.1})
+		b := MustBuild(q, Params{SF: 0.1})
+		ea := plan.Explain(a)
+		eb := plan.Explain(b)
+		if ea != eb {
+			t.Fatalf("q%d: plan construction not deterministic:\n%s\nvs\n%s", q, ea, eb)
+		}
+	}
+}

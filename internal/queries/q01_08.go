@@ -1,0 +1,263 @@
+package queries
+
+import (
+	"hsqp/internal/op"
+	"hsqp/internal/plan"
+	"hsqp/internal/storage"
+)
+
+// q1: pricing summary report. Scan-heavy, transfers almost no data — the
+// paper's example of a query that scales even on GbE.
+func q1(Params) *plan.Query {
+	l := scan("lineitem")
+	l = l.Select(op.I64LE(l.Col("l_shipdate"), date("1998-09-02"))) // 1998-12-01 − 90 days
+	l = l.Map(
+		op.NamedExpr{Name: "disc_price", Type: storage.TDecimal, Expr: revenue(l)},
+		op.NamedExpr{Name: "charge", Type: storage.TDecimal,
+			Expr: op.MulDec(revenue(l), op.AddDecConst(100, col(l, "l_tax")))},
+	)
+	g := l.GroupBy([]string{"l_returnflag", "l_linestatus"},
+		sumDec("sum_qty", col(l, "l_quantity")),
+		sumDec("sum_base_price", col(l, "l_extendedprice")),
+		sumDec("sum_disc_price", col(l, "disc_price")),
+		sumDec("sum_charge", col(l, "charge")),
+		avgDec("avg_qty", col(l, "l_quantity")),
+		avgDec("avg_price", col(l, "l_extendedprice")),
+		avgDec("avg_disc", col(l, "l_discount")),
+		count("count_order"),
+	)
+	g = g.OrderBy([]op.SortKey{asc(g, "l_returnflag"), asc(g, "l_linestatus")}, 0)
+	return plan.NewQuery("q1", g)
+}
+
+// q2: minimum cost supplier (correlated subquery unnested into a
+// min-aggregation joined back on (partkey, cost)).
+func q2(Params) *plan.Query {
+	natEU := nationInRegion("EUROPE")
+	sup := scan("supplier")
+	sup = sup.Join(natEU, []string{"s_nationkey"}, []string{"n_nationkey"},
+		plan.JoinSpec{Type: op.Inner,
+			ProbeOut: []string{"s_suppkey", "s_name", "s_address", "s_phone", "s_acctbal", "s_comment"},
+			BuildOut: []string{"n_name"}})
+
+	ps := scan("partsupp")
+	psEU := ps.Join(sup, []string{"ps_suppkey"}, []string{"s_suppkey"},
+		plan.JoinSpec{Type: op.Inner, Strategy: plan.BroadcastBuild,
+			ProbeOut: []string{"ps_partkey", "ps_supplycost"},
+			BuildOut: []string{"s_name", "s_address", "s_phone", "s_acctbal", "s_comment", "n_name"}})
+
+	part := scan("part")
+	part = part.Select(op.And(
+		op.I64EQ(part.Col("p_size"), 15),
+		op.Like(part.Col("p_type"), "%BRASS"),
+	))
+	joined := psEU.Join(part, []string{"ps_partkey"}, []string{"p_partkey"},
+		plan.JoinSpec{Type: op.Inner, Strategy: plan.BroadcastBuild,
+			BuildOut: []string{"p_partkey", "p_mfgr"}})
+
+	minCost := joined.GroupBy([]string{"p_partkey"}, minDec("min_cost", col(joined, "ps_supplycost")))
+
+	final := joined.Join(minCost,
+		[]string{"p_partkey", "ps_supplycost"}, []string{"p_partkey", "min_cost"},
+		plan.JoinSpec{Type: op.Semi})
+	final = final.Project("s_acctbal", "s_name", "n_name", "p_partkey", "p_mfgr", "s_address", "s_phone", "s_comment")
+	final = final.OrderBy([]op.SortKey{
+		desc(final, "s_acctbal"), asc(final, "n_name"), asc(final, "s_name"), asc(final, "p_partkey"),
+	}, 100)
+	return plan.NewQuery("q2", final)
+}
+
+// q3: shipping priority — customer ⨝ orders ⨝ lineitem, top 10 by revenue.
+func q3(Params) *plan.Query {
+	cutoff := date("1995-03-15")
+	c := scan("customer")
+	c = c.Select(op.StrEQ(c.Col("c_mktsegment"), "BUILDING"))
+	o := scan("orders")
+	o = o.Select(op.I64LT(o.Col("o_orderdate"), cutoff))
+	o = o.Project("o_orderkey", "o_custkey", "o_orderdate", "o_shippriority")
+	co := o.Join(c, []string{"o_custkey"}, []string{"c_custkey"},
+		plan.JoinSpec{Type: op.Semi, Strategy: plan.BroadcastBuild,
+			ProbeOut: []string{"o_orderkey", "o_orderdate", "o_shippriority"}})
+	l := scan("lineitem")
+	l = l.Select(op.I64GT(l.Col("l_shipdate"), cutoff))
+	l = l.Project("l_orderkey", "l_extendedprice", "l_discount")
+	j := l.Join(co, []string{"l_orderkey"}, []string{"o_orderkey"},
+		plan.JoinSpec{Type: op.Inner,
+			ProbeOut: []string{"l_extendedprice", "l_discount"},
+			BuildOut: []string{"o_orderkey", "o_orderdate", "o_shippriority"}})
+	j = j.Map(op.NamedExpr{Name: "rev", Type: storage.TDecimal, Expr: revenue(j)})
+	g := j.GroupBy([]string{"o_orderkey", "o_orderdate", "o_shippriority"},
+		sumDec("revenue", col(j, "rev")))
+	g = g.ProjectCols([]int{0, 3, 1, 2}) // l_orderkey, revenue, o_orderdate, o_shippriority
+	g = g.OrderBy([]op.SortKey{desc(g, "revenue"), asc(g, "o_orderdate")}, 10)
+	return plan.NewQuery("q3", g)
+}
+
+// q4: order priority checking — orders semi-join late lineitems.
+func q4(Params) *plan.Query {
+	o := scan("orders")
+	o = o.Select(op.And(
+		op.I64GE(o.Col("o_orderdate"), date("1993-07-01")),
+		op.I64LT(o.Col("o_orderdate"), date("1993-10-01")),
+	))
+	o = o.Project("o_orderkey", "o_orderpriority")
+	l := scan("lineitem")
+	l = l.Select(op.ColLT(l.Col("l_commitdate"), l.Col("l_receiptdate")))
+	l = l.Project("l_orderkey")
+	j := o.Join(l, []string{"o_orderkey"}, []string{"l_orderkey"},
+		plan.JoinSpec{Type: op.Semi, ProbeOut: []string{"o_orderpriority"}})
+	g := j.GroupBy([]string{"o_orderpriority"}, count("order_count"))
+	g = g.OrderBy([]op.SortKey{asc(g, "o_orderpriority")}, 0)
+	return plan.NewQuery("q4", g)
+}
+
+// q5: local supplier volume — the 6-way join of Figure 6's family.
+func q5(Params) *plan.Query {
+	natAsia := nationInRegion("ASIA")
+	sup := scan("supplier")
+	sup = sup.Join(natAsia, []string{"s_nationkey"}, []string{"n_nationkey"},
+		plan.JoinSpec{Type: op.Inner,
+			ProbeOut: []string{"s_suppkey", "s_nationkey"},
+			BuildOut: []string{"n_name"}})
+
+	o := scan("orders")
+	o = o.Select(op.And(
+		op.I64GE(o.Col("o_orderdate"), date("1994-01-01")),
+		op.I64LT(o.Col("o_orderdate"), date("1995-01-01")),
+	))
+	o = o.Project("o_orderkey", "o_custkey")
+	cust := scan("customer")
+	cust = cust.Project("c_custkey", "c_nationkey")
+	oc := o.Join(cust, []string{"o_custkey"}, []string{"c_custkey"},
+		plan.JoinSpec{Type: op.Inner, Strategy: plan.BroadcastBuild,
+			ProbeOut: []string{"o_orderkey"},
+			BuildOut: []string{"c_nationkey"}})
+
+	l := scan("lineitem")
+	l = l.Project("l_orderkey", "l_suppkey", "l_extendedprice", "l_discount")
+	j := l.Join(oc, []string{"l_orderkey"}, []string{"o_orderkey"},
+		plan.JoinSpec{Type: op.Inner,
+			ProbeOut: []string{"l_suppkey", "l_extendedprice", "l_discount"},
+			BuildOut: []string{"c_nationkey"}})
+	j = j.Join(sup, []string{"l_suppkey", "c_nationkey"}, []string{"s_suppkey", "s_nationkey"},
+		plan.JoinSpec{Type: op.Inner, Strategy: plan.BroadcastBuild,
+			ProbeOut: []string{"l_extendedprice", "l_discount"},
+			BuildOut: []string{"n_name"}})
+	j = j.Map(op.NamedExpr{Name: "rev", Type: storage.TDecimal, Expr: revenue(j)})
+	g := j.GroupBy([]string{"n_name"}, sumDec("revenue", col(j, "rev")))
+	g = g.OrderBy([]op.SortKey{desc(g, "revenue")}, 0)
+	return plan.NewQuery("q5", g)
+}
+
+// q6: forecasting revenue change — pure scan + scalar aggregate.
+func q6(Params) *plan.Query {
+	l := scan("lineitem")
+	l = l.Select(op.And(
+		op.I64GE(l.Col("l_shipdate"), date("1994-01-01")),
+		op.I64LT(l.Col("l_shipdate"), date("1995-01-01")),
+		op.I64Between(l.Col("l_discount"), 5, 7),
+		op.I64LT(l.Col("l_quantity"), 24*100),
+	))
+	g := l.GroupByCols(nil,
+		sumDec("revenue", op.MulDec(col(l, "l_extendedprice"), col(l, "l_discount"))))
+	return plan.NewQuery("q6", g)
+}
+
+// q7: volume shipping between FRANCE and GERMANY.
+func q7(Params) *plan.Query {
+	sup := nationOf(scan("supplier"), "s_nationkey", []string{"s_suppkey"})
+	supN := sup.Select(op.StrIn(sup.Col("n_name"), "FRANCE", "GERMANY"))
+	cust := nationOf(scan("customer"), "c_nationkey", []string{"c_custkey"})
+	custN := cust.Select(op.StrIn(cust.Col("n_name"), "FRANCE", "GERMANY"))
+
+	l := scan("lineitem")
+	l = l.Select(op.And(
+		op.I64GE(l.Col("l_shipdate"), date("1995-01-01")),
+		op.I64LE(l.Col("l_shipdate"), date("1996-12-31")),
+	))
+	l = l.Project("l_orderkey", "l_suppkey", "l_extendedprice", "l_discount", "l_shipdate")
+	j := l.Join(supN, []string{"l_suppkey"}, []string{"s_suppkey"},
+		plan.JoinSpec{Type: op.Inner, Strategy: plan.BroadcastBuild,
+			ProbeOut: []string{"l_orderkey", "l_extendedprice", "l_discount", "l_shipdate"},
+			BuildOut: []string{"n_name"}})
+	// Rename via projection is implicit: the build column arrives as
+	// n_name; track it as the supplier nation by position.
+	j = j.Map(op.NamedExpr{Name: "supp_nation", Type: storage.TString, Expr: col(j, "n_name")})
+	j = j.Project("l_orderkey", "l_extendedprice", "l_discount", "l_shipdate", "supp_nation")
+
+	o := scan("orders")
+	o = o.Project("o_orderkey", "o_custkey")
+	j2 := j.Join(o, []string{"l_orderkey"}, []string{"o_orderkey"},
+		plan.JoinSpec{Type: op.Inner,
+			ProbeOut: []string{"l_extendedprice", "l_discount", "l_shipdate", "supp_nation"},
+			BuildOut: []string{"o_custkey"}})
+	j3 := j2.Join(custN, []string{"o_custkey"}, []string{"c_custkey"},
+		plan.JoinSpec{Type: op.Inner, Strategy: plan.BroadcastBuild,
+			ProbeOut: []string{"l_extendedprice", "l_discount", "l_shipdate", "supp_nation"},
+			BuildOut: []string{"n_name"}})
+	j3 = j3.Map(op.NamedExpr{Name: "cust_nation", Type: storage.TString, Expr: col(j3, "n_name")})
+	pair := j3.Select(op.Or(
+		op.And(op.StrEQ(j3.Col("supp_nation"), "FRANCE"), op.StrEQ(j3.Col("cust_nation"), "GERMANY")),
+		op.And(op.StrEQ(j3.Col("supp_nation"), "GERMANY"), op.StrEQ(j3.Col("cust_nation"), "FRANCE")),
+	))
+	pair = pair.Map(
+		op.NamedExpr{Name: "l_year", Type: storage.TInt64, Expr: op.Year(pair.Col("l_shipdate"))},
+		op.NamedExpr{Name: "volume", Type: storage.TDecimal, Expr: revenue(pair)},
+	)
+	g := pair.GroupBy([]string{"supp_nation", "cust_nation", "l_year"},
+		sumDec("revenue", col(pair, "volume")))
+	g = g.OrderBy([]op.SortKey{asc(g, "supp_nation"), asc(g, "cust_nation"), asc(g, "l_year")}, 0)
+	return plan.NewQuery("q7", g)
+}
+
+// q8: national market share of BRAZIL in AMERICA for a part type.
+func q8(Params) *plan.Query {
+	part := scan("part")
+	part = part.Select(op.StrEQ(part.Col("p_type"), "ECONOMY ANODIZED STEEL"))
+	part = part.Project("p_partkey")
+
+	l := scan("lineitem")
+	lp := l.Join(part, []string{"l_partkey"}, []string{"p_partkey"},
+		plan.JoinSpec{Type: op.Semi, Strategy: plan.BroadcastBuild,
+			ProbeOut: []string{"l_orderkey", "l_suppkey", "l_extendedprice", "l_discount"}})
+
+	sup := nationOf(scan("supplier"), "s_nationkey", []string{"s_suppkey"})
+	lps := lp.Join(sup, []string{"l_suppkey"}, []string{"s_suppkey"},
+		plan.JoinSpec{Type: op.Inner, Strategy: plan.BroadcastBuild,
+			ProbeOut: []string{"l_orderkey", "l_extendedprice", "l_discount"},
+			BuildOut: []string{"n_name"}})
+	lps = lps.Map(op.NamedExpr{Name: "supp_nation", Type: storage.TString, Expr: col(lps, "n_name")})
+
+	o := scan("orders")
+	o = o.Select(op.And(
+		op.I64GE(o.Col("o_orderdate"), date("1995-01-01")),
+		op.I64LE(o.Col("o_orderdate"), date("1996-12-31")),
+	))
+	o = o.Project("o_orderkey", "o_custkey", "o_orderdate")
+	natAm := nationInRegion("AMERICA")
+	cust := scan("customer")
+	custAm := cust.Join(natAm, []string{"c_nationkey"}, []string{"n_nationkey"},
+		plan.JoinSpec{Type: op.Semi, ProbeOut: []string{"c_custkey"}})
+	oc := o.Join(custAm, []string{"o_custkey"}, []string{"c_custkey"},
+		plan.JoinSpec{Type: op.Semi, Strategy: plan.BroadcastBuild,
+			ProbeOut: []string{"o_orderkey", "o_orderdate"}})
+
+	j := lps.Join(oc, []string{"l_orderkey"}, []string{"o_orderkey"},
+		plan.JoinSpec{Type: op.Inner,
+			ProbeOut: []string{"l_extendedprice", "l_discount", "supp_nation"},
+			BuildOut: []string{"o_orderdate"}})
+	j = j.Map(
+		op.NamedExpr{Name: "o_year", Type: storage.TInt64, Expr: op.Year(j.Col("o_orderdate"))},
+		op.NamedExpr{Name: "volume", Type: storage.TDecimal, Expr: revenue(j)},
+	)
+	j = j.Map(op.NamedExpr{Name: "brazil_volume", Type: storage.TDecimal,
+		Expr: op.CaseWhen(op.StrEQ(j.Col("supp_nation"), "BRAZIL"), col(j, "volume"), op.ConstI(0))})
+	g := j.GroupBy([]string{"o_year"},
+		sumDec("sum_brazil", col(j, "brazil_volume")),
+		sumDec("sum_total", col(j, "volume")))
+	g = g.Map(op.NamedExpr{Name: "mkt_share", Type: storage.TDecimal,
+		Expr: op.Ratio(col(g, "sum_brazil"), col(g, "sum_total"), 100)})
+	g = g.Project("o_year", "mkt_share")
+	g = g.OrderBy([]op.SortKey{asc(g, "o_year")}, 0)
+	return plan.NewQuery("q8", g)
+}

@@ -1,0 +1,252 @@
+package queries
+
+import (
+	"hsqp/internal/op"
+	"hsqp/internal/plan"
+	"hsqp/internal/storage"
+)
+
+// q17: small-quantity-order revenue — the paper's Figure 6 example. The
+// correlated avg(l_quantity) subquery becomes a groupjoin of part and
+// lineitem; a second lineitem pass keeps rows below 0.2×avg.
+func q17(Params) *plan.Query {
+	part := scan("part")
+	part = part.Select(op.And(
+		op.StrEQ(part.Col("p_brand"), "Brand#23"),
+		op.StrEQ(part.Col("p_container"), "MED BOX"),
+	))
+	part = part.Project("p_partkey")
+
+	l := scan("lineitem")
+	l = l.Project("l_partkey", "l_quantity")
+	gj := l.GroupJoin(part, []string{"l_partkey"}, []string{"p_partkey"}, nil,
+		avgDec("avg_qty", col(l, "l_quantity")))
+	// gj: (p_partkey, avg_qty), one row per matched part.
+
+	l2 := scan("lineitem")
+	l2 = l2.Project("l_partkey", "l_quantity", "l_extendedprice")
+	j := l2.Join(gj, []string{"l_partkey"}, []string{"p_partkey"},
+		plan.JoinSpec{
+			Type:     op.Inner,
+			Strategy: plan.BroadcastBuild,
+			ProbeOut: []string{"l_extendedprice"},
+			BuildOut: []string{},
+			Residual: func() op.ResidualPred {
+				qty := l2.Col("l_quantity")
+				return func(probe *storage.Batch, pi int, build *storage.Batch, bi int) bool {
+					// l_quantity < 0.2 × avg(qty)  ⇔  5×qty < avg
+					return 5*probe.Cols[qty].I64[pi] < build.Cols[1].I64[bi]
+				}
+			}(),
+		})
+	g := j.GroupByCols(nil, sumDec("sum_price", col(j, "l_extendedprice")))
+	g = g.Map(op.NamedExpr{Name: "avg_yearly", Type: storage.TDecimal,
+		Expr: op.DivDecConst(col(g, "sum_price"), 7)})
+	g = g.Project("avg_yearly")
+	return plan.NewQuery("q17", g)
+}
+
+// q18: large volume customers — groupjoin of orders and lineitem, HAVING
+// sum(l_quantity) > 300.
+func q18(Params) *plan.Query {
+	o := scan("orders")
+	o = o.ProjectCols([]int{
+		o.Col("o_orderkey"), o.Col("o_custkey"), o.Col("o_totalprice"), o.Col("o_orderdate"),
+	})
+	l := scan("lineitem")
+	l = l.Project("l_orderkey", "l_quantity")
+	gj := l.GroupJoin(o, []string{"l_orderkey"}, []string{"o_orderkey"}, nil,
+		sumDec("sum_qty", col(l, "l_quantity")))
+	big := gj.Select(op.I64GT(gj.Col("sum_qty"), 300*100))
+
+	cust := scan("customer")
+	f := big.Join(cust, []string{"o_custkey"}, []string{"c_custkey"},
+		plan.JoinSpec{Type: op.Inner, Strategy: plan.BroadcastBuild,
+			ProbeOut: []string{"o_orderkey", "o_totalprice", "o_orderdate", "sum_qty"},
+			BuildOut: []string{"c_name", "c_custkey"}})
+	f = f.Project("c_name", "c_custkey", "o_orderkey", "o_orderdate", "o_totalprice", "sum_qty")
+	f = f.OrderBy([]op.SortKey{desc(f, "o_totalprice"), asc(f, "o_orderdate")}, 100)
+	return plan.NewQuery("q18", f)
+}
+
+// q19: discounted revenue — disjunctive join predicate spanning both
+// sides, evaluated as a residual of the partkey join.
+func q19(Params) *plan.Query {
+	l := scan("lineitem")
+	l = l.Select(op.And(
+		op.StrIn(l.Col("l_shipmode"), "AIR", "AIR REG"),
+		op.StrEQ(l.Col("l_shipinstruct"), "DELIVER IN PERSON"),
+	))
+	l = l.Project("l_partkey", "l_quantity", "l_extendedprice", "l_discount")
+	part := scan("part")
+
+	qty := l.Col("l_quantity")
+	brand := part.Col("p_brand")
+	container := part.Col("p_container")
+	size := part.Col("p_size")
+	branch := func(wantBrand string, containers []string, qlo, qhi, smax int64) op.ResidualPred {
+		cset := map[string]struct{}{}
+		for _, c := range containers {
+			cset[c] = struct{}{}
+		}
+		return func(probe *storage.Batch, pi int, build *storage.Batch, bi int) bool {
+			if build.Cols[brand].Str[bi] != wantBrand {
+				return false
+			}
+			if _, ok := cset[build.Cols[container].Str[bi]]; !ok {
+				return false
+			}
+			q := probe.Cols[qty].I64[pi]
+			if q < qlo*100 || q > qhi*100 {
+				return false
+			}
+			s := build.Cols[size].I64[bi]
+			return s >= 1 && s <= smax
+		}
+	}
+	b1 := branch("Brand#12", []string{"SM CASE", "SM BOX", "SM PACK", "SM PKG"}, 1, 11, 5)
+	b2 := branch("Brand#23", []string{"MED BAG", "MED BOX", "MED PKG", "MED PACK"}, 10, 20, 10)
+	b3 := branch("Brand#34", []string{"LG CASE", "LG BOX", "LG PACK", "LG PKG"}, 20, 30, 15)
+
+	j := l.Join(part, []string{"l_partkey"}, []string{"p_partkey"},
+		plan.JoinSpec{
+			Type:     op.Inner,
+			Strategy: plan.BroadcastBuild,
+			ProbeOut: []string{"l_extendedprice", "l_discount"},
+			BuildOut: []string{},
+			Residual: func(probe *storage.Batch, pi int, build *storage.Batch, bi int) bool {
+				return b1(probe, pi, build, bi) || b2(probe, pi, build, bi) || b3(probe, pi, build, bi)
+			},
+		})
+	j = j.Map(op.NamedExpr{Name: "rev", Type: storage.TDecimal, Expr: revenue(j)})
+	g := j.GroupByCols(nil, sumDec("revenue", col(j, "rev")))
+	return plan.NewQuery("q19", g)
+}
+
+// q20: potential part promotion — nested semi-joins with a quantity
+// threshold.
+func q20(Params) *plan.Query {
+	part := scan("part")
+	part = part.Select(op.StrPrefix(part.Col("p_name"), "forest"))
+	part = part.Project("p_partkey")
+
+	l := scan("lineitem")
+	l = l.Select(op.And(
+		op.I64GE(l.Col("l_shipdate"), date("1994-01-01")),
+		op.I64LT(l.Col("l_shipdate"), date("1995-01-01")),
+	))
+	l = l.Project("l_partkey", "l_suppkey", "l_quantity")
+	qtyPerPS := l.GroupBy([]string{"l_partkey", "l_suppkey"},
+		sumDec("sum_qty", col(l, "l_quantity")))
+
+	ps := scan("partsupp")
+	ps = ps.Join(part, []string{"ps_partkey"}, []string{"p_partkey"},
+		plan.JoinSpec{Type: op.Semi, Strategy: plan.BroadcastBuild,
+			ProbeOut: []string{"ps_partkey", "ps_suppkey", "ps_availqty"}})
+	availIdx := ps.Col("ps_availqty")
+	candidates := ps.Join(qtyPerPS,
+		[]string{"ps_partkey", "ps_suppkey"}, []string{"l_partkey", "l_suppkey"},
+		plan.JoinSpec{
+			Type: op.Semi,
+			Residual: func(probe *storage.Batch, pi int, build *storage.Batch, bi int) bool {
+				// ps_availqty > 0.5 × sum(l_quantity); availqty is a plain
+				// integer, sum_qty decimal hundredths.
+				return probe.Cols[availIdx].I64[pi]*200 > build.Cols[2].I64[bi]
+			},
+		})
+	candidates = candidates.Project("ps_suppkey")
+
+	nat := scan("nation")
+	nat = nat.Select(op.StrEQ(nat.Col("n_name"), "CANADA"))
+	sup := scan("supplier")
+	sup = sup.Join(nat, []string{"s_nationkey"}, []string{"n_nationkey"},
+		plan.JoinSpec{Type: op.Semi, ProbeOut: []string{"s_suppkey", "s_name", "s_address"}})
+	f := sup.Join(candidates, []string{"s_suppkey"}, []string{"ps_suppkey"},
+		plan.JoinSpec{Type: op.Semi})
+	f = f.Project("s_name", "s_address")
+	f = f.OrderBy([]op.SortKey{asc(f, "s_name")}, 0)
+	return plan.NewQuery("q20", f)
+}
+
+// q21: suppliers who kept orders waiting — semi- and anti-joins with
+// inequality residuals over lineitem.
+func q21(Params) *plan.Query {
+	nat := scan("nation")
+	nat = nat.Select(op.StrEQ(nat.Col("n_name"), "SAUDI ARABIA"))
+	sup := scan("supplier")
+	sup = sup.Join(nat, []string{"s_nationkey"}, []string{"n_nationkey"},
+		plan.JoinSpec{Type: op.Semi, ProbeOut: []string{"s_suppkey", "s_name"}})
+
+	l1 := scan("lineitem")
+	l1 = l1.Select(op.ColLT(l1.Col("l_commitdate"), l1.Col("l_receiptdate")))
+	l1 = l1.Project("l_orderkey", "l_suppkey")
+	j := l1.Join(sup, []string{"l_suppkey"}, []string{"s_suppkey"},
+		plan.JoinSpec{Type: op.Inner, Strategy: plan.BroadcastBuild,
+			ProbeOut: []string{"l_orderkey", "l_suppkey"},
+			BuildOut: []string{"s_name"}})
+
+	o := scan("orders")
+	o = o.Select(op.StrEQ(o.Col("o_orderstatus"), "F"))
+	o = o.Project("o_orderkey")
+	j = j.Join(o, []string{"l_orderkey"}, []string{"o_orderkey"},
+		plan.JoinSpec{Type: op.Semi})
+
+	// exists l2: same order, different supplier.
+	l2 := scan("lineitem")
+	l2 = l2.Project("l_orderkey", "l_suppkey")
+	suppIdx := j.Col("l_suppkey")
+	j = j.Join(l2, []string{"l_orderkey"}, []string{"l_orderkey"},
+		plan.JoinSpec{
+			Type: op.Semi,
+			Residual: func(probe *storage.Batch, pi int, build *storage.Batch, bi int) bool {
+				return build.Cols[1].I64[bi] != probe.Cols[suppIdx].I64[pi]
+			},
+		})
+
+	// not exists l3: same order, different supplier, also late.
+	l3 := scan("lineitem")
+	l3 = l3.Select(op.ColLT(l3.Col("l_commitdate"), l3.Col("l_receiptdate")))
+	l3 = l3.Project("l_orderkey", "l_suppkey")
+	j = j.Join(l3, []string{"l_orderkey"}, []string{"l_orderkey"},
+		plan.JoinSpec{
+			Type: op.Anti,
+			Residual: func(probe *storage.Batch, pi int, build *storage.Batch, bi int) bool {
+				return build.Cols[1].I64[bi] != probe.Cols[suppIdx].I64[pi]
+			},
+		})
+
+	g := j.GroupBy([]string{"s_name"}, count("numwait"))
+	g = g.OrderBy([]op.SortKey{desc(g, "numwait"), asc(g, "s_name")}, 100)
+	return plan.NewQuery("q21", g)
+}
+
+// q22: global sales opportunity — scalar average + anti-join against
+// orders.
+func q22(Params) *plan.Query {
+	codes := []string{"13", "31", "23", "29", "30", "18", "17"}
+	c := scan("customer")
+	c = c.Project("c_custkey", "c_phone", "c_acctbal")
+	cf := c.Select(op.StrPrefixIn(c.Col("c_phone"), 2, codes...))
+
+	withBal := cf.Select(op.I64GT(cf.Col("c_acctbal"), 0))
+	avgBal := withBal.GroupByCols(nil, avgDec("avg_bal", col(withBal, "c_acctbal")))
+
+	balIdx := cf.Col("c_acctbal")
+	rich := cf.Join(avgBal, nil, nil, plan.JoinSpec{
+		Type: op.Semi,
+		Residual: func(probe *storage.Batch, pi int, build *storage.Batch, bi int) bool {
+			return probe.Cols[balIdx].I64[pi] > build.Cols[0].I64[bi]
+		},
+	})
+	o := scan("orders")
+	o = o.Project("o_custkey")
+	noOrders := rich.Join(o, []string{"c_custkey"}, []string{"o_custkey"},
+		plan.JoinSpec{Type: op.Anti})
+	noOrders = noOrders.Map(op.NamedExpr{Name: "cntrycode", Type: storage.TString,
+		Expr: op.Substr(noOrders.Col("c_phone"), 0, 2)})
+	g := noOrders.GroupBy([]string{"cntrycode"},
+		count("numcust"),
+		sumDec("totacctbal", col(noOrders, "c_acctbal")))
+	g = g.OrderBy([]op.SortKey{asc(g, "cntrycode")}, 0)
+	return plan.NewQuery("q22", g)
+}

@@ -1,0 +1,114 @@
+// Package queries defines the 22 TPC-H queries as logical plans for the
+// distributed engine (the paper's evaluation workload, §4). Queries use
+// the TPC-H validation ("qualification") parameters. The plans mirror the
+// hand-optimized distributed plans of Figure 6: selections and projections
+// are pushed down, small inputs are broadcast, aggregations pre-aggregate
+// before shuffling, and Q17/Q18 use the groupjoin.
+package queries
+
+import (
+	"fmt"
+
+	"hsqp/internal/op"
+	"hsqp/internal/plan"
+	"hsqp/internal/storage"
+	"hsqp/internal/tpch"
+)
+
+// Params carries the workload context a few queries need.
+type Params struct {
+	// SF is the scale factor (Q11's HAVING fraction is 0.0001/SF).
+	SF float64
+}
+
+// Build returns the plan of TPC-H query q (1–22).
+func Build(q int, p Params) (*plan.Query, error) {
+	if q < 1 || q > 22 {
+		return nil, fmt.Errorf("queries: no TPC-H query %d", q)
+	}
+	return builders[q-1](p), nil
+}
+
+// MustBuild is Build for tests and benchmarks.
+func MustBuild(q int, p Params) *plan.Query {
+	out, err := Build(q, p)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// All returns the query numbers in order.
+func All() []int {
+	out := make([]int, 22)
+	for i := range out {
+		out[i] = i + 1
+	}
+	return out
+}
+
+var builders = [22]func(Params) *plan.Query{
+	q1, q2, q3, q4, q5, q6, q7, q8, q9, q10, q11,
+	q12, q13, q14, q15, q16, q17, q18, q19, q20, q21, q22,
+}
+
+// --- helpers ---
+
+func scan(table string) *plan.Node { return plan.Scan(table, tpch.SchemaOf(table)) }
+
+func col(n *plan.Node, name string) op.Expr { return op.Col(n.Col(name)) }
+
+func date(s string) int64 { return storage.MustDate(s) }
+
+// revenue builds l_extendedprice * (1 − l_discount) over node n.
+func revenue(n *plan.Node) op.Expr {
+	return op.MulDec(col(n, "l_extendedprice"), op.SubDecConst(100, col(n, "l_discount")))
+}
+
+func sumDec(name string, e op.Expr) op.AggSpec {
+	return op.AggSpec{Kind: op.Sum, Name: name, Arg: e, ArgType: storage.TDecimal}
+}
+
+func sumInt(name string, e op.Expr) op.AggSpec {
+	return op.AggSpec{Kind: op.Sum, Name: name, Arg: e, ArgType: storage.TInt64}
+}
+
+func avgDec(name string, e op.Expr) op.AggSpec {
+	return op.AggSpec{Kind: op.Avg, Name: name, Arg: e, ArgType: storage.TDecimal}
+}
+
+func minDec(name string, e op.Expr) op.AggSpec {
+	return op.AggSpec{Kind: op.Min, Name: name, Arg: e, ArgType: storage.TDecimal}
+}
+
+func maxDec(name string, e op.Expr) op.AggSpec {
+	return op.AggSpec{Kind: op.Max, Name: name, Arg: e, ArgType: storage.TDecimal}
+}
+
+func count(name string) op.AggSpec {
+	return op.AggSpec{Kind: op.Count, Name: name}
+}
+
+func countNonNull(name string, e op.Expr) op.AggSpec {
+	return op.AggSpec{Kind: op.Count, Name: name, Arg: e}
+}
+
+func asc(n *plan.Node, name string) op.SortKey  { return op.SortKey{Col: n.Col(name)} }
+func desc(n *plan.Node, name string) op.SortKey { return op.SortKey{Col: n.Col(name), Desc: true} }
+
+// nationOf joins a stream against the (replicated) nation relation and
+// keeps keepProbe plus n_name.
+func nationOf(n *plan.Node, nationKeyCol string, keepProbe []string) *plan.Node {
+	return n.Join(scan("nation"), []string{nationKeyCol}, []string{"n_nationkey"},
+		plan.JoinSpec{Type: op.Inner, ProbeOut: keepProbe, BuildOut: []string{"n_name"}})
+}
+
+// nationInRegion returns nation rows restricted to one region:
+// (n_nationkey, n_name).
+func nationInRegion(region string) *plan.Node {
+	reg := scan("region")
+	reg = reg.Select(op.StrEQ(reg.Col("r_name"), region))
+	nat := scan("nation")
+	return nat.Join(reg, []string{"n_regionkey"}, []string{"r_regionkey"},
+		plan.JoinSpec{Type: op.Semi, ProbeOut: []string{"n_nationkey", "n_name"}})
+}

@@ -1,0 +1,421 @@
+package ref
+
+import (
+	"hsqp/internal/tpch"
+)
+
+func q1(db *tpch.Database, _ float64) *Result {
+	l := table(db, "lineitem")
+	cutoff := date("1998-09-02")
+	type state struct {
+		qty, base, disc, charge, discSum int64
+		cnt                              int64
+	}
+	groups := map[[2]string]*state{}
+	for i := 0; i < l.rows(); i++ {
+		if l.i64("l_shipdate", i) > cutoff {
+			continue
+		}
+		key := [2]string{l.str("l_returnflag", i), l.str("l_linestatus", i)}
+		st := groups[key]
+		if st == nil {
+			st = &state{}
+			groups[key] = st
+		}
+		ext := l.i64("l_extendedprice", i)
+		dc := l.i64("l_discount", i)
+		tax := l.i64("l_tax", i)
+		rev := mulDec(ext, 100-dc)
+		st.qty += l.i64("l_quantity", i)
+		st.base += ext
+		st.disc += rev
+		st.charge += mulDec(rev, 100+tax)
+		st.discSum += dc
+		st.cnt++
+	}
+	var rows []Row
+	for key, st := range groups {
+		rows = append(rows, Row{
+			key[0], key[1], st.qty, st.base, st.disc, st.charge,
+			st.qty / st.cnt, st.base / st.cnt, st.discSum / st.cnt, st.cnt,
+		})
+	}
+	sortRows(rows, []int{0, 1}, []bool{false, false})
+	return &Result{
+		Cols: []string{"l_returnflag", "l_linestatus", "sum_qty", "sum_base_price",
+			"sum_disc_price", "sum_charge", "avg_qty", "avg_price", "avg_disc", "count_order"},
+		Rows: rows,
+	}
+}
+
+func q2(db *tpch.Database, _ float64) *Result {
+	nation := table(db, "nation")
+	region := table(db, "region")
+	supplier := table(db, "supplier")
+	part := table(db, "part")
+	partsupp := table(db, "partsupp")
+
+	euRegion := map[int64]bool{}
+	for i := 0; i < region.rows(); i++ {
+		if region.str("r_name", i) == "EUROPE" {
+			euRegion[region.i64("r_regionkey", i)] = true
+		}
+	}
+	natName := map[int64]string{}
+	for i := 0; i < nation.rows(); i++ {
+		if euRegion[nation.i64("n_regionkey", i)] {
+			natName[nation.i64("n_nationkey", i)] = nation.str("n_name", i)
+		}
+	}
+	type supInfo struct {
+		name, address, phone, comment, nation string
+		acctbal                               int64
+	}
+	sups := map[int64]supInfo{}
+	for i := 0; i < supplier.rows(); i++ {
+		nm, ok := natName[supplier.i64("s_nationkey", i)]
+		if !ok {
+			continue
+		}
+		sups[supplier.i64("s_suppkey", i)] = supInfo{
+			name:    supplier.str("s_name", i),
+			address: supplier.str("s_address", i),
+			phone:   supplier.str("s_phone", i),
+			comment: supplier.str("s_comment", i),
+			nation:  nm,
+			acctbal: supplier.i64("s_acctbal", i),
+		}
+	}
+	wantPart := map[int64]string{} // partkey → mfgr
+	for i := 0; i < part.rows(); i++ {
+		if part.i64("p_size", i) == 15 && like(part.str("p_type", i), "%BRASS") {
+			wantPart[part.i64("p_partkey", i)] = part.str("p_mfgr", i)
+		}
+	}
+	// Min supplycost per part over EU suppliers.
+	minCost := map[int64]int64{}
+	for i := 0; i < partsupp.rows(); i++ {
+		pk := partsupp.i64("ps_partkey", i)
+		if _, ok := wantPart[pk]; !ok {
+			continue
+		}
+		if _, ok := sups[partsupp.i64("ps_suppkey", i)]; !ok {
+			continue
+		}
+		c := partsupp.i64("ps_supplycost", i)
+		if cur, ok := minCost[pk]; !ok || c < cur {
+			minCost[pk] = c
+		}
+	}
+	var rows []Row
+	for i := 0; i < partsupp.rows(); i++ {
+		pk := partsupp.i64("ps_partkey", i)
+		mfgr, ok := wantPart[pk]
+		if !ok {
+			continue
+		}
+		s, ok := sups[partsupp.i64("ps_suppkey", i)]
+		if !ok {
+			continue
+		}
+		if partsupp.i64("ps_supplycost", i) != minCost[pk] {
+			continue
+		}
+		rows = append(rows, Row{s.acctbal, s.name, s.nation, pk, mfgr, s.address, s.phone, s.comment})
+	}
+	sortRows(rows, []int{0, 2, 1, 3}, []bool{true, false, false, false})
+	rows = limit(rows, 100)
+	return &Result{
+		Cols: []string{"s_acctbal", "s_name", "n_name", "p_partkey", "p_mfgr", "s_address", "s_phone", "s_comment"},
+		Rows: rows,
+	}
+}
+
+func q3(db *tpch.Database, _ float64) *Result {
+	cutoff := date("1995-03-15")
+	customer := table(db, "customer")
+	orders := table(db, "orders")
+	lineitem := table(db, "lineitem")
+
+	building := map[int64]bool{}
+	for i := 0; i < customer.rows(); i++ {
+		if customer.str("c_mktsegment", i) == "BUILDING" {
+			building[customer.i64("c_custkey", i)] = true
+		}
+	}
+	type oinfo struct {
+		date, prio int64
+	}
+	want := map[int64]oinfo{}
+	for i := 0; i < orders.rows(); i++ {
+		if orders.i64("o_orderdate", i) < cutoff && building[orders.i64("o_custkey", i)] {
+			want[orders.i64("o_orderkey", i)] = oinfo{
+				date: orders.i64("o_orderdate", i),
+				prio: orders.i64("o_shippriority", i),
+			}
+		}
+	}
+	type key struct {
+		ok, date, prio int64
+	}
+	rev := map[key]int64{}
+	for i := 0; i < lineitem.rows(); i++ {
+		if lineitem.i64("l_shipdate", i) <= cutoff {
+			continue
+		}
+		ok := lineitem.i64("l_orderkey", i)
+		o, found := want[ok]
+		if !found {
+			continue
+		}
+		rev[key{ok, o.date, o.prio}] += mulDec(lineitem.i64("l_extendedprice", i), 100-lineitem.i64("l_discount", i))
+	}
+	var rows []Row
+	for k, r := range rev {
+		rows = append(rows, Row{k.ok, r, k.date, k.prio})
+	}
+	sortRows(rows, []int{1, 2}, []bool{true, false})
+	rows = limit(rows, 10)
+	return &Result{Cols: []string{"l_orderkey", "revenue", "o_orderdate", "o_shippriority"}, Rows: rows}
+}
+
+func q4(db *tpch.Database, _ float64) *Result {
+	orders := table(db, "orders")
+	lineitem := table(db, "lineitem")
+	lo, hi := date("1993-07-01"), date("1993-10-01")
+
+	late := map[int64]bool{}
+	for i := 0; i < lineitem.rows(); i++ {
+		if lineitem.i64("l_commitdate", i) < lineitem.i64("l_receiptdate", i) {
+			late[lineitem.i64("l_orderkey", i)] = true
+		}
+	}
+	counts := map[string]int64{}
+	for i := 0; i < orders.rows(); i++ {
+		d := orders.i64("o_orderdate", i)
+		if d >= lo && d < hi && late[orders.i64("o_orderkey", i)] {
+			counts[orders.str("o_orderpriority", i)]++
+		}
+	}
+	var rows []Row
+	for p, c := range counts {
+		rows = append(rows, Row{p, c})
+	}
+	sortRows(rows, []int{0}, []bool{false})
+	return &Result{Cols: []string{"o_orderpriority", "order_count"}, Rows: rows}
+}
+
+func q5(db *tpch.Database, _ float64) *Result {
+	nation := table(db, "nation")
+	region := table(db, "region")
+	supplier := table(db, "supplier")
+	customer := table(db, "customer")
+	orders := table(db, "orders")
+	lineitem := table(db, "lineitem")
+	lo, hi := date("1994-01-01"), date("1995-01-01")
+
+	asia := map[int64]bool{}
+	for i := 0; i < region.rows(); i++ {
+		if region.str("r_name", i) == "ASIA" {
+			asia[region.i64("r_regionkey", i)] = true
+		}
+	}
+	natName := map[int64]string{}
+	for i := 0; i < nation.rows(); i++ {
+		if asia[nation.i64("n_regionkey", i)] {
+			natName[nation.i64("n_nationkey", i)] = nation.str("n_name", i)
+		}
+	}
+	supNation := map[int64]int64{} // suppkey → nationkey (Asia only)
+	for i := 0; i < supplier.rows(); i++ {
+		nk := supplier.i64("s_nationkey", i)
+		if _, ok := natName[nk]; ok {
+			supNation[supplier.i64("s_suppkey", i)] = nk
+		}
+	}
+	custNation := map[int64]int64{}
+	for i := 0; i < customer.rows(); i++ {
+		custNation[customer.i64("c_custkey", i)] = customer.i64("c_nationkey", i)
+	}
+	orderCustNation := map[int64]int64{} // orderkey → cust nationkey for date-filtered orders
+	for i := 0; i < orders.rows(); i++ {
+		d := orders.i64("o_orderdate", i)
+		if d >= lo && d < hi {
+			orderCustNation[orders.i64("o_orderkey", i)] = custNation[orders.i64("o_custkey", i)]
+		}
+	}
+	revByNation := map[string]int64{}
+	for i := 0; i < lineitem.rows(); i++ {
+		cnk, ok := orderCustNation[lineitem.i64("l_orderkey", i)]
+		if !ok {
+			continue
+		}
+		snk, ok := supNation[lineitem.i64("l_suppkey", i)]
+		if !ok || snk != cnk {
+			continue
+		}
+		revByNation[natName[snk]] += mulDec(lineitem.i64("l_extendedprice", i), 100-lineitem.i64("l_discount", i))
+	}
+	var rows []Row
+	for n, r := range revByNation {
+		rows = append(rows, Row{n, r})
+	}
+	sortRows(rows, []int{1}, []bool{true})
+	return &Result{Cols: []string{"n_name", "revenue"}, Rows: rows}
+}
+
+func q6(db *tpch.Database, _ float64) *Result {
+	lineitem := table(db, "lineitem")
+	lo, hi := date("1994-01-01"), date("1995-01-01")
+	var sum int64
+	for i := 0; i < lineitem.rows(); i++ {
+		d := lineitem.i64("l_shipdate", i)
+		disc := lineitem.i64("l_discount", i)
+		if d >= lo && d < hi && disc >= 5 && disc <= 7 && lineitem.i64("l_quantity", i) < 24*100 {
+			sum += mulDec(lineitem.i64("l_extendedprice", i), disc)
+		}
+	}
+	return &Result{Cols: []string{"revenue"}, Rows: []Row{{sum}}}
+}
+
+func q7(db *tpch.Database, _ float64) *Result {
+	nation := table(db, "nation")
+	supplier := table(db, "supplier")
+	customer := table(db, "customer")
+	orders := table(db, "orders")
+	lineitem := table(db, "lineitem")
+	lo, hi := date("1995-01-01"), date("1996-12-31")
+
+	natName := map[int64]string{}
+	for i := 0; i < nation.rows(); i++ {
+		natName[nation.i64("n_nationkey", i)] = nation.str("n_name", i)
+	}
+	interesting := func(n string) bool { return n == "FRANCE" || n == "GERMANY" }
+	supNation := map[int64]string{}
+	for i := 0; i < supplier.rows(); i++ {
+		if n := natName[supplier.i64("s_nationkey", i)]; interesting(n) {
+			supNation[supplier.i64("s_suppkey", i)] = n
+		}
+	}
+	custNation := map[int64]string{}
+	for i := 0; i < customer.rows(); i++ {
+		if n := natName[customer.i64("c_nationkey", i)]; interesting(n) {
+			custNation[customer.i64("c_custkey", i)] = n
+		}
+	}
+	orderCustNation := map[int64]string{}
+	for i := 0; i < orders.rows(); i++ {
+		if n, ok := custNation[orders.i64("o_custkey", i)]; ok {
+			orderCustNation[orders.i64("o_orderkey", i)] = n
+		}
+	}
+	type key struct {
+		sn, cn string
+		yr     int64
+	}
+	vol := map[key]int64{}
+	for i := 0; i < lineitem.rows(); i++ {
+		d := lineitem.i64("l_shipdate", i)
+		if d < lo || d > hi {
+			continue
+		}
+		sn, ok := supNation[lineitem.i64("l_suppkey", i)]
+		if !ok {
+			continue
+		}
+		cn, ok := orderCustNation[lineitem.i64("l_orderkey", i)]
+		if !ok || sn == cn {
+			continue
+		}
+		vol[key{sn, cn, year(d)}] += mulDec(lineitem.i64("l_extendedprice", i), 100-lineitem.i64("l_discount", i))
+	}
+	var rows []Row
+	for k, v := range vol {
+		rows = append(rows, Row{k.sn, k.cn, k.yr, v})
+	}
+	sortRows(rows, []int{0, 1, 2}, []bool{false, false, false})
+	return &Result{Cols: []string{"supp_nation", "cust_nation", "l_year", "revenue"}, Rows: rows}
+}
+
+func q8(db *tpch.Database, _ float64) *Result {
+	nation := table(db, "nation")
+	region := table(db, "region")
+	supplier := table(db, "supplier")
+	customer := table(db, "customer")
+	orders := table(db, "orders")
+	lineitem := table(db, "lineitem")
+	part := table(db, "part")
+	lo, hi := date("1995-01-01"), date("1996-12-31")
+
+	wantPart := map[int64]bool{}
+	for i := 0; i < part.rows(); i++ {
+		if part.str("p_type", i) == "ECONOMY ANODIZED STEEL" {
+			wantPart[part.i64("p_partkey", i)] = true
+		}
+	}
+	natName := map[int64]string{}
+	for i := 0; i < nation.rows(); i++ {
+		natName[nation.i64("n_nationkey", i)] = nation.str("n_name", i)
+	}
+	america := map[int64]bool{}
+	for i := 0; i < region.rows(); i++ {
+		if region.str("r_name", i) == "AMERICA" {
+			america[region.i64("r_regionkey", i)] = true
+		}
+	}
+	amNation := map[int64]bool{}
+	for i := 0; i < nation.rows(); i++ {
+		if america[nation.i64("n_regionkey", i)] {
+			amNation[nation.i64("n_nationkey", i)] = true
+		}
+	}
+	supNation := map[int64]string{}
+	for i := 0; i < supplier.rows(); i++ {
+		supNation[supplier.i64("s_suppkey", i)] = natName[supplier.i64("s_nationkey", i)]
+	}
+	amCust := map[int64]bool{}
+	for i := 0; i < customer.rows(); i++ {
+		if amNation[customer.i64("c_nationkey", i)] {
+			amCust[customer.i64("c_custkey", i)] = true
+		}
+	}
+	orderDate := map[int64]int64{}
+	for i := 0; i < orders.rows(); i++ {
+		d := orders.i64("o_orderdate", i)
+		if d >= lo && d <= hi && amCust[orders.i64("o_custkey", i)] {
+			orderDate[orders.i64("o_orderkey", i)] = d
+		}
+	}
+	type sums struct{ brazil, total int64 }
+	byYear := map[int64]*sums{}
+	for i := 0; i < lineitem.rows(); i++ {
+		if !wantPart[lineitem.i64("l_partkey", i)] {
+			continue
+		}
+		d, ok := orderDate[lineitem.i64("l_orderkey", i)]
+		if !ok {
+			continue
+		}
+		v := mulDec(lineitem.i64("l_extendedprice", i), 100-lineitem.i64("l_discount", i))
+		yr := year(d)
+		s := byYear[yr]
+		if s == nil {
+			s = &sums{}
+			byYear[yr] = s
+		}
+		s.total += v
+		if supNation[lineitem.i64("l_suppkey", i)] == "BRAZIL" {
+			s.brazil += v
+		}
+	}
+	var rows []Row
+	for yr, s := range byYear {
+		share := int64(0)
+		if s.total != 0 {
+			share = s.brazil * 100 / s.total
+		}
+		rows = append(rows, Row{yr, share})
+	}
+	sortRows(rows, []int{0}, []bool{false})
+	return &Result{Cols: []string{"o_year", "mkt_share"}, Rows: rows}
+}

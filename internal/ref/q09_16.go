@@ -1,0 +1,346 @@
+package ref
+
+import (
+	"strings"
+
+	"hsqp/internal/tpch"
+)
+
+func q9(db *tpch.Database, _ float64) *Result {
+	part := table(db, "part")
+	supplier := table(db, "supplier")
+	nation := table(db, "nation")
+	partsupp := table(db, "partsupp")
+	orders := table(db, "orders")
+	lineitem := table(db, "lineitem")
+
+	greenPart := map[int64]bool{}
+	for i := 0; i < part.rows(); i++ {
+		if strings.Contains(part.str("p_name", i), "green") {
+			greenPart[part.i64("p_partkey", i)] = true
+		}
+	}
+	natName := map[int64]string{}
+	for i := 0; i < nation.rows(); i++ {
+		natName[nation.i64("n_nationkey", i)] = nation.str("n_name", i)
+	}
+	supNation := map[int64]string{}
+	for i := 0; i < supplier.rows(); i++ {
+		supNation[supplier.i64("s_suppkey", i)] = natName[supplier.i64("s_nationkey", i)]
+	}
+	type psKey struct{ pk, sk int64 }
+	supplyCost := map[psKey]int64{}
+	for i := 0; i < partsupp.rows(); i++ {
+		supplyCost[psKey{partsupp.i64("ps_partkey", i), partsupp.i64("ps_suppkey", i)}] =
+			partsupp.i64("ps_supplycost", i)
+	}
+	orderYear := map[int64]int64{}
+	for i := 0; i < orders.rows(); i++ {
+		orderYear[orders.i64("o_orderkey", i)] = year(orders.i64("o_orderdate", i))
+	}
+	type gKey struct {
+		nation string
+		yr     int64
+	}
+	profit := map[gKey]int64{}
+	for i := 0; i < lineitem.rows(); i++ {
+		pk := lineitem.i64("l_partkey", i)
+		if !greenPart[pk] {
+			continue
+		}
+		sk := lineitem.i64("l_suppkey", i)
+		rev := mulDec(lineitem.i64("l_extendedprice", i), 100-lineitem.i64("l_discount", i))
+		cost := mulDec(supplyCost[psKey{pk, sk}], lineitem.i64("l_quantity", i))
+		k := gKey{supNation[sk], orderYear[lineitem.i64("l_orderkey", i)]}
+		profit[k] += rev - cost
+	}
+	var rows []Row
+	for k, v := range profit {
+		rows = append(rows, Row{k.nation, k.yr, v})
+	}
+	sortRows(rows, []int{0, 1}, []bool{false, true})
+	return &Result{Cols: []string{"nation", "o_year", "sum_profit"}, Rows: rows}
+}
+
+func q10(db *tpch.Database, _ float64) *Result {
+	customer := table(db, "customer")
+	orders := table(db, "orders")
+	lineitem := table(db, "lineitem")
+	nation := table(db, "nation")
+	lo, hi := date("1993-10-01"), date("1994-01-01")
+
+	wantOrder := map[int64]int64{} // orderkey → custkey
+	for i := 0; i < orders.rows(); i++ {
+		d := orders.i64("o_orderdate", i)
+		if d >= lo && d < hi {
+			wantOrder[orders.i64("o_orderkey", i)] = orders.i64("o_custkey", i)
+		}
+	}
+	revByCust := map[int64]int64{}
+	for i := 0; i < lineitem.rows(); i++ {
+		if lineitem.str("l_returnflag", i) != "R" {
+			continue
+		}
+		ck, ok := wantOrder[lineitem.i64("l_orderkey", i)]
+		if !ok {
+			continue
+		}
+		revByCust[ck] += mulDec(lineitem.i64("l_extendedprice", i), 100-lineitem.i64("l_discount", i))
+	}
+	natName := map[int64]string{}
+	for i := 0; i < nation.rows(); i++ {
+		natName[nation.i64("n_nationkey", i)] = nation.str("n_name", i)
+	}
+	var rows []Row
+	for i := 0; i < customer.rows(); i++ {
+		ck := customer.i64("c_custkey", i)
+		rev, ok := revByCust[ck]
+		if !ok {
+			continue
+		}
+		rows = append(rows, Row{
+			ck, customer.str("c_name", i), rev, customer.i64("c_acctbal", i),
+			natName[customer.i64("c_nationkey", i)], customer.str("c_address", i),
+			customer.str("c_phone", i), customer.str("c_comment", i),
+		})
+	}
+	sortRows(rows, []int{2, 0}, []bool{true, false})
+	rows = limit(rows, 20)
+	return &Result{
+		Cols: []string{"c_custkey", "c_name", "revenue", "c_acctbal", "n_name", "c_address", "c_phone", "c_comment"},
+		Rows: rows,
+	}
+}
+
+func q11(db *tpch.Database, sf float64) *Result {
+	nation := table(db, "nation")
+	supplier := table(db, "supplier")
+	partsupp := table(db, "partsupp")
+
+	frac := 0.0001
+	if sf > 0 {
+		frac = 0.0001 / sf
+	}
+	germany := map[int64]bool{}
+	for i := 0; i < nation.rows(); i++ {
+		if nation.str("n_name", i) == "GERMANY" {
+			germany[nation.i64("n_nationkey", i)] = true
+		}
+	}
+	deSup := map[int64]bool{}
+	for i := 0; i < supplier.rows(); i++ {
+		if germany[supplier.i64("s_nationkey", i)] {
+			deSup[supplier.i64("s_suppkey", i)] = true
+		}
+	}
+	value := map[int64]int64{}
+	var total int64
+	for i := 0; i < partsupp.rows(); i++ {
+		if !deSup[partsupp.i64("ps_suppkey", i)] {
+			continue
+		}
+		v := mulDec(partsupp.i64("ps_supplycost", i), partsupp.i64("ps_availqty", i)*100)
+		value[partsupp.i64("ps_partkey", i)] += v
+		total += v
+	}
+	var rows []Row
+	for pk, v := range value {
+		if float64(v) > float64(total)*frac {
+			rows = append(rows, Row{pk, v})
+		}
+	}
+	sortRows(rows, []int{1}, []bool{true})
+	return &Result{Cols: []string{"ps_partkey", "value"}, Rows: rows}
+}
+
+func q12(db *tpch.Database, _ float64) *Result {
+	orders := table(db, "orders")
+	lineitem := table(db, "lineitem")
+	lo, hi := date("1994-01-01"), date("1995-01-01")
+
+	prio := map[int64]string{}
+	for i := 0; i < orders.rows(); i++ {
+		prio[orders.i64("o_orderkey", i)] = orders.str("o_orderpriority", i)
+	}
+	type counts struct{ high, low int64 }
+	byMode := map[string]*counts{}
+	for i := 0; i < lineitem.rows(); i++ {
+		mode := lineitem.str("l_shipmode", i)
+		if mode != "MAIL" && mode != "SHIP" {
+			continue
+		}
+		rd := lineitem.i64("l_receiptdate", i)
+		if rd < lo || rd >= hi {
+			continue
+		}
+		if !(lineitem.i64("l_commitdate", i) < rd) ||
+			!(lineitem.i64("l_shipdate", i) < lineitem.i64("l_commitdate", i)) {
+			continue
+		}
+		p := prio[lineitem.i64("l_orderkey", i)]
+		c := byMode[mode]
+		if c == nil {
+			c = &counts{}
+			byMode[mode] = c
+		}
+		if p == "1-URGENT" || p == "2-HIGH" {
+			c.high++
+		} else {
+			c.low++
+		}
+	}
+	var rows []Row
+	for m, c := range byMode {
+		rows = append(rows, Row{m, c.high, c.low})
+	}
+	sortRows(rows, []int{0}, []bool{false})
+	return &Result{Cols: []string{"l_shipmode", "high_line_count", "low_line_count"}, Rows: rows}
+}
+
+func q13(db *tpch.Database, _ float64) *Result {
+	customer := table(db, "customer")
+	orders := table(db, "orders")
+
+	perCust := map[int64]int64{}
+	for i := 0; i < orders.rows(); i++ {
+		if like(orders.str("o_comment", i), "%special%requests%") {
+			continue
+		}
+		perCust[orders.i64("o_custkey", i)]++
+	}
+	dist := map[int64]int64{}
+	for i := 0; i < customer.rows(); i++ {
+		dist[perCust[customer.i64("c_custkey", i)]]++
+	}
+	var rows []Row
+	for c, d := range dist {
+		rows = append(rows, Row{c, d})
+	}
+	sortRows(rows, []int{1, 0}, []bool{true, true})
+	return &Result{Cols: []string{"c_count", "custdist"}, Rows: rows}
+}
+
+func q14(db *tpch.Database, _ float64) *Result {
+	lineitem := table(db, "lineitem")
+	part := table(db, "part")
+	lo, hi := date("1995-09-01"), date("1995-10-01")
+
+	partType := map[int64]string{}
+	for i := 0; i < part.rows(); i++ {
+		partType[part.i64("p_partkey", i)] = part.str("p_type", i)
+	}
+	var promo, total int64
+	for i := 0; i < lineitem.rows(); i++ {
+		d := lineitem.i64("l_shipdate", i)
+		if d < lo || d >= hi {
+			continue
+		}
+		v := mulDec(lineitem.i64("l_extendedprice", i), 100-lineitem.i64("l_discount", i))
+		total += v
+		if strings.HasPrefix(partType[lineitem.i64("l_partkey", i)], "PROMO") {
+			promo += v
+		}
+	}
+	share := int64(0)
+	if total != 0 {
+		share = promo * 10000 / total
+	}
+	return &Result{Cols: []string{"promo_revenue"}, Rows: []Row{{share}}}
+}
+
+func q15(db *tpch.Database, _ float64) *Result {
+	lineitem := table(db, "lineitem")
+	supplier := table(db, "supplier")
+	lo, hi := date("1996-01-01"), date("1996-04-01")
+
+	revBySupp := map[int64]int64{}
+	for i := 0; i < lineitem.rows(); i++ {
+		d := lineitem.i64("l_shipdate", i)
+		if d < lo || d >= hi {
+			continue
+		}
+		revBySupp[lineitem.i64("l_suppkey", i)] +=
+			mulDec(lineitem.i64("l_extendedprice", i), 100-lineitem.i64("l_discount", i))
+	}
+	var maxRev int64
+	first := true
+	for _, r := range revBySupp {
+		if first || r > maxRev {
+			maxRev = r
+			first = false
+		}
+	}
+	var rows []Row
+	for i := 0; i < supplier.rows(); i++ {
+		sk := supplier.i64("s_suppkey", i)
+		if r, ok := revBySupp[sk]; ok && r == maxRev {
+			rows = append(rows, Row{
+				sk, supplier.str("s_name", i), supplier.str("s_address", i),
+				supplier.str("s_phone", i), r,
+			})
+		}
+	}
+	sortRows(rows, []int{0}, []bool{false})
+	return &Result{Cols: []string{"s_suppkey", "s_name", "s_address", "s_phone", "total_revenue"}, Rows: rows}
+}
+
+func q16(db *tpch.Database, _ float64) *Result {
+	part := table(db, "part")
+	partsupp := table(db, "partsupp")
+	supplier := table(db, "supplier")
+
+	sizes := map[int64]bool{49: true, 14: true, 23: true, 45: true, 19: true, 3: true, 36: true, 9: true}
+	type pinfo struct {
+		brand, ptype string
+		size         int64
+	}
+	wantPart := map[int64]pinfo{}
+	for i := 0; i < part.rows(); i++ {
+		if part.str("p_brand", i) == "Brand#45" {
+			continue
+		}
+		if strings.HasPrefix(part.str("p_type", i), "MEDIUM POLISHED") {
+			continue
+		}
+		if !sizes[part.i64("p_size", i)] {
+			continue
+		}
+		wantPart[part.i64("p_partkey", i)] = pinfo{
+			brand: part.str("p_brand", i),
+			ptype: part.str("p_type", i),
+			size:  part.i64("p_size", i),
+		}
+	}
+	badSupp := map[int64]bool{}
+	for i := 0; i < supplier.rows(); i++ {
+		if like(supplier.str("s_comment", i), "%Customer%Complaints%") {
+			badSupp[supplier.i64("s_suppkey", i)] = true
+		}
+	}
+	type gKey struct {
+		brand, ptype string
+		size         int64
+	}
+	supps := map[gKey]map[int64]bool{}
+	for i := 0; i < partsupp.rows(); i++ {
+		p, ok := wantPart[partsupp.i64("ps_partkey", i)]
+		if !ok {
+			continue
+		}
+		sk := partsupp.i64("ps_suppkey", i)
+		if badSupp[sk] {
+			continue
+		}
+		k := gKey(p)
+		if supps[k] == nil {
+			supps[k] = map[int64]bool{}
+		}
+		supps[k][sk] = true
+	}
+	var rows []Row
+	for k, set := range supps {
+		rows = append(rows, Row{k.brand, k.ptype, k.size, int64(len(set))})
+	}
+	sortRows(rows, []int{3, 0, 1, 2}, []bool{true, false, false, false})
+	return &Result{Cols: []string{"p_brand", "p_type", "p_size", "supplier_cnt"}, Rows: rows}
+}

@@ -1,0 +1,341 @@
+package ref
+
+import (
+	"strings"
+
+	"hsqp/internal/tpch"
+)
+
+func q17(db *tpch.Database, _ float64) *Result {
+	part := table(db, "part")
+	lineitem := table(db, "lineitem")
+
+	wantPart := map[int64]bool{}
+	for i := 0; i < part.rows(); i++ {
+		if part.str("p_brand", i) == "Brand#23" && part.str("p_container", i) == "MED BOX" {
+			wantPart[part.i64("p_partkey", i)] = true
+		}
+	}
+	type agg struct{ sum, cnt int64 }
+	qty := map[int64]*agg{}
+	for i := 0; i < lineitem.rows(); i++ {
+		pk := lineitem.i64("l_partkey", i)
+		if !wantPart[pk] {
+			continue
+		}
+		a := qty[pk]
+		if a == nil {
+			a = &agg{}
+			qty[pk] = a
+		}
+		a.sum += lineitem.i64("l_quantity", i)
+		a.cnt++
+	}
+	var sum int64
+	for i := 0; i < lineitem.rows(); i++ {
+		pk := lineitem.i64("l_partkey", i)
+		a, ok := qty[pk]
+		if !ok {
+			continue
+		}
+		avg := a.sum / a.cnt
+		if 5*lineitem.i64("l_quantity", i) < avg {
+			sum += lineitem.i64("l_extendedprice", i)
+		}
+	}
+	return &Result{Cols: []string{"avg_yearly"}, Rows: []Row{{sum / 7}}}
+}
+
+func q18(db *tpch.Database, _ float64) *Result {
+	customer := table(db, "customer")
+	orders := table(db, "orders")
+	lineitem := table(db, "lineitem")
+
+	qtyByOrder := map[int64]int64{}
+	for i := 0; i < lineitem.rows(); i++ {
+		qtyByOrder[lineitem.i64("l_orderkey", i)] += lineitem.i64("l_quantity", i)
+	}
+	custName := map[int64]string{}
+	for i := 0; i < customer.rows(); i++ {
+		custName[customer.i64("c_custkey", i)] = customer.str("c_name", i)
+	}
+	var rows []Row
+	for i := 0; i < orders.rows(); i++ {
+		ok := orders.i64("o_orderkey", i)
+		q := qtyByOrder[ok]
+		if q <= 300*100 {
+			continue
+		}
+		ck := orders.i64("o_custkey", i)
+		rows = append(rows, Row{
+			custName[ck], ck, ok, orders.i64("o_orderdate", i), orders.i64("o_totalprice", i), q,
+		})
+	}
+	sortRows(rows, []int{4, 3}, []bool{true, false})
+	rows = limit(rows, 100)
+	return &Result{
+		Cols: []string{"c_name", "c_custkey", "o_orderkey", "o_orderdate", "o_totalprice", "sum_qty"},
+		Rows: rows,
+	}
+}
+
+func q19(db *tpch.Database, _ float64) *Result {
+	part := table(db, "part")
+	lineitem := table(db, "lineitem")
+
+	type pinfo struct {
+		brand, container string
+		size             int64
+	}
+	parts := map[int64]pinfo{}
+	for i := 0; i < part.rows(); i++ {
+		parts[part.i64("p_partkey", i)] = pinfo{
+			brand:     part.str("p_brand", i),
+			container: part.str("p_container", i),
+			size:      part.i64("p_size", i),
+		}
+	}
+	in := func(s string, vs ...string) bool {
+		for _, v := range vs {
+			if s == v {
+				return true
+			}
+		}
+		return false
+	}
+	var sum int64
+	for i := 0; i < lineitem.rows(); i++ {
+		if !in(lineitem.str("l_shipmode", i), "AIR", "AIR REG") {
+			continue
+		}
+		if lineitem.str("l_shipinstruct", i) != "DELIVER IN PERSON" {
+			continue
+		}
+		p, ok := parts[lineitem.i64("l_partkey", i)]
+		if !ok {
+			continue
+		}
+		q := lineitem.i64("l_quantity", i)
+		match := (p.brand == "Brand#12" &&
+			in(p.container, "SM CASE", "SM BOX", "SM PACK", "SM PKG") &&
+			q >= 100 && q <= 1100 && p.size >= 1 && p.size <= 5) ||
+			(p.brand == "Brand#23" &&
+				in(p.container, "MED BAG", "MED BOX", "MED PKG", "MED PACK") &&
+				q >= 1000 && q <= 2000 && p.size >= 1 && p.size <= 10) ||
+			(p.brand == "Brand#34" &&
+				in(p.container, "LG CASE", "LG BOX", "LG PACK", "LG PKG") &&
+				q >= 2000 && q <= 3000 && p.size >= 1 && p.size <= 15)
+		if match {
+			sum += mulDec(lineitem.i64("l_extendedprice", i), 100-lineitem.i64("l_discount", i))
+		}
+	}
+	return &Result{Cols: []string{"revenue"}, Rows: []Row{{sum}}}
+}
+
+func q20(db *tpch.Database, _ float64) *Result {
+	part := table(db, "part")
+	partsupp := table(db, "partsupp")
+	lineitem := table(db, "lineitem")
+	supplier := table(db, "supplier")
+	nation := table(db, "nation")
+	lo, hi := date("1994-01-01"), date("1995-01-01")
+
+	forestPart := map[int64]bool{}
+	for i := 0; i < part.rows(); i++ {
+		if strings.HasPrefix(part.str("p_name", i), "forest") {
+			forestPart[part.i64("p_partkey", i)] = true
+		}
+	}
+	type psKey struct{ pk, sk int64 }
+	qty := map[psKey]int64{}
+	for i := 0; i < lineitem.rows(); i++ {
+		d := lineitem.i64("l_shipdate", i)
+		if d < lo || d >= hi {
+			continue
+		}
+		qty[psKey{lineitem.i64("l_partkey", i), lineitem.i64("l_suppkey", i)}] +=
+			lineitem.i64("l_quantity", i)
+	}
+	candSupp := map[int64]bool{}
+	for i := 0; i < partsupp.rows(); i++ {
+		pk := partsupp.i64("ps_partkey", i)
+		if !forestPart[pk] {
+			continue
+		}
+		sk := partsupp.i64("ps_suppkey", i)
+		q, ok := qty[psKey{pk, sk}]
+		if !ok {
+			continue
+		}
+		if partsupp.i64("ps_availqty", i)*200 > q {
+			candSupp[sk] = true
+		}
+	}
+	canada := map[int64]bool{}
+	for i := 0; i < nation.rows(); i++ {
+		if nation.str("n_name", i) == "CANADA" {
+			canada[nation.i64("n_nationkey", i)] = true
+		}
+	}
+	var rows []Row
+	for i := 0; i < supplier.rows(); i++ {
+		if !canada[supplier.i64("s_nationkey", i)] {
+			continue
+		}
+		if !candSupp[supplier.i64("s_suppkey", i)] {
+			continue
+		}
+		rows = append(rows, Row{supplier.str("s_name", i), supplier.str("s_address", i)})
+	}
+	sortRows(rows, []int{0}, []bool{false})
+	return &Result{Cols: []string{"s_name", "s_address"}, Rows: rows}
+}
+
+func q21(db *tpch.Database, _ float64) *Result {
+	supplier := table(db, "supplier")
+	nation := table(db, "nation")
+	orders := table(db, "orders")
+	lineitem := table(db, "lineitem")
+
+	saudi := map[int64]bool{}
+	for i := 0; i < nation.rows(); i++ {
+		if nation.str("n_name", i) == "SAUDI ARABIA" {
+			saudi[nation.i64("n_nationkey", i)] = true
+		}
+	}
+	supName := map[int64]string{}
+	for i := 0; i < supplier.rows(); i++ {
+		if saudi[supplier.i64("s_nationkey", i)] {
+			supName[supplier.i64("s_suppkey", i)] = supplier.str("s_name", i)
+		}
+	}
+	statusF := map[int64]bool{}
+	for i := 0; i < orders.rows(); i++ {
+		if orders.str("o_orderstatus", i) == "F" {
+			statusF[orders.i64("o_orderkey", i)] = true
+		}
+	}
+	// Per order: all suppliers, and suppliers that were late.
+	allSupp := map[int64]map[int64]bool{}
+	lateSupp := map[int64]map[int64]bool{}
+	for i := 0; i < lineitem.rows(); i++ {
+		ok := lineitem.i64("l_orderkey", i)
+		sk := lineitem.i64("l_suppkey", i)
+		if allSupp[ok] == nil {
+			allSupp[ok] = map[int64]bool{}
+		}
+		allSupp[ok][sk] = true
+		if lineitem.i64("l_commitdate", i) < lineitem.i64("l_receiptdate", i) {
+			if lateSupp[ok] == nil {
+				lateSupp[ok] = map[int64]bool{}
+			}
+			lateSupp[ok][sk] = true
+		}
+	}
+	numwait := map[string]int64{}
+	for i := 0; i < lineitem.rows(); i++ {
+		if lineitem.i64("l_commitdate", i) >= lineitem.i64("l_receiptdate", i) {
+			continue
+		}
+		ok := lineitem.i64("l_orderkey", i)
+		if !statusF[ok] {
+			continue
+		}
+		sk := lineitem.i64("l_suppkey", i)
+		name, isSaudi := supName[sk]
+		if !isSaudi {
+			continue
+		}
+		// exists other supplier on the order
+		others := false
+		for s := range allSupp[ok] {
+			if s != sk {
+				others = true
+				break
+			}
+		}
+		if !others {
+			continue
+		}
+		// no other *late* supplier on the order
+		otherLate := false
+		for s := range lateSupp[ok] {
+			if s != sk {
+				otherLate = true
+				break
+			}
+		}
+		if otherLate {
+			continue
+		}
+		numwait[name]++
+	}
+	var rows []Row
+	for n, c := range numwait {
+		rows = append(rows, Row{n, c})
+	}
+	sortRows(rows, []int{1, 0}, []bool{true, false})
+	rows = limit(rows, 100)
+	return &Result{Cols: []string{"s_name", "numwait"}, Rows: rows}
+}
+
+func q22(db *tpch.Database, _ float64) *Result {
+	customer := table(db, "customer")
+	orders := table(db, "orders")
+	codes := map[string]bool{"13": true, "31": true, "23": true, "29": true, "30": true, "18": true, "17": true}
+
+	code := func(i int) (string, bool) {
+		p := customer.str("c_phone", i)
+		if len(p) < 2 {
+			return "", false
+		}
+		c := p[:2]
+		return c, codes[c]
+	}
+	var sum, cnt int64
+	for i := 0; i < customer.rows(); i++ {
+		if _, ok := code(i); !ok {
+			continue
+		}
+		if b := customer.i64("c_acctbal", i); b > 0 {
+			sum += b
+			cnt++
+		}
+	}
+	avg := int64(0)
+	if cnt > 0 {
+		avg = sum / cnt
+	}
+	hasOrder := map[int64]bool{}
+	for i := 0; i < orders.rows(); i++ {
+		hasOrder[orders.i64("o_custkey", i)] = true
+	}
+	type agg struct{ n, bal int64 }
+	byCode := map[string]*agg{}
+	for i := 0; i < customer.rows(); i++ {
+		c, ok := code(i)
+		if !ok {
+			continue
+		}
+		b := customer.i64("c_acctbal", i)
+		if b <= avg {
+			continue
+		}
+		if hasOrder[customer.i64("c_custkey", i)] {
+			continue
+		}
+		a := byCode[c]
+		if a == nil {
+			a = &agg{}
+			byCode[c] = a
+		}
+		a.n++
+		a.bal += b
+	}
+	var rows []Row
+	for c, a := range byCode {
+		rows = append(rows, Row{c, a.n, a.bal})
+	}
+	sortRows(rows, []int{0}, []bool{false})
+	return &Result{Cols: []string{"cntrycode", "numcust", "totacctbal"}, Rows: rows}
+}

@@ -1,0 +1,136 @@
+// Package ref is a deliberately simple, single-threaded reference executor
+// for the 22 TPC-H queries. It works row-at-a-time over the undistributed
+// generated database with plain Go maps and loops, sharing no execution
+// code with the distributed engine; integration tests compare the
+// distributed engine's results against it on every query.
+//
+// Arithmetic follows the engine's fixed-point conventions exactly:
+// decimals are int64 hundredths, products truncate (a×b/100), averages
+// truncate (sum/count), ratios truncate (a×scale/b).
+package ref
+
+import (
+	"fmt"
+	"sort"
+
+	"hsqp/internal/storage"
+	"hsqp/internal/tpch"
+)
+
+// Row is one result row.
+type Row []any
+
+// Result is an ordered result set.
+type Result struct {
+	Cols []string
+	Rows []Row
+}
+
+// Run executes reference query q (1–22).
+func Run(q int, db *tpch.Database, sf float64) (*Result, error) {
+	fns := [22]func(*tpch.Database, float64) *Result{
+		q1, q2, q3, q4, q5, q6, q7, q8, q9, q10, q11,
+		q12, q13, q14, q15, q16, q17, q18, q19, q20, q21, q22,
+	}
+	if q < 1 || q > 22 {
+		return nil, fmt.Errorf("ref: no TPC-H query %d", q)
+	}
+	return fns[q-1](db, sf), nil
+}
+
+// rel wraps a batch with name-based access.
+type rel struct {
+	b   *storage.Batch
+	idx map[string]int
+}
+
+func table(db *tpch.Database, name string) rel {
+	b := db.Tables[name]
+	idx := make(map[string]int, b.Schema.Len())
+	for i, f := range b.Schema.Fields {
+		idx[f.Name] = i
+	}
+	return rel{b: b, idx: idx}
+}
+
+func (r rel) rows() int { return r.b.Rows() }
+
+func (r rel) i64(col string, i int) int64 { return r.b.Cols[r.idx[col]].I64[i] }
+
+func (r rel) str(col string, i int) string { return r.b.Cols[r.idx[col]].Str[i] }
+
+// mulDec is the engine's decimal multiply: hundredths, truncating.
+func mulDec(a, b int64) int64 { return a * b / 100 }
+
+func year(d int64) int64 { return int64(storage.DateYear(d)) }
+
+func like(s, pat string) bool { return storage.MatchLike(s, pat) }
+
+func date(s string) int64 { return storage.MustDate(s) }
+
+// sortRows orders rows by the given column indexes; desc per index.
+func sortRows(rows []Row, keys []int, desc []bool) {
+	sort.SliceStable(rows, func(a, b int) bool {
+		for k, c := range keys {
+			cmp := compareAny(rows[a][c], rows[b][c])
+			if desc[k] {
+				cmp = -cmp
+			}
+			if cmp != 0 {
+				return cmp < 0
+			}
+		}
+		return false
+	})
+}
+
+func compareAny(a, b any) int {
+	if a == nil || b == nil {
+		switch {
+		case a == nil && b == nil:
+			return 0
+		case a == nil:
+			return -1
+		default:
+			return 1
+		}
+	}
+	switch x := a.(type) {
+	case int64:
+		y := b.(int64)
+		switch {
+		case x < y:
+			return -1
+		case x > y:
+			return 1
+		}
+		return 0
+	case string:
+		y := b.(string)
+		switch {
+		case x < y:
+			return -1
+		case x > y:
+			return 1
+		}
+		return 0
+	case float64:
+		y := b.(float64)
+		switch {
+		case x < y:
+			return -1
+		case x > y:
+			return 1
+		}
+		return 0
+	default:
+		panic(fmt.Sprintf("ref: cannot compare %T", a))
+	}
+}
+
+func limit(rows []Row, n int) []Row {
+	if n > 0 && len(rows) > n {
+		return rows[:n]
+	}
+	return rows
+}

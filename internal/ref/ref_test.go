@@ -1,0 +1,74 @@
+package ref
+
+import (
+	"testing"
+
+	"hsqp/internal/tpch"
+)
+
+// The reference executor's primary validation is the 88-configuration
+// conformance suite in internal/queries; these tests pin its own basic
+// contracts.
+
+func TestAllQueriesRun(t *testing.T) {
+	db := tpch.Generate(0.005, 42)
+	for q := 1; q <= 22; q++ {
+		res, err := Run(q, db, 0.005)
+		if err != nil {
+			t.Fatalf("q%d: %v", q, err)
+		}
+		if len(res.Cols) == 0 {
+			t.Fatalf("q%d: no columns", q)
+		}
+		for i, row := range res.Rows {
+			if len(row) != len(res.Cols) {
+				t.Fatalf("q%d row %d: %d cells for %d columns", q, i, len(row), len(res.Cols))
+			}
+		}
+	}
+	if _, err := Run(0, db, 1); err == nil {
+		t.Fatal("q0 accepted")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	db := tpch.Generate(0.005, 42)
+	for _, q := range []int{1, 5, 13, 18, 22} {
+		a, _ := Run(q, db, 0.005)
+		b, _ := Run(q, db, 0.005)
+		if len(a.Rows) != len(b.Rows) {
+			t.Fatalf("q%d: row counts differ", q)
+		}
+		for i := range a.Rows {
+			for c := range a.Rows[i] {
+				if a.Rows[i][c] != b.Rows[i][c] {
+					t.Fatalf("q%d row %d col %d differs", q, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestQ1Invariants(t *testing.T) {
+	db := tpch.Generate(0.01, 42)
+	res, _ := Run(1, db, 0.01)
+	if len(res.Rows) != 4 {
+		t.Fatalf("Q1 must have 4 groups, got %d", len(res.Rows))
+	}
+	var total int64
+	for _, row := range res.Rows {
+		cnt := row[9].(int64)
+		if cnt <= 0 {
+			t.Fatal("empty group emitted")
+		}
+		total += cnt
+		// avg × count ≤ sum (integer truncation) and sums positive.
+		if row[2].(int64) <= 0 || row[3].(int64) <= 0 {
+			t.Fatal("non-positive sums")
+		}
+	}
+	lineitems := db.Tables["lineitem"].Rows()
+	if total > int64(lineitems) {
+		t.Fatalf("Q1 counted %d rows of %d", total, lineitems)
+	}
+}

@@ -1,0 +1,61 @@
+// Package sched implements the application-level network schedule of
+// §3.2.3: communication proceeds in distinct phases that prevent link
+// sharing. In each phase every server has exactly one target it sends to
+// and one source it receives from (Figure 10(a)); with n servers a full
+// round consists of n−1 conflict-free phases.
+//
+// The schedule is the standard "round-robin tournament" permutation:
+// in phase k (0-based), server i sends to (i+k+1) mod n and receives from
+// (i−k−1) mod n. Every ordered pair of distinct servers meets exactly once
+// per round, and within a phase the mapping sender→receiver is a
+// permutation, so no two senders share an ingress port — the property that
+// avoids head-of-line blocking and credit starvation in the switch.
+package sched
+
+import "fmt"
+
+// Schedule is a round-robin communication schedule for n servers.
+type Schedule struct {
+	n int
+}
+
+// New creates a schedule for n ≥ 1 servers.
+func New(n int) (*Schedule, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("sched: need at least one server, got %d", n)
+	}
+	return &Schedule{n: n}, nil
+}
+
+// Servers returns n.
+func (s *Schedule) Servers() int { return s.n }
+
+// Phases returns the number of phases per round: n−1 (0 for a single
+// server, which never communicates).
+func (s *Schedule) Phases() int {
+	if s.n <= 1 {
+		return 0
+	}
+	return s.n - 1
+}
+
+// Target returns the server that `self` sends to in phase k.
+func (s *Schedule) Target(self, k int) int {
+	s.check(self, k)
+	return (self + k + 1) % s.n
+}
+
+// Source returns the server that `self` receives from in phase k.
+func (s *Schedule) Source(self, k int) int {
+	s.check(self, k)
+	return ((self-k-1)%s.n + s.n) % s.n
+}
+
+func (s *Schedule) check(self, k int) {
+	if self < 0 || self >= s.n {
+		panic(fmt.Sprintf("sched: server %d out of range [0,%d)", self, s.n))
+	}
+	if k < 0 || k >= s.Phases() {
+		panic(fmt.Sprintf("sched: phase %d out of range [0,%d)", k, s.Phases()))
+	}
+}

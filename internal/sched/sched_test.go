@@ -1,0 +1,91 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPhasesCount(t *testing.T) {
+	for n := 1; n <= 16; n++ {
+		s, err := New(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := n - 1
+		if n == 1 {
+			want = 0
+		}
+		if got := s.Phases(); got != want {
+			t.Fatalf("n=%d: phases %d, want %d", n, got, want)
+		}
+	}
+}
+
+// TestPermutationPerPhase verifies the core conflict-freedom property of
+// Figure 10(a): within one phase, the sender→target mapping is a
+// permutation (no two senders share a receiver) and nobody sends to
+// itself.
+func TestPermutationPerPhase(t *testing.T) {
+	for n := 2; n <= 12; n++ {
+		s, _ := New(n)
+		for k := 0; k < s.Phases(); k++ {
+			seen := make(map[int]int)
+			for srv := 0; srv < n; srv++ {
+				tgt := s.Target(srv, k)
+				if tgt == srv {
+					t.Fatalf("n=%d phase=%d: server %d targets itself", n, k, srv)
+				}
+				if prev, dup := seen[tgt]; dup {
+					t.Fatalf("n=%d phase=%d: servers %d and %d share target %d", n, k, prev, srv, tgt)
+				}
+				seen[tgt] = srv
+			}
+		}
+	}
+}
+
+// TestAllPairsMeetOnce: over a full round every ordered pair of distinct
+// servers communicates exactly once.
+func TestAllPairsMeetOnce(t *testing.T) {
+	for n := 2; n <= 10; n++ {
+		s, _ := New(n)
+		pairs := make(map[[2]int]int)
+		for k := 0; k < s.Phases(); k++ {
+			for srv := 0; srv < n; srv++ {
+				pairs[[2]int{srv, s.Target(srv, k)}]++
+			}
+		}
+		if len(pairs) != n*(n-1) {
+			t.Fatalf("n=%d: %d distinct pairs, want %d", n, len(pairs), n*(n-1))
+		}
+		for p, c := range pairs {
+			if c != 1 {
+				t.Fatalf("n=%d: pair %v met %d times", n, p, c)
+			}
+		}
+	}
+}
+
+// TestSourceTargetDual: i receives from j in phase k iff j sends to i.
+func TestSourceTargetDual(t *testing.T) {
+	f := func(n8, k8, i8 uint8) bool {
+		n := int(n8%14) + 2
+		s, _ := New(n)
+		k := int(k8) % s.Phases()
+		i := int(i8) % n
+		j := s.Source(i, k)
+		return s.Target(j, k) == i
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewRejectsBadSize(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Fatal("New(0) should fail")
+	}
+	if _, err := New(-3); err == nil {
+		t.Fatal("New(-3) should fail")
+	}
+}

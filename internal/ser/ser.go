@@ -1,0 +1,287 @@
+// Package ser implements the densely-packed binary tuple serialization
+// format of Figure 8 and the schema-specialized (de)serializers of §3.2.1.
+//
+// The format has three parts per tuple:
+//
+//  1. the values of all fixed-size attributes that are NOT NULL-able, in a
+//     deterministic order: first by data type, then by schema order;
+//  2. for each nullable fixed-size attribute, a null indicator byte
+//     followed by the value iff present;
+//  3. variable-length attributes (strings), stored as a uint32 size and
+//     the raw bytes (with a null indicator byte first when nullable).
+//
+// HyPer generates this code with LLVM for the specific input schema so no
+// schema interpretation happens per tuple. The Go equivalent: NewCodec
+// precomputes the field classification and emits per-field closures, so
+// the per-tuple loop dispatches through a compact closure array instead of
+// interpreting the schema.
+package ser
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"hsqp/internal/storage"
+)
+
+// Codec serializes and deserializes tuples of one schema.
+type Codec struct {
+	schema *storage.Schema
+
+	// Order-of-emission field lists (Figure 8).
+	fixedNotNull []int // part 1, sorted by (type, schema order)
+	nullableFix  []int // part 2
+	varlen       []int // part 3 (schema order)
+
+	enc []func(b *storage.Batch, row int, out []byte) []byte
+	dec []func(in []byte, b *storage.Batch) ([]byte, error)
+}
+
+// NewCodec builds a specialized codec for the schema.
+func NewCodec(schema *storage.Schema) *Codec {
+	c := &Codec{schema: schema}
+	// Classify fields.
+	for i, f := range schema.Fields {
+		switch {
+		case !f.Type.Fixed():
+			c.varlen = append(c.varlen, i)
+		case f.Nullable:
+			c.nullableFix = append(c.nullableFix, i)
+		default:
+			c.fixedNotNull = append(c.fixedNotNull, i)
+		}
+	}
+	// Part 1 is ordered by data type first, schema order second.
+	sortByTypeThenOrder(schema, c.fixedNotNull)
+
+	emit := func(idx int, mode emitMode) {
+		f := schema.Fields[idx]
+		c.enc = append(c.enc, makeEncoder(idx, f, mode))
+		c.dec = append(c.dec, makeDecoder(idx, f, mode))
+	}
+	for _, i := range c.fixedNotNull {
+		emit(i, emitPlain)
+	}
+	for _, i := range c.nullableFix {
+		emit(i, emitNullable)
+	}
+	for _, i := range c.varlen {
+		if schema.Fields[i].Nullable {
+			emit(i, emitVarNullable)
+		} else {
+			emit(i, emitVar)
+		}
+	}
+	return c
+}
+
+// Schema returns the codec's schema.
+func (c *Codec) Schema() *storage.Schema { return c.schema }
+
+// EncodeRow appends the serialized form of row `row` of b to out.
+func (c *Codec) EncodeRow(b *storage.Batch, row int, out []byte) []byte {
+	for _, e := range c.enc {
+		out = e(b, row, out)
+	}
+	return out
+}
+
+// RowSize returns the serialized size of row `row` without encoding it.
+func (c *Codec) RowSize(b *storage.Batch, row int) int {
+	n := 0
+	for _, i := range c.fixedNotNull {
+		n += c.schema.Fields[i].Type.FixedSize()
+	}
+	for _, i := range c.nullableFix {
+		n++ // indicator
+		if !b.Cols[i].IsNull(row) {
+			n += c.schema.Fields[i].Type.FixedSize()
+		}
+	}
+	for _, i := range c.varlen {
+		if c.schema.Fields[i].Nullable {
+			n++
+			if b.Cols[i].IsNull(row) {
+				continue
+			}
+		}
+		n += 4 + len(b.Cols[i].Str[row])
+	}
+	return n
+}
+
+// DecodeAll decodes the whole buffer into dst, appending rows. It returns
+// the number of rows decoded.
+func (c *Codec) DecodeAll(in []byte, dst *storage.Batch) (int, error) {
+	rows := 0
+	for len(in) > 0 {
+		var err error
+		for _, d := range c.dec {
+			if in, err = d(in, dst); err != nil {
+				return rows, fmt.Errorf("ser: row %d: %w", rows, err)
+			}
+		}
+		rows++
+	}
+	return rows, nil
+}
+
+type emitMode int
+
+const (
+	emitPlain emitMode = iota
+	emitNullable
+	emitVar
+	emitVarNullable
+)
+
+func makeEncoder(idx int, f storage.Field, mode emitMode) func(*storage.Batch, int, []byte) []byte {
+	t := f.Type
+	switch mode {
+	case emitPlain:
+		switch t {
+		case storage.TDate:
+			return func(b *storage.Batch, row int, out []byte) []byte {
+				return binary.LittleEndian.AppendUint32(out, uint32(int32(b.Cols[idx].I64[row])))
+			}
+		case storage.TFloat64:
+			return func(b *storage.Batch, row int, out []byte) []byte {
+				bits := f64bits(b.Cols[idx].F64[row])
+				return binary.LittleEndian.AppendUint64(out, bits)
+			}
+		default: // int64, decimal
+			return func(b *storage.Batch, row int, out []byte) []byte {
+				return binary.LittleEndian.AppendUint64(out, uint64(b.Cols[idx].I64[row]))
+			}
+		}
+	case emitNullable:
+		return func(b *storage.Batch, row int, out []byte) []byte {
+			col := b.Cols[idx]
+			if col.IsNull(row) {
+				return append(out, 0)
+			}
+			out = append(out, 1)
+			switch t {
+			case storage.TDate:
+				return binary.LittleEndian.AppendUint32(out, uint32(int32(col.I64[row])))
+			case storage.TFloat64:
+				return binary.LittleEndian.AppendUint64(out, f64bits(col.F64[row]))
+			default:
+				return binary.LittleEndian.AppendUint64(out, uint64(col.I64[row]))
+			}
+		}
+	case emitVar:
+		return func(b *storage.Batch, row int, out []byte) []byte {
+			s := b.Cols[idx].Str[row]
+			out = binary.LittleEndian.AppendUint32(out, uint32(len(s)))
+			return append(out, s...)
+		}
+	default: // emitVarNullable
+		return func(b *storage.Batch, row int, out []byte) []byte {
+			col := b.Cols[idx]
+			if col.IsNull(row) {
+				return append(out, 0)
+			}
+			out = append(out, 1)
+			s := col.Str[row]
+			out = binary.LittleEndian.AppendUint32(out, uint32(len(s)))
+			return append(out, s...)
+		}
+	}
+}
+
+func makeDecoder(idx int, f storage.Field, mode emitMode) func([]byte, *storage.Batch) ([]byte, error) {
+	t := f.Type
+	errShort := fmt.Errorf("ser: truncated input for field %q", f.Name)
+	readFixed := func(in []byte, col *storage.Column) ([]byte, error) {
+		switch t {
+		case storage.TDate:
+			if len(in) < 4 {
+				return nil, errShort
+			}
+			col.AppendI64(int64(int32(binary.LittleEndian.Uint32(in))))
+			return in[4:], nil
+		case storage.TFloat64:
+			if len(in) < 8 {
+				return nil, errShort
+			}
+			col.AppendF64(f64frombits(binary.LittleEndian.Uint64(in)))
+			return in[8:], nil
+		default:
+			if len(in) < 8 {
+				return nil, errShort
+			}
+			col.AppendI64(int64(binary.LittleEndian.Uint64(in)))
+			return in[8:], nil
+		}
+	}
+	switch mode {
+	case emitPlain:
+		return func(in []byte, b *storage.Batch) ([]byte, error) {
+			return readFixed(in, b.Cols[idx])
+		}
+	case emitNullable:
+		return func(in []byte, b *storage.Batch) ([]byte, error) {
+			if len(in) < 1 {
+				return nil, errShort
+			}
+			ind := in[0]
+			in = in[1:]
+			if ind == 0 {
+				b.Cols[idx].AppendNull()
+				return in, nil
+			}
+			return readFixed(in, b.Cols[idx])
+		}
+	case emitVar:
+		return func(in []byte, b *storage.Batch) ([]byte, error) {
+			if len(in) < 4 {
+				return nil, errShort
+			}
+			n := int(binary.LittleEndian.Uint32(in))
+			in = in[4:]
+			if len(in) < n {
+				return nil, errShort
+			}
+			b.Cols[idx].AppendStr(string(in[:n]))
+			return in[n:], nil
+		}
+	default: // emitVarNullable
+		return func(in []byte, b *storage.Batch) ([]byte, error) {
+			if len(in) < 1 {
+				return nil, errShort
+			}
+			ind := in[0]
+			in = in[1:]
+			if ind == 0 {
+				b.Cols[idx].AppendNull()
+				return in, nil
+			}
+			if len(in) < 4 {
+				return nil, errShort
+			}
+			n := int(binary.LittleEndian.Uint32(in))
+			in = in[4:]
+			if len(in) < n {
+				return nil, errShort
+			}
+			b.Cols[idx].AppendStr(string(in[:n]))
+			return in[n:], nil
+		}
+	}
+}
+
+func sortByTypeThenOrder(schema *storage.Schema, idx []int) {
+	// Insertion sort: field lists are tiny.
+	for i := 1; i < len(idx); i++ {
+		for j := i; j > 0; j-- {
+			a, b := idx[j-1], idx[j]
+			ta, tb := schema.Fields[a].Type, schema.Fields[b].Type
+			if ta > tb || (ta == tb && a > b) {
+				idx[j-1], idx[j] = idx[j], idx[j-1]
+			} else {
+				break
+			}
+		}
+	}
+}

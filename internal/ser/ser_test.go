@@ -1,0 +1,157 @@
+package ser
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"hsqp/internal/storage"
+	"hsqp/internal/tpch"
+)
+
+func partsuppBatch() *storage.Batch {
+	// The Figure 8 example relation.
+	b := storage.NewBatch(tpch.PartSuppSchema(), 3)
+	b.AppendRow(int64(1), int64(2), int64(100), int64(5000), "carefully final deposits")
+	b.AppendRow(int64(7), int64(9), int64(0), int64(1), "")
+	b.AppendRow(int64(3), int64(4), int64(9999), int64(99999), "x")
+	return b
+}
+
+func TestRoundTripPartsupp(t *testing.T) {
+	b := partsuppBatch()
+	c := NewCodec(b.Schema)
+	var buf []byte
+	for i := 0; i < b.Rows(); i++ {
+		if got, want := c.RowSize(b, i), len(c.EncodeRow(b, i, nil)); got != want {
+			t.Fatalf("row %d: RowSize %d != encoded %d", i, got, want)
+		}
+		buf = c.EncodeRow(b, i, buf)
+	}
+	out := storage.NewBatch(b.Schema, b.Rows())
+	n, err := c.DecodeAll(buf, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != b.Rows() {
+		t.Fatalf("decoded %d rows, want %d", n, b.Rows())
+	}
+	for i := 0; i < b.Rows(); i++ {
+		for col := range b.Cols {
+			if b.Cols[col].Value(i) != out.Cols[col].Value(i) {
+				t.Fatalf("row %d col %d: %v != %v", i, col, b.Cols[col].Value(i), out.Cols[col].Value(i))
+			}
+		}
+	}
+}
+
+func TestRoundTripNullable(t *testing.T) {
+	schema := storage.NewSchema(
+		storage.Field{Name: "id", Type: storage.TInt64},
+		storage.Field{Name: "opt", Type: storage.TDecimal, Nullable: true},
+		storage.Field{Name: "d", Type: storage.TDate, Nullable: true},
+		storage.Field{Name: "s", Type: storage.TString, Nullable: true},
+		storage.Field{Name: "f", Type: storage.TFloat64},
+	)
+	b := storage.NewBatch(schema, 3)
+	b.AppendRow(int64(1), nil, int64(9000), "hello", 1.25)
+	b.AppendRow(int64(2), int64(-42), nil, nil, math.Inf(1))
+	b.AppendRow(int64(3), int64(0), int64(0), "", -0.0)
+
+	c := NewCodec(schema)
+	var buf []byte
+	for i := 0; i < b.Rows(); i++ {
+		buf = c.EncodeRow(b, i, buf)
+	}
+	out := storage.NewBatch(schema, 3)
+	if _, err := c.DecodeAll(buf, out); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < b.Rows(); i++ {
+		for col := range b.Cols {
+			if b.Cols[col].Value(i) != out.Cols[col].Value(i) {
+				t.Fatalf("row %d col %d: %v != %v", i, col, b.Cols[col].Value(i), out.Cols[col].Value(i))
+			}
+		}
+	}
+}
+
+func TestDenseLayout(t *testing.T) {
+	// Fixed NOT NULL attributes serialize with zero per-field overhead:
+	// the partsupp row of Figure 8 has 4 fixed fields (8 bytes each) plus
+	// one varchar (4-byte length prefix).
+	b := partsuppBatch()
+	c := NewCodec(b.Schema)
+	comment := b.Cols[4].Str[0]
+	want := 4*8 + 4 + len(comment)
+	if got := c.RowSize(b, 0); got != want {
+		t.Fatalf("row size %d, want %d (densely packed)", got, want)
+	}
+}
+
+func TestTruncatedInputFails(t *testing.T) {
+	b := partsuppBatch()
+	c := NewCodec(b.Schema)
+	buf := c.EncodeRow(b, 0, nil)
+	for cut := 1; cut < len(buf); cut += 7 {
+		out := storage.NewBatch(b.Schema, 1)
+		if _, err := c.DecodeAll(buf[:len(buf)-cut], out); err == nil {
+			t.Fatalf("truncation by %d bytes not detected", cut)
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	schema := storage.NewSchema(
+		storage.Field{Name: "a", Type: storage.TInt64},
+		storage.Field{Name: "b", Type: storage.TString},
+		storage.Field{Name: "c", Type: storage.TDecimal, Nullable: true},
+	)
+	c := NewCodec(schema)
+	f := func(a int64, s string, d int64, null bool) bool {
+		b := storage.NewBatch(schema, 1)
+		if null {
+			b.AppendRow(a, s, nil)
+		} else {
+			b.AppendRow(a, s, d)
+		}
+		buf := c.EncodeRow(b, 0, nil)
+		out := storage.NewBatch(schema, 1)
+		if _, err := c.DecodeAll(buf, out); err != nil {
+			return false
+		}
+		return out.Cols[0].Value(0) == b.Cols[0].Value(0) &&
+			out.Cols[1].Value(0) == b.Cols[1].Value(0) &&
+			out.Cols[2].Value(0) == b.Cols[2].Value(0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllTPCHSchemasRoundTrip(t *testing.T) {
+	db := tpch.Generate(0.001, 7)
+	for name, batch := range db.Tables {
+		c := NewCodec(batch.Schema)
+		rows := min(batch.Rows(), 200)
+		var buf []byte
+		for i := 0; i < rows; i++ {
+			buf = c.EncodeRow(batch, i, buf)
+		}
+		out := storage.NewBatch(batch.Schema, rows)
+		n, err := c.DecodeAll(buf, out)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if n != rows {
+			t.Fatalf("%s: decoded %d, want %d", name, n, rows)
+		}
+		for i := 0; i < rows; i++ {
+			for col := range batch.Cols {
+				if batch.Cols[col].Value(i) != out.Cols[col].Value(i) {
+					t.Fatalf("%s row %d col %d mismatch", name, i, col)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,177 @@
+// Package sim provides a small discrete-event simulation kernel with a
+// virtual clock, an event queue and contended resources.
+//
+// It is used by the network microbenchmarks (Figures 4 and 5 of the paper)
+// that model CPU cost, memory-bus traffic and link occupancy analytically
+// in virtual time, where wall-clock execution would be too slow or too
+// noisy to reproduce the paper's numbers.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is virtual simulation time in seconds.
+type Time float64
+
+// Event is a scheduled callback.
+type event struct {
+	at    Time
+	seq   int64
+	fn    func()
+	index int
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	e := x.(*event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Sim is a discrete-event simulator. The zero value is not usable; call New.
+type Sim struct {
+	now    Time
+	queue  eventQueue
+	seq    int64
+	nsteps int64
+}
+
+// New creates an empty simulator at time zero.
+func New() *Sim {
+	return &Sim{}
+}
+
+// Now returns the current virtual time.
+func (s *Sim) Now() Time { return s.now }
+
+// Steps returns the number of events processed so far.
+func (s *Sim) Steps() int64 { return s.nsteps }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// panics: it indicates a modeling bug.
+func (s *Sim) At(t Time, fn func()) {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
+	}
+	s.seq++
+	heap.Push(&s.queue, &event{at: t, seq: s.seq, fn: fn})
+}
+
+// After schedules fn to run d seconds from now.
+func (s *Sim) After(d Time, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	s.At(s.now+d, fn)
+}
+
+// Run processes events until the queue is empty or until virtual time
+// exceeds limit (use math.Inf(1) for no limit). It returns the final time.
+func (s *Sim) Run(limit Time) Time {
+	for len(s.queue) > 0 {
+		e := heap.Pop(&s.queue).(*event)
+		if e.at > limit {
+			// Put it back and stop; the event remains pending.
+			heap.Push(&s.queue, e)
+			s.now = limit
+			return s.now
+		}
+		s.now = e.at
+		s.nsteps++
+		e.fn()
+	}
+	return s.now
+}
+
+// RunAll processes all events with no time limit.
+func (s *Sim) RunAll() Time { return s.Run(Time(math.Inf(1))) }
+
+// Resource is a FIFO-served resource with a given service capacity
+// expressed in units per second (e.g. bytes/s for a link, cycles/s for a
+// CPU). Acquire schedules work of a given size and calls done when the
+// resource has finished serving it. Requests are serialized: the resource
+// serves one request at a time, which models a single link, core or bus.
+type Resource struct {
+	sim      *Sim
+	Name     string
+	Capacity float64 // units per second
+	free     Time    // next time the resource is free
+	busy     float64 // total busy seconds, for utilization accounting
+}
+
+// NewResource creates a resource attached to the simulator.
+func NewResource(s *Sim, name string, capacity float64) *Resource {
+	if capacity <= 0 {
+		panic("sim: resource capacity must be positive")
+	}
+	return &Resource{sim: s, Name: name, Capacity: capacity}
+}
+
+// Acquire enqueues size units of work and invokes done at completion time.
+func (r *Resource) Acquire(size float64, done func()) {
+	start := r.free
+	if start < r.sim.now {
+		start = r.sim.now
+	}
+	dur := Time(size / r.Capacity)
+	r.free = start + dur
+	r.busy += float64(dur)
+	if done != nil {
+		r.sim.At(r.free, done)
+	}
+}
+
+// AcquireAt behaves like Acquire but the work may not start before t.
+func (r *Resource) AcquireAt(t Time, size float64, done func()) {
+	start := r.free
+	if start < t {
+		start = t
+	}
+	if start < r.sim.now {
+		start = r.sim.now
+	}
+	dur := Time(size / r.Capacity)
+	r.free = start + dur
+	r.busy += float64(dur)
+	if done != nil {
+		r.sim.At(r.free, done)
+	}
+}
+
+// BusySeconds reports the accumulated busy time of the resource.
+func (r *Resource) BusySeconds() float64 { return r.busy }
+
+// Utilization reports busy time divided by elapsed virtual time.
+func (r *Resource) Utilization() float64 {
+	if r.sim.now == 0 {
+		return 0
+	}
+	return r.busy / float64(r.sim.now)
+}
+
+// FreeAt returns the next time the resource is available.
+func (r *Resource) FreeAt() Time { return r.free }

@@ -1,0 +1,128 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEventOrdering(t *testing.T) {
+	s := New()
+	var order []int
+	s.At(3, func() { order = append(order, 3) })
+	s.At(1, func() { order = append(order, 1) })
+	s.At(2, func() { order = append(order, 2) })
+	s.RunAll()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("events out of order: %v", order)
+	}
+	if s.Now() != 3 {
+		t.Fatalf("final time %v, want 3", s.Now())
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	s := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(5, func() { order = append(order, i) })
+	}
+	s.RunAll()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestAfterChains(t *testing.T) {
+	s := New()
+	hits := 0
+	var step func()
+	step = func() {
+		hits++
+		if hits < 5 {
+			s.After(1, step)
+		}
+	}
+	s.After(1, step)
+	s.RunAll()
+	if hits != 5 {
+		t.Fatalf("got %d hits, want 5", hits)
+	}
+	if s.Now() != 5 {
+		t.Fatalf("final time %v, want 5", s.Now())
+	}
+}
+
+func TestRunLimit(t *testing.T) {
+	s := New()
+	ran := 0
+	s.At(1, func() { ran++ })
+	s.At(10, func() { ran++ })
+	s.Run(5)
+	if ran != 1 {
+		t.Fatalf("ran %d events before limit, want 1", ran)
+	}
+	if s.Now() != 5 {
+		t.Fatalf("time %v, want 5 (the limit)", s.Now())
+	}
+	s.RunAll()
+	if ran != 2 {
+		t.Fatalf("pending event lost: ran=%d", ran)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	s := New()
+	s.At(5, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		s.At(1, func() {})
+	})
+	s.RunAll()
+}
+
+func TestResourceSerializes(t *testing.T) {
+	s := New()
+	r := NewResource(s, "link", 100) // 100 units/sec
+	var done []Time
+	r.Acquire(100, func() { done = append(done, s.Now()) }) // 1s
+	r.Acquire(100, func() { done = append(done, s.Now()) }) // queued behind
+	s.RunAll()
+	if len(done) != 2 || done[0] != 1 || done[1] != 2 {
+		t.Fatalf("completions %v, want [1 2]", done)
+	}
+	if r.BusySeconds() != 2 {
+		t.Fatalf("busy %v, want 2", r.BusySeconds())
+	}
+	if math.Abs(r.Utilization()-1.0) > 1e-9 {
+		t.Fatalf("utilization %v, want 1", r.Utilization())
+	}
+}
+
+func TestResourceThroughputProperty(t *testing.T) {
+	// Property: serving n jobs of size s at capacity c takes exactly
+	// n×s/c when they arrive together.
+	f := func(n uint8, size uint16, cap16 uint16) bool {
+		jobs := int(n%20) + 1
+		sz := float64(size%1000) + 1
+		capacity := float64(cap16%5000) + 1
+		s := New()
+		r := NewResource(s, "r", capacity)
+		for i := 0; i < jobs; i++ {
+			r.Acquire(sz, nil)
+		}
+		end := s.RunAll()
+		_ = end
+		want := Time(float64(jobs) * sz / capacity)
+		return math.Abs(float64(r.FreeAt()-want)) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

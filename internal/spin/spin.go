@@ -1,0 +1,34 @@
+// Package spin provides calibrated CPU busy-work used by the simulation
+// layers to charge modeled CPU cost (TCP stack processing, QPI stalls,
+// memory-region registration) against real cores, so that modeled overhead
+// genuinely competes with query processing for CPU time.
+package spin
+
+import "time"
+
+// sleepSlack is spun rather than slept at the end of long burns: the host
+// kernel's sleep granularity overshoots by up to ~2 ms.
+const sleepSlack = 3 * time.Millisecond
+
+// Burn occupies the calling goroutine's core until d has elapsed. Burns up
+// to a few milliseconds spin the whole duration — they model CPU the
+// component genuinely consumes; longer burns sleep most of it.
+func Burn(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	deadline := time.Now().Add(d)
+	for {
+		rest := time.Until(deadline)
+		if rest <= 0 {
+			return
+		}
+		if rest > 2*sleepSlack {
+			time.Sleep(rest - sleepSlack)
+			continue
+		}
+		for time.Now().Before(deadline) {
+		}
+		return
+	}
+}

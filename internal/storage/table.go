@@ -1,0 +1,154 @@
+package storage
+
+import (
+	"fmt"
+
+	"hsqp/internal/numa"
+)
+
+// Segment is a NUMA-homed horizontal slice of a table: HyPer
+// "transparently distributes the input relations over all available NUMA
+// sockets" (§4.1).
+type Segment struct {
+	*Batch
+	Node numa.Node
+}
+
+// Table is one server's fragment of a relation: a list of NUMA-homed
+// segments sharing a schema.
+type Table struct {
+	Name     string
+	Schema   *Schema
+	Segments []*Segment
+}
+
+// NewTable creates an empty table.
+func NewTable(name string, schema *Schema) *Table {
+	return &Table{Name: name, Schema: schema}
+}
+
+// AddSegment appends a segment; the batch must match the table schema.
+func (t *Table) AddSegment(b *Batch, node numa.Node) *Segment {
+	if !b.Schema.Equal(t.Schema) {
+		panic(fmt.Sprintf("storage: segment schema %v != table schema %v", b.Schema, t.Schema))
+	}
+	seg := &Segment{Batch: b, Node: node}
+	t.Segments = append(t.Segments, seg)
+	return seg
+}
+
+// Rows returns the total row count over all segments.
+func (t *Table) Rows() int {
+	n := 0
+	for _, s := range t.Segments {
+		n += s.Rows()
+	}
+	return n
+}
+
+// Flatten concatenates all segments into one batch (tests, reference
+// engine; not used on hot paths).
+func (t *Table) Flatten() *Batch {
+	out := NewBatch(t.Schema, t.Rows())
+	for _, s := range t.Segments {
+		for i := 0; i < s.Rows(); i++ {
+			out.AppendRowFrom(s.Batch, i)
+		}
+	}
+	return out
+}
+
+// DistributeToSockets splits a batch into one segment per NUMA socket in
+// round-robin blocks and adds them to the table.
+func (t *Table) DistributeToSockets(b *Batch, topo *numa.Topology) {
+	rows := b.Rows()
+	sockets := topo.Sockets
+	per := (rows + sockets - 1) / sockets
+	for s := 0; s < sockets; s++ {
+		lo := s * per
+		hi := min(lo+per, rows)
+		if lo >= hi && rows > 0 {
+			break
+		}
+		seg := NewBatch(t.Schema, hi-lo)
+		for i := lo; i < hi; i++ {
+			seg.AppendRowFrom(b, i)
+		}
+		t.AddSegment(seg, numa.Node(s))
+	}
+	if rows == 0 && len(t.Segments) == 0 {
+		t.AddSegment(NewBatch(t.Schema, 0), 0)
+	}
+}
+
+// Placement selects how a relation is distributed over the servers of a
+// cluster (§4.1 / §4.3: "chunked" assigns dbgen chunks to servers without
+// redistribution; "partitioned" hash-partitions by the first primary-key
+// column, enabling local joins).
+type Placement int
+
+const (
+	// PlacementChunked assigns contiguous chunks to servers as generated.
+	PlacementChunked Placement = iota
+	// PlacementPartitioned hash-partitions rows by a key column.
+	PlacementPartitioned
+	// PlacementReplicated copies the full relation to every server
+	// (small dimension tables: nation, region).
+	PlacementReplicated
+)
+
+func (p Placement) String() string {
+	switch p {
+	case PlacementChunked:
+		return "chunked"
+	case PlacementPartitioned:
+		return "partitioned"
+	case PlacementReplicated:
+		return "replicated"
+	default:
+		return fmt.Sprintf("Placement(%d)", int(p))
+	}
+}
+
+// SplitChunked splits batch rows into `servers` contiguous chunks.
+func SplitChunked(b *Batch, servers int) []*Batch {
+	rows := b.Rows()
+	out := make([]*Batch, servers)
+	per := (rows + servers - 1) / servers
+	for s := 0; s < servers; s++ {
+		lo := min(s*per, rows)
+		hi := min(lo+per, rows)
+		dst := NewBatch(b.Schema, hi-lo)
+		for i := lo; i < hi; i++ {
+			dst.AppendRowFrom(b, i)
+		}
+		out[s] = dst
+	}
+	return out
+}
+
+// SplitPartitioned hash-partitions batch rows by key column `key` into
+// `servers` partitions using the engine's CRC32 hash.
+func SplitPartitioned(b *Batch, key int, servers int) []*Batch {
+	out := make([]*Batch, servers)
+	for s := range out {
+		out[s] = NewBatch(b.Schema, b.Rows()/servers+1)
+	}
+	col := b.Cols[key]
+	for i := 0; i < b.Rows(); i++ {
+		h := HashColValue(col, i)
+		out[PartitionOf(h, servers)].AppendRowFrom(b, i)
+	}
+	return out
+}
+
+// Replicate returns `servers` references to the same batch (replicated
+// placement shares the underlying read-only data in this in-process
+// simulation, like each server holding its own copy).
+func Replicate(b *Batch, servers int) []*Batch {
+	out := make([]*Batch, servers)
+	for s := range out {
+		out[s] = b
+	}
+	return out
+}

@@ -1,0 +1,121 @@
+package tcp
+
+import (
+	"sync"
+	"testing"
+
+	"hsqp/internal/fabric"
+	"hsqp/internal/memory"
+	"hsqp/internal/numa"
+)
+
+func pair(t *testing.T, cfg Config) (send func(int), recvd *[]string, stats func() (Stats, Stats), stop func()) {
+	t.Helper()
+	fab, err := fabric.New(fabric.Config{Ports: 2, Rate: fabric.IB4xQDR, TimeScale: 0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo := numa.TwoSocket()
+	p0 := memory.NewPool(topo, numa.AllocLocal, 4096, nil)
+	p1 := memory.NewPool(topo, numa.AllocLocal, 4096, nil)
+	var mu sync.Mutex
+	var got []string
+	ch := make(chan struct{}, 1024)
+	ep0 := NewEndpoint(fab, 0, cfg, p0.Get0, func(m *memory.Message) { m.Release() }, func(int, uint32) {})
+	ep1 := NewEndpoint(fab, 1, cfg, p1.Get0, func(m *memory.Message) {
+		mu.Lock()
+		got = append(got, string(m.Content))
+		mu.Unlock()
+		m.Release()
+		ch <- struct{}{}
+	}, func(int, uint32) {})
+	fab.Start()
+	ep0.Start()
+	ep1.Start()
+	send = func(n int) {
+		for i := 0; i < n; i++ {
+			m := p0.Get0()
+			m.Content = append(m.Content, 'm', byte('0'+i%10))
+			ep0.Send(1, m)
+		}
+		for i := 0; i < n; i++ {
+			<-ch
+		}
+	}
+	return send, &got, func() (Stats, Stats) { return ep0.Stats(), ep1.Stats() }, func() {
+		ep0.Close()
+		ep1.Close()
+		fab.Stop()
+	}
+}
+
+func TestDeliveryAndContent(t *testing.T) {
+	send, got, _, stop := pair(t, Config{Mode: ModeConnected, NICLocal: true})
+	defer stop()
+	send(5)
+	if len(*got) != 5 {
+		t.Fatalf("received %d messages", len(*got))
+	}
+	for i, s := range *got {
+		if s != "m"+string(byte('0'+i)) {
+			t.Fatalf("message %d corrupted: %q", i, s)
+		}
+	}
+}
+
+func TestCPUAccounting(t *testing.T) {
+	send, _, stats, stop := pair(t, Config{Mode: ModeDatagram, NICLocal: true})
+	defer stop()
+	send(10)
+	s0, s1 := stats()
+	if s0.CPUSeconds <= 0 || s1.CPUSeconds <= 0 {
+		t.Fatalf("no CPU charged: send=%v recv=%v", s0.CPUSeconds, s1.CPUSeconds)
+	}
+	if s0.Segments == 0 || s0.MsgsSent != 10 || s1.MsgsReceived != 10 {
+		t.Fatalf("counters: %+v %+v", s0, s1)
+	}
+}
+
+func TestCostModelOrdering(t *testing.T) {
+	// The Figure 5 ladder, as per-byte receiver cost: datagram w/o offload
+	// > datagram w/ offload > connected > connected+tuned interrupts.
+	recvCost := func(cfg Config, bytes int) float64 {
+		c := cfg.withDefaults()
+		segs := segmentsFor(bytes, c.Mode.MTU())
+		cost := perSegmentCost(segs, c.Offload).Seconds()
+		cost += bytesCost(bytes, ChecksumRate).Seconds()
+		cost += bytesCost(bytes, CopyRate).Seconds()
+		if !c.TunedInterrupts {
+			cost += bytesCost(bytes, IRQPathRate).Seconds()
+		}
+		return cost
+	}
+	const n = 512 * 1024
+	ladder := []Config{
+		{Mode: ModeDatagram, Offload: false},
+		{Mode: ModeDatagram, Offload: true},
+		{Mode: ModeConnected},
+		{Mode: ModeConnected, TunedInterrupts: true},
+	}
+	prev := recvCost(ladder[0], n)
+	for i := 1; i < len(ladder); i++ {
+		cur := recvCost(ladder[i], n)
+		if cur >= prev {
+			t.Fatalf("ladder step %d not faster: %.0fµs vs %.0fµs", i, cur*1e6, prev*1e6)
+		}
+		prev = cur
+	}
+	// Connected mode never offloads (RFC 4755).
+	if (Config{Mode: ModeConnected, Offload: true}).withDefaults().Offload {
+		t.Fatal("connected mode must not offload")
+	}
+}
+
+func TestMTUs(t *testing.T) {
+	if ModeEthernet.MTU() != 1500 || ModeDatagram.MTU() != 2044 || ModeConnected.MTU() != 65520 {
+		t.Fatal("MTUs wrong")
+	}
+	if segmentsFor(65520, 65520) != 1 || segmentsFor(65521, 65520) != 2 || segmentsFor(0, 1500) != 1 {
+		t.Fatal("segment math wrong")
+	}
+}

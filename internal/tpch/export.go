@@ -1,0 +1,64 @@
+package tpch
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"hsqp/internal/storage"
+)
+
+// WriteTable streams one relation in dbgen's .tbl format ('|'-separated,
+// trailing '|', decimals with two places, ISO dates).
+func WriteTable(w io.Writer, b *storage.Batch) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	var sb strings.Builder
+	for i := 0; i < b.Rows(); i++ {
+		sb.Reset()
+		for c, col := range b.Cols {
+			switch b.Schema.Fields[c].Type {
+			case storage.TDecimal:
+				sb.WriteString(strconv.FormatFloat(storage.DecimalFloat(col.I64[i]), 'f', 2, 64))
+			case storage.TDate:
+				sb.WriteString(storage.FormatDate(col.I64[i]))
+			case storage.TString:
+				sb.WriteString(col.Str[i])
+			case storage.TFloat64:
+				sb.WriteString(strconv.FormatFloat(col.F64[i], 'g', -1, 64))
+			default:
+				sb.WriteString(strconv.FormatInt(col.I64[i], 10))
+			}
+			sb.WriteByte('|')
+		}
+		sb.WriteByte('\n')
+		if _, err := bw.WriteString(sb.String()); err != nil {
+			return fmt.Errorf("tpch: write row %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// Export writes all eight relations as <dir>/<name>.tbl.
+func (db *Database) Export(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("tpch: export: %w", err)
+	}
+	for _, name := range TableNames {
+		f, err := os.Create(filepath.Join(dir, name+".tbl"))
+		if err != nil {
+			return fmt.Errorf("tpch: export %s: %w", name, err)
+		}
+		if err := WriteTable(f, db.Tables[name]); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,54 @@
+package tpch
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteTableFormat(t *testing.T) {
+	db := Generate(0.001, 42)
+	var buf bytes.Buffer
+	if err := WriteTable(&buf, db.Tables["region"]); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("%d region lines", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "0|AFRICA|") || !strings.HasSuffix(lines[0], "|") {
+		t.Fatalf("dbgen .tbl format broken: %q", lines[0])
+	}
+	// Decimals render with two places; dates as ISO.
+	var ord bytes.Buffer
+	if err := WriteTable(&ord, db.Tables["orders"]); err != nil {
+		t.Fatal(err)
+	}
+	first := strings.SplitN(ord.String(), "\n", 2)[0]
+	fields := strings.Split(first, "|")
+	if !strings.Contains(fields[3], ".") {
+		t.Fatalf("o_totalprice not decimal-formatted: %q", fields[3])
+	}
+	if len(fields[4]) != 10 || fields[4][4] != '-' {
+		t.Fatalf("o_orderdate not ISO: %q", fields[4])
+	}
+}
+
+func TestExportWritesAllTables(t *testing.T) {
+	dir := t.TempDir()
+	db := Generate(0.001, 42)
+	if err := db.Export(dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range TableNames {
+		st, err := os.Stat(filepath.Join(dir, name+".tbl"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("%s.tbl empty", name)
+		}
+	}
+}

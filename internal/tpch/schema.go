@@ -1,0 +1,161 @@
+package tpch
+
+import "hsqp/internal/storage"
+
+// Schemas of the eight TPC-H relations. TPC-H data contains no NULLs, so
+// all fields are declared NOT NULL; the wire format still supports NULLs
+// for outer-join results.
+
+func f(name string, t storage.Type) storage.Field {
+	return storage.Field{Name: name, Type: t}
+}
+
+// RegionSchema returns the region relation schema.
+func RegionSchema() *storage.Schema {
+	return storage.NewSchema(
+		f("r_regionkey", storage.TInt64),
+		f("r_name", storage.TString),
+		f("r_comment", storage.TString),
+	)
+}
+
+// NationSchema returns the nation relation schema.
+func NationSchema() *storage.Schema {
+	return storage.NewSchema(
+		f("n_nationkey", storage.TInt64),
+		f("n_name", storage.TString),
+		f("n_regionkey", storage.TInt64),
+		f("n_comment", storage.TString),
+	)
+}
+
+// SupplierSchema returns the supplier relation schema.
+func SupplierSchema() *storage.Schema {
+	return storage.NewSchema(
+		f("s_suppkey", storage.TInt64),
+		f("s_name", storage.TString),
+		f("s_address", storage.TString),
+		f("s_nationkey", storage.TInt64),
+		f("s_phone", storage.TString),
+		f("s_acctbal", storage.TDecimal),
+		f("s_comment", storage.TString),
+	)
+}
+
+// PartSchema returns the part relation schema.
+func PartSchema() *storage.Schema {
+	return storage.NewSchema(
+		f("p_partkey", storage.TInt64),
+		f("p_name", storage.TString),
+		f("p_mfgr", storage.TString),
+		f("p_brand", storage.TString),
+		f("p_type", storage.TString),
+		f("p_size", storage.TInt64),
+		f("p_container", storage.TString),
+		f("p_retailprice", storage.TDecimal),
+		f("p_comment", storage.TString),
+	)
+}
+
+// PartSuppSchema returns the partsupp relation schema (the Figure 8
+// example relation).
+func PartSuppSchema() *storage.Schema {
+	return storage.NewSchema(
+		f("ps_partkey", storage.TInt64),
+		f("ps_suppkey", storage.TInt64),
+		f("ps_availqty", storage.TInt64),
+		f("ps_supplycost", storage.TDecimal),
+		f("ps_comment", storage.TString),
+	)
+}
+
+// CustomerSchema returns the customer relation schema.
+func CustomerSchema() *storage.Schema {
+	return storage.NewSchema(
+		f("c_custkey", storage.TInt64),
+		f("c_name", storage.TString),
+		f("c_address", storage.TString),
+		f("c_nationkey", storage.TInt64),
+		f("c_phone", storage.TString),
+		f("c_acctbal", storage.TDecimal),
+		f("c_mktsegment", storage.TString),
+		f("c_comment", storage.TString),
+	)
+}
+
+// OrdersSchema returns the orders relation schema.
+func OrdersSchema() *storage.Schema {
+	return storage.NewSchema(
+		f("o_orderkey", storage.TInt64),
+		f("o_custkey", storage.TInt64),
+		f("o_orderstatus", storage.TString),
+		f("o_totalprice", storage.TDecimal),
+		f("o_orderdate", storage.TDate),
+		f("o_orderpriority", storage.TString),
+		f("o_clerk", storage.TString),
+		f("o_shippriority", storage.TInt64),
+		f("o_comment", storage.TString),
+	)
+}
+
+// LineitemSchema returns the lineitem relation schema.
+func LineitemSchema() *storage.Schema {
+	return storage.NewSchema(
+		f("l_orderkey", storage.TInt64),
+		f("l_partkey", storage.TInt64),
+		f("l_suppkey", storage.TInt64),
+		f("l_linenumber", storage.TInt64),
+		f("l_quantity", storage.TDecimal),
+		f("l_extendedprice", storage.TDecimal),
+		f("l_discount", storage.TDecimal),
+		f("l_tax", storage.TDecimal),
+		f("l_returnflag", storage.TString),
+		f("l_linestatus", storage.TString),
+		f("l_shipdate", storage.TDate),
+		f("l_commitdate", storage.TDate),
+		f("l_receiptdate", storage.TDate),
+		f("l_shipinstruct", storage.TString),
+		f("l_shipmode", storage.TString),
+		f("l_comment", storage.TString),
+	)
+}
+
+// TableNames lists the eight relations in generation order.
+var TableNames = []string{
+	"region", "nation", "supplier", "customer", "part", "partsupp", "orders", "lineitem",
+}
+
+// SchemaOf returns the schema of a relation by name.
+func SchemaOf(name string) *storage.Schema {
+	switch name {
+	case "region":
+		return RegionSchema()
+	case "nation":
+		return NationSchema()
+	case "supplier":
+		return SupplierSchema()
+	case "customer":
+		return CustomerSchema()
+	case "part":
+		return PartSchema()
+	case "partsupp":
+		return PartSuppSchema()
+	case "orders":
+		return OrdersSchema()
+	case "lineitem":
+		return LineitemSchema()
+	default:
+		return nil
+	}
+}
+
+// PrimaryKeyColumn returns the index of the first primary-key column of a
+// relation — the partitioning column for "partitioned" placement (§4.3.1).
+func PrimaryKeyColumn(name string) int {
+	switch name {
+	case "lineitem":
+		return 0 // l_orderkey
+	default:
+		return 0 // first column is the key for all other relations
+	}
+}

@@ -1,0 +1,73 @@
+package tpch
+
+// Word lists following the TPC-H specification's grammar closely enough to
+// preserve the selectivities the queries depend on (LIKE patterns on part
+// names and types, container classes, comment patterns for Q13/Q16).
+
+// partNameWords is the P_NAME word list (the spec's 92 color words);
+// p_name concatenates five distinct entries. Q9 filters '%green%'.
+var partNameWords = []string{
+	"almond", "antique", "aquamarine", "azure", "beige", "bisque", "black",
+	"blanched", "blue", "blush", "brown", "burlywood", "burnished", "chartreuse",
+	"chiffon", "chocolate", "coral", "cornflower", "cornsilk", "cream", "cyan",
+	"dark", "deep", "dim", "dodger", "drab", "firebrick", "floral", "forest",
+	"frosted", "gainsboro", "ghost", "goldenrod", "green", "grey", "honeydew",
+	"hot", "indian", "ivory", "khaki", "lace", "lavender", "lawn", "lemon",
+	"light", "lime", "linen", "magenta", "maroon", "medium", "metallic", "midnight",
+	"mint", "misty", "moccasin", "navajo", "navy", "olive", "orange", "orchid",
+	"pale", "papaya", "peach", "peru", "pink", "plum", "powder", "puff",
+	"purple", "red", "rose", "rosy", "royal", "saddle", "salmon", "sandy",
+	"seashell", "sienna", "sky", "slate", "smoke", "snow", "spring", "steel",
+	"tan", "thistle", "tomato", "turquoise", "violet", "wheat", "white", "yellow",
+}
+
+// Type grammar: Syllable1 Syllable2 Syllable3 (6×5×5 = 150 types).
+var (
+	typeSyl1 = []string{"STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"}
+	typeSyl2 = []string{"ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"}
+	typeSyl3 = []string{"TIN", "NICKEL", "BRASS", "STEEL", "COPPER"}
+)
+
+// Container grammar: Syllable1 Syllable2 (5×8 = 40 containers).
+var (
+	containerSyl1 = []string{"SM", "LG", "MED", "JUMBO", "WRAP"}
+	containerSyl2 = []string{"CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"}
+)
+
+var segments = []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"}
+
+var priorities = []string{"1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"}
+
+var shipInstructs = []string{"DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"}
+
+var shipModes = []string{"REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"}
+
+// nations is the spec's 25-entry nation list with its region assignment.
+var nations = []struct {
+	Name   string
+	Region int
+}{
+	{"ALGERIA", 0}, {"ARGENTINA", 1}, {"BRAZIL", 1}, {"CANADA", 1},
+	{"EGYPT", 4}, {"ETHIOPIA", 0}, {"FRANCE", 3}, {"GERMANY", 3},
+	{"INDIA", 2}, {"INDONESIA", 2}, {"IRAN", 4}, {"IRAQ", 4},
+	{"JAPAN", 2}, {"JORDAN", 4}, {"KENYA", 0}, {"MOROCCO", 0},
+	{"MOZAMBIQUE", 0}, {"PERU", 1}, {"CHINA", 2}, {"ROMANIA", 3},
+	{"RUSSIA", 3}, {"SAUDI ARABIA", 4}, {"UNITED KINGDOM", 3},
+	{"UNITED STATES", 1}, {"VIETNAM", 2},
+}
+
+var regions = []string{"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"}
+
+// commentWords feeds the pseudo-text comment generator.
+var commentWords = []string{
+	"furiously", "quickly", "carefully", "blithely", "slyly", "silent",
+	"final", "pending", "regular", "express", "bold", "even", "special",
+	"ironic", "unusual", "daring", "close", "dogged", "idle", "busy",
+	"accounts", "deposits", "packages", "requests", "instructions", "theodolites",
+	"foxes", "pinto", "beans", "dependencies", "excuses", "platelets",
+	"asymptotes", "courts", "dolphins", "multipliers", "sauternes", "warthogs",
+	"frets", "dinos", "attainments", "somas", "sheaves", "pains",
+	"nag", "sleep", "haggle", "wake", "cajole", "boost", "detect",
+	"among", "about", "above", "across", "after", "against", "along",
+	"the", "are", "was", "according", "to", "never", "always",
+}

@@ -1,0 +1,249 @@
+package tpch
+
+import (
+	"strings"
+	"testing"
+
+	"hsqp/internal/storage"
+)
+
+func TestCardinalities(t *testing.T) {
+	db := Generate(0.01, 42)
+	want := map[string]int{
+		"region":   5,
+		"nation":   25,
+		"supplier": 100,
+		"customer": 1500,
+		"part":     2000,
+		"partsupp": 8000,
+		"orders":   15000,
+	}
+	for name, n := range want {
+		if got := db.Tables[name].Rows(); got != n {
+			t.Errorf("%s: %d rows, want %d", name, got, n)
+		}
+	}
+	// lineitem averages 4 lines per order.
+	l := db.Tables["lineitem"].Rows()
+	if l < 3*15000 || l > 5*15000 {
+		t.Errorf("lineitem: %d rows, want ≈60000", l)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := Generate(0.002, 7)
+	b := Generate(0.002, 7)
+	for name := range a.Tables {
+		ba, bb := a.Tables[name], b.Tables[name]
+		if ba.Rows() != bb.Rows() {
+			t.Fatalf("%s: row counts differ", name)
+		}
+		for i := 0; i < min(ba.Rows(), 100); i++ {
+			for c := range ba.Cols {
+				if ba.Cols[c].Value(i) != bb.Cols[c].Value(i) {
+					t.Fatalf("%s row %d col %d differs between runs", name, i, c)
+				}
+			}
+		}
+	}
+	c := Generate(0.002, 8)
+	diff := false
+	lo, lc := a.Tables["lineitem"], c.Tables["lineitem"]
+	for i := 0; i < min(lo.Rows(), 100) && !diff; i++ {
+		if lo.Cols[1].I64[i] != lc.Cols[1].I64[i] {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Error("different seeds produced identical lineitem partkeys")
+	}
+}
+
+func TestReferentialIntegrity(t *testing.T) {
+	db := Generate(0.005, 42)
+	nSupp := db.Tables["supplier"].Rows()
+	nPart := db.Tables["part"].Rows()
+	nCust := db.Tables["customer"].Rows()
+	nOrd := db.Tables["orders"].Rows()
+
+	o := db.Tables["orders"]
+	ck := o.Schema.MustColIndex("o_custkey")
+	for i := 0; i < o.Rows(); i++ {
+		v := o.Cols[ck].I64[i]
+		if v < 1 || v > int64(nCust) {
+			t.Fatalf("o_custkey %d out of range", v)
+		}
+		if nCust >= 3 && v%3 == 0 {
+			t.Fatalf("customer %d divisible by 3 has an order (spec: they must not)", v)
+		}
+	}
+	l := db.Tables["lineitem"]
+	ok := l.Schema.MustColIndex("l_orderkey")
+	pk := l.Schema.MustColIndex("l_partkey")
+	sk := l.Schema.MustColIndex("l_suppkey")
+	for i := 0; i < l.Rows(); i++ {
+		if v := l.Cols[ok].I64[i]; v < 1 || v > int64(nOrd) {
+			t.Fatalf("l_orderkey %d out of range", v)
+		}
+		if v := l.Cols[pk].I64[i]; v < 1 || v > int64(nPart) {
+			t.Fatalf("l_partkey %d out of range", v)
+		}
+		if v := l.Cols[sk].I64[i]; v < 1 || v > int64(nSupp) {
+			t.Fatalf("l_suppkey %d out of range", v)
+		}
+	}
+	// Every (l_partkey, l_suppkey) must exist in partsupp.
+	ps := db.Tables["partsupp"]
+	pairs := map[[2]int64]bool{}
+	for i := 0; i < ps.Rows(); i++ {
+		pairs[[2]int64{ps.Cols[0].I64[i], ps.Cols[1].I64[i]}] = true
+	}
+	for i := 0; i < l.Rows(); i++ {
+		key := [2]int64{l.Cols[pk].I64[i], l.Cols[sk].I64[i]}
+		if !pairs[key] {
+			t.Fatalf("lineitem references missing partsupp pair %v", key)
+		}
+	}
+}
+
+func TestDateLogic(t *testing.T) {
+	db := Generate(0.005, 42)
+	l := db.Tables["lineitem"]
+	o := db.Tables["orders"]
+	odate := map[int64]int64{}
+	for i := 0; i < o.Rows(); i++ {
+		odate[o.Cols[0].I64[i]] = o.Cols[o.Schema.MustColIndex("o_orderdate")].I64[i]
+	}
+	ship := l.Schema.MustColIndex("l_shipdate")
+	commit := l.Schema.MustColIndex("l_commitdate")
+	receipt := l.Schema.MustColIndex("l_receiptdate")
+	rf := l.Schema.MustColIndex("l_returnflag")
+	ls := l.Schema.MustColIndex("l_linestatus")
+	cur := storage.MustDate("1995-06-17")
+	for i := 0; i < l.Rows(); i++ {
+		od := odate[l.Cols[0].I64[i]]
+		s, c, r := l.Cols[ship].I64[i], l.Cols[commit].I64[i], l.Cols[receipt].I64[i]
+		if s <= od || r <= s {
+			t.Fatalf("row %d: dates out of order (order %d ship %d receipt %d)", i, od, s, r)
+		}
+		if c < od+30 || c > od+90 {
+			t.Fatalf("row %d: commitdate offset %d out of [30,90]", i, c-od)
+		}
+		flag := l.Cols[rf].Str[i]
+		if r <= cur && flag == "N" {
+			t.Fatalf("row %d: receipt before current date but returnflag N", i)
+		}
+		if r > cur && flag != "N" {
+			t.Fatalf("row %d: future receipt with returnflag %s", i, flag)
+		}
+		status := l.Cols[ls].Str[i]
+		if (s > cur) != (status == "O") {
+			t.Fatalf("row %d: shipdate/linestatus inconsistent", i)
+		}
+	}
+}
+
+func TestValueDistributions(t *testing.T) {
+	db := Generate(0.01, 42)
+	p := db.Tables["part"]
+	brands := map[string]bool{}
+	for i := 0; i < p.Rows(); i++ {
+		name := p.Cols[p.Schema.MustColIndex("p_name")].Str[i]
+		if len(strings.Fields(name)) != 5 {
+			t.Fatalf("p_name %q must have 5 words", name)
+		}
+		brands[p.Cols[p.Schema.MustColIndex("p_brand")].Str[i]] = true
+		size := p.Cols[p.Schema.MustColIndex("p_size")].I64[i]
+		if size < 1 || size > 50 {
+			t.Fatalf("p_size %d out of range", size)
+		}
+		pkey := p.Cols[0].I64[i]
+		price := p.Cols[p.Schema.MustColIndex("p_retailprice")].I64[i]
+		if price != retailPrice(int(pkey)) {
+			t.Fatalf("retail price formula broken for part %d", pkey)
+		}
+	}
+	if len(brands) != 25 {
+		t.Errorf("got %d brands, want 25", len(brands))
+	}
+	// Q9 needs green parts, Q20 forest-prefixed parts.
+	greens, forests := 0, 0
+	for i := 0; i < p.Rows(); i++ {
+		name := p.Cols[p.Schema.MustColIndex("p_name")].Str[i]
+		if strings.Contains(name, "green") {
+			greens++
+		}
+		if strings.HasPrefix(name, "forest") {
+			forests++
+		}
+	}
+	if greens == 0 || forests == 0 {
+		t.Fatalf("LIKE-pattern selectivities empty: greens=%d forests=%d", greens, forests)
+	}
+	// Customer phone country code is nationkey+10.
+	c := db.Tables["customer"]
+	phone := c.Schema.MustColIndex("c_phone")
+	nk := c.Schema.MustColIndex("c_nationkey")
+	for i := 0; i < min(c.Rows(), 100); i++ {
+		want := int(c.Cols[nk].I64[i]) + 10
+		got := int(c.Cols[phone].Str[i][0]-'0')*10 + int(c.Cols[phone].Str[i][1]-'0')
+		if got != want {
+			t.Fatalf("phone %q: country code %d, want %d", c.Cols[phone].Str[i], got, want)
+		}
+	}
+}
+
+func TestTotalPriceConsistency(t *testing.T) {
+	db := Generate(0.002, 42)
+	o := db.Tables["orders"]
+	l := db.Tables["lineitem"]
+	sum := map[int64]int64{}
+	for i := 0; i < l.Rows(); i++ {
+		ext := l.Cols[l.Schema.MustColIndex("l_extendedprice")].I64[i]
+		tax := l.Cols[l.Schema.MustColIndex("l_tax")].I64[i]
+		disc := l.Cols[l.Schema.MustColIndex("l_discount")].I64[i]
+		sum[l.Cols[0].I64[i]] += ext * (100 + tax) / 100 * (100 - disc) / 100
+	}
+	tp := o.Schema.MustColIndex("o_totalprice")
+	for i := 0; i < o.Rows(); i++ {
+		if o.Cols[tp].I64[i] != sum[o.Cols[0].I64[i]] {
+			t.Fatalf("order %d: totalprice %d != lineitem sum %d",
+				o.Cols[0].I64[i], o.Cols[tp].I64[i], sum[o.Cols[0].I64[i]])
+		}
+	}
+}
+
+func TestZipfSkewMonotone(t *testing.T) {
+	// §3.1: fewer parallel units → smaller overload.
+	small := MaxPartitionShare(100000, 0.84, 200000, 6, 7)
+	large := MaxPartitionShare(100000, 0.84, 200000, 240, 7)
+	if small >= large {
+		t.Fatalf("overload should grow with units: 6→%.2f, 240→%.2f", small, large)
+	}
+	if small > 1.5 {
+		t.Errorf("6 units should be nearly balanced, got %.2f", small)
+	}
+	if large < 2 {
+		t.Errorf("240 units at z=0.84 should more than double, got %.2f", large)
+	}
+	// z=0 is uniform: essentially balanced for any unit count.
+	uni := MaxPartitionShare(100000, 0, 200000, 240, 7)
+	if uni > 1.6 {
+		t.Errorf("uniform distribution overload %.2f, want ≈1", uni)
+	}
+}
+
+func TestZipfRange(t *testing.T) {
+	z := NewZipf(100, 1.1, 3)
+	counts := make([]int, 100)
+	for i := 0; i < 10000; i++ {
+		v := z.Next()
+		if v < 0 || v >= 100 {
+			t.Fatalf("Zipf out of range: %d", v)
+		}
+		counts[v]++
+	}
+	if counts[0] <= counts[50] {
+		t.Error("Zipf head not heavier than tail")
+	}
+}
