@@ -328,6 +328,52 @@ func BenchmarkAblationGroupJoin(b *testing.B) {
 	}
 }
 
+// BenchmarkDAGvsSerial measures the compute/communication overlap win of
+// the pipeline-DAG scheduler against the old ordered-pipeline-list
+// execution on one distributed TPC-H join query (Q12). The dag case
+// reports the measured overlap ratio and peak pipeline concurrency.
+func BenchmarkDAGvsSerial(b *testing.B) {
+	bench.Warmup()
+	for _, mode := range []struct {
+		name   string
+		serial bool
+	}{{"serial", true}, {"dag", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			c, err := cluster.New(cluster.Config{
+				Servers:          3,
+				WorkersPerServer: 4,
+				Transport:        cluster.RDMA,
+				Scheduling:       true,
+				Serial:           mode.serial,
+				TimeScale:        cluster.DefaultTimeScale,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer c.Close()
+			c.LoadTPCH(bench.DB(0.05, 42), false)
+			q := queries.MustBuild(12, queries.Params{SF: 0.05})
+			b.ResetTimer()
+			var overlap float64
+			var concurrent int
+			for i := 0; i < b.N; i++ {
+				_, stats, err := c.Run(q)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if o := stats.MaxOverlap(); o > overlap {
+					overlap = o
+				}
+				if cc := stats.PeakConcurrentPipelines(); cc > concurrent {
+					concurrent = cc
+				}
+			}
+			b.ReportMetric(overlap, "overlap-ratio")
+			b.ReportMetric(float64(concurrent), "peak-pipelines")
+		})
+	}
+}
+
 // BenchmarkSingleQuery measures one distributed TPC-H query end to end:
 // the building block of every engine experiment.
 func BenchmarkSingleQuery(b *testing.B) {

@@ -144,6 +144,8 @@ func cmdRun(args []string) error {
 	fmt.Printf("\n%d rows; %s; shuffled %s in %d messages (%d stolen, %d local)\n",
 		res.Rows(), stats.Duration, bench.MB(stats.BytesSent), stats.MessagesSent,
 		stats.StolenMsgs, stats.LocalMsgs)
+	fmt.Printf("pipeline DAG: overlap ratio %.2f, peak %d concurrent pipelines/server\n",
+		stats.MaxOverlap(), stats.PeakConcurrentPipelines())
 	return nil
 }
 

@@ -1,0 +1,3 @@
+module hsqp
+
+go 1.24

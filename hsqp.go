@@ -6,12 +6,30 @@
 // simulated InfiniBand/Ethernet fabric so the paper's cluster experiments
 // reproduce on a single machine.
 //
+// # Execution model
+//
+// Queries compile, per server, into a *pipeline DAG*: dependency edges
+// (hash-build before probe, materialized aggregate/sort before its
+// consumer, coordinator merges last) are emitted by the plan compiler
+// rather than implied by pipeline order. Each server owns a persistent,
+// NUMA-pinned worker pool; a scheduler tracks pipeline readiness by
+// in-degree counting and dispatches morsels from all runnable pipelines
+// to idle workers — NUMA-local morsels first, then stealing across
+// sockets and across pipelines when a socket runs dry. Exchange-receive
+// pipelines poll the communication multiplexer without blocking a worker,
+// so they start the moment the first message lands and overlap with
+// upstream compute: the hybrid parallelism of §3 that keeps every core
+// and every link busy simultaneously. QueryStats reports the per-pipeline
+// wall/busy intervals and the resulting compute/communication overlap
+// ratio per server.
+//
 // This package is the public facade. A minimal session looks like:
 //
 //	c, _ := hsqp.NewCluster(hsqp.ClusterConfig{Servers: 6, Transport: hsqp.RDMA, Scheduling: true})
 //	defer c.Close()
 //	c.LoadTPCH(hsqp.GenerateTPCH(0.1, 42), false)
 //	result, stats, _ := c.Run(hsqp.TPCHQuery(5, 0.1))
+//	fmt.Println(stats.Duration, stats.MaxOverlap())
 //
 // The paper's tables and figures regenerate through the Experiments API
 // (see ExperimentTable1 … or `go test -bench .` / cmd/hsqp).
@@ -22,6 +40,7 @@ import (
 
 	"hsqp/internal/bench"
 	"hsqp/internal/cluster"
+	"hsqp/internal/engine"
 	"hsqp/internal/fabric"
 	"hsqp/internal/numa"
 	"hsqp/internal/plan"
@@ -36,8 +55,12 @@ type ClusterConfig = cluster.Config
 // Cluster is a running simulated deployment.
 type Cluster = cluster.Cluster
 
-// QueryStats reports per-query network activity.
+// QueryStats reports per-query network activity plus per-pipeline
+// scheduling intervals and the compute/communication overlap ratio.
 type QueryStats = cluster.QueryStats
+
+// PipelineStat is one pipeline's wall/busy interval inside a query run.
+type PipelineStat = engine.PipelineStat
 
 // Transport kinds (Figure 3's three engines).
 const (

@@ -68,6 +68,13 @@ type RunResult struct {
 	Times map[int]time.Duration
 	Total time.Duration
 	Stats cluster.QueryStats
+	// Overlap is the highest per-server compute/communication overlap
+	// ratio observed across the workload's queries (0 under serial
+	// execution; > 0 means the DAG scheduler ran pipelines concurrently).
+	Overlap float64
+	// PeakPipelines is the maximum number of pipelines in flight at once
+	// on any server across the workload.
+	PeakPipelines int
 }
 
 // QpH extrapolates queries-per-hour from the run (like Figure 12(a)).
@@ -152,6 +159,12 @@ func RunOnCluster(c *cluster.Cluster, w Workload) (RunResult, error) {
 		res.Stats.MessagesSent += best.MessagesSent
 		res.Stats.StolenMsgs += best.StolenMsgs
 		res.Stats.LocalMsgs += best.LocalMsgs
+		if o := best.MaxOverlap(); o > res.Overlap {
+			res.Overlap = o
+		}
+		if cc := best.PeakConcurrentPipelines(); cc > res.PeakPipelines {
+			res.PeakPipelines = cc
+		}
 	}
 	return res, nil
 }

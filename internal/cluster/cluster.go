@@ -8,6 +8,7 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -73,6 +74,10 @@ type Config struct {
 	AllocPolicy numa.AllocPolicy
 	// Classic compiles plans in the classic exchange-operator model.
 	Classic bool
+	// Serial executes each server's pipelines strictly in compile order
+	// (the pre-DAG execution model) instead of scheduling the pipeline DAG
+	// on the worker pool — kept as an ablation/reference path.
+	Serial bool
 	// DisablePreAgg turns off pre-aggregation (ablation).
 	DisablePreAgg bool
 	MorselSize    int
@@ -219,6 +224,7 @@ func (c *Cluster) Close() {
 		return
 	}
 	for _, n := range c.Nodes {
+		n.Engine.Close()
 		n.Mux.Close()
 		n.transport.Close()
 	}
@@ -272,13 +278,52 @@ func (c *Cluster) LoadTPCH(db *tpch.Database, partitioned bool) {
 	}
 }
 
-// QueryStats reports the network activity of one query run.
+// QueryStats reports the network and scheduling activity of one query run.
 type QueryStats struct {
 	Duration     time.Duration
 	BytesSent    uint64 // wire bytes between servers
 	MessagesSent uint64
 	StolenMsgs   uint64
 	LocalMsgs    uint64
+	// PipelineStats[server] lists per-pipeline wall/busy times as measured
+	// by that server's DAG scheduler.
+	PipelineStats [][]engine.PipelineStat
+	// ServerOverlap[server] is the fraction of the server's active span
+	// during which at least two pipelines executed concurrently
+	// (compute/communication overlap; 0 under strictly serial execution).
+	ServerOverlap []float64
+}
+
+// MaxOverlap returns the highest per-server overlap ratio of the run.
+func (s *QueryStats) MaxOverlap() float64 {
+	max := 0.0
+	for _, o := range s.ServerOverlap {
+		if o > max {
+			max = o
+		}
+	}
+	return max
+}
+
+// ConcurrentPipelines reports the peak number of pipelines that were in
+// flight simultaneously on server id.
+func (s *QueryStats) ConcurrentPipelines(id int) int {
+	if id < 0 || id >= len(s.PipelineStats) {
+		return 0
+	}
+	return engine.PeakConcurrency(s.PipelineStats[id])
+}
+
+// PeakConcurrentPipelines is the highest ConcurrentPipelines value across
+// all servers of the run.
+func (s *QueryStats) PeakConcurrentPipelines() int {
+	peak := 0
+	for id := range s.PipelineStats {
+		if c := s.ConcurrentPipelines(id); c > peak {
+			peak = c
+		}
+	}
+	return peak
 }
 
 // Run executes a query across the cluster and returns the coordinator's
@@ -333,25 +378,57 @@ func (c *Cluster) Run(q *plan.Query) (*storage.Batch, QueryStats, error) {
 		}
 	}()
 
+	// One DAG scheduler per server node. A failing server cancels the
+	// others so a bad operator aborts the query instead of deadlocking the
+	// cluster on never-sent Last markers.
 	start := time.Now()
+	cancel := make(chan struct{})
+	var cancelOnce sync.Once
 	var wg sync.WaitGroup
 	errs := make([]error, c.cfg.Servers)
+	pstats := make([][]engine.PipelineStat, c.cfg.Servers)
 	for id, node := range c.Nodes {
 		wg.Add(1)
 		go func(id int, node *Node) {
 			defer wg.Done()
-			errs[id] = node.Engine.RunPlan(compiled[id].Pipelines, id == 0)
+			g := compiled[id].Graph()
+			if c.cfg.Serial {
+				g = engine.ChainGraph(g.Pipelines)
+			}
+			st, err := node.Engine.RunGraph(g, engine.RunOptions{
+				Coordinator: id == 0,
+				Cancel:      cancel,
+			})
+			pstats[id] = st
+			if err != nil {
+				errs[id] = err
+				cancelOnce.Do(func() { close(cancel) })
+			}
 		}(id, node)
 	}
 	wg.Wait()
 	dur := time.Since(start)
+	var firstErr error
 	for id, err := range errs {
-		if err != nil {
-			return nil, QueryStats{}, fmt.Errorf("cluster: server %d: %w", id, err)
+		if err == nil {
+			continue
+		}
+		wrapped := fmt.Errorf("cluster: server %d: %w", id, err)
+		if firstErr == nil || errors.Is(firstErr, engine.ErrCancelled) {
+			// Prefer the root cause over cascade cancellations.
+			if firstErr == nil || !errors.Is(err, engine.ErrCancelled) {
+				firstErr = wrapped
+			}
 		}
 	}
+	if firstErr != nil {
+		return nil, QueryStats{}, firstErr
+	}
 
-	stats := QueryStats{Duration: dur}
+	stats := QueryStats{Duration: dur, PipelineStats: pstats}
+	for _, st := range pstats {
+		stats.ServerOverlap = append(stats.ServerOverlap, engine.OverlapRatio(st))
+	}
 	for id, n := range c.Nodes {
 		s := n.Mux.Stats()
 		stats.BytesSent += s.BytesSent - before[id].BytesSent

@@ -1,13 +1,23 @@
 // Package engine implements intra-server morsel-driven parallelism
 // (Leis et al. [20], §3.2 of the paper): query pipelines are executed by a
-// pool of workers pinned (logically) to NUMA sockets; the input of a
-// pipeline is split into constant-size morsels; workers prefer NUMA-local
-// morsels and steal across sockets when their own node runs dry. Each
-// worker pushes its morsel through the whole pipeline until a pipeline
-// breaker (sink) is reached, keeping intermediate data hot.
+// persistent pool of workers pinned (logically) to NUMA sockets; the input
+// of a pipeline is split into constant-size morsels; workers prefer
+// NUMA-local morsels and steal across sockets — and across pipelines —
+// when their own node runs dry. Each worker pushes its morsel through the
+// whole pipeline until a pipeline breaker (sink) is reached, keeping
+// intermediate data hot.
+//
+// Pipelines are organized into a Graph: explicit dependency edges
+// (build-before-probe, materialize-before-consume) gate when a pipeline
+// becomes runnable, and a Scheduler dispatches morsels from *all* runnable
+// pipelines to idle workers. Sources that stream from the network
+// implement PollSource so a pipeline with no input yet parks without
+// blocking a worker, which is what lets exchange-receive pipelines overlap
+// with upstream compute (hybrid parallelism, §3).
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -17,6 +27,11 @@ import (
 
 // DefaultMorselSize is the number of tuples per morsel.
 const DefaultMorselSize = 16384
+
+// ErrCancelled is returned by RunGraph when the run was cancelled through
+// RunOptions.Cancel before completing. (No "engine:" prefix — results()
+// adds it when wrapping.)
+var ErrCancelled = errors.New("run cancelled")
 
 // Worker identifies one worker thread and its NUMA placement.
 type Worker struct {
@@ -28,6 +43,37 @@ type Worker struct {
 // concurrent use; Next returns nil when the source is exhausted for good.
 type Source interface {
 	Next(w *Worker) *storage.Batch
+}
+
+// PollSource is a Source that can distinguish "no input available yet"
+// from "exhausted". The scheduler uses Poll instead of Next so a worker is
+// never parked inside a source: (nil, false) means try again later,
+// (nil, true) means the source is drained for good.
+type PollSource interface {
+	Source
+	Poll(w *Worker) (b *storage.Batch, done bool)
+}
+
+// WakeSource is implemented by sources whose input arrives asynchronously
+// (exchange receives). SetWake registers a callback fired whenever new
+// input may be available, so the scheduler can sleep instead of spinning.
+type WakeSource interface {
+	SetWake(f func())
+}
+
+// TargetedWakeSource is implemented by streaming sources whose deliveries
+// are addressed to one specific worker (the classic exchange model's fixed
+// parallel units). Their wake callbacks broadcast to the whole pool — a
+// single-worker wake could rouse a worker that cannot consume the message.
+type TargetedWakeSource interface {
+	WakeTargetsWorker() bool
+}
+
+// LocalityHinter lets a source advertise whether it still holds
+// NUMA-local work for a socket. The scheduler prefers pipelines with local
+// morsels and falls back to remote ones (socket stealing) when dry.
+type LocalityHinter interface {
+	HasLocal(node numa.Node) bool
 }
 
 // Op transforms one morsel batch. It may return its input unchanged, a new
@@ -57,11 +103,96 @@ type Pipeline struct {
 	CoordinatorOnly bool
 }
 
-// Engine is one server's worker pool.
+// Graph is a set of pipelines plus explicit dependency edges: Deps[i]
+// lists the pipeline indexes whose sinks must have finalized before
+// pipeline i may start. Edges replace the implicit ordering of a flat
+// pipeline list; independent pipelines (two hash builds, an
+// exchange-receive and its upstream compute) run concurrently.
+type Graph struct {
+	Pipelines []*Pipeline
+	Deps      [][]int
+}
+
+// ChainGraph builds a graph that executes pipelines strictly in slice
+// order — the pre-DAG serial semantics, kept for ablation and as a
+// reference path in tests.
+func ChainGraph(pipelines []*Pipeline) *Graph {
+	deps := make([][]int, len(pipelines))
+	for i := 1; i < len(pipelines); i++ {
+		deps[i] = []int{i - 1}
+	}
+	return &Graph{Pipelines: pipelines, Deps: deps}
+}
+
+// Validate checks edge indexes and rejects dependency cycles.
+func (g *Graph) Validate() error {
+	n := len(g.Pipelines)
+	if len(g.Deps) > n {
+		return fmt.Errorf("engine: graph has %d dep lists for %d pipelines", len(g.Deps), n)
+	}
+	indeg := make([]int, n)
+	dependents := make([][]int, n)
+	for i, deps := range g.Deps {
+		for _, d := range deps {
+			if d < 0 || d >= n {
+				return fmt.Errorf("engine: pipeline %d depends on out-of-range pipeline %d", i, d)
+			}
+			if d == i {
+				return fmt.Errorf("engine: pipeline %d depends on itself", i)
+			}
+			indeg[i]++
+			dependents[d] = append(dependents[d], i)
+		}
+	}
+	// Kahn's algorithm: every pipeline must be reachable from the sources.
+	queue := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			queue = append(queue, i)
+		}
+	}
+	seen := 0
+	for len(queue) > 0 {
+		v := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		seen++
+		for _, d := range dependents[v] {
+			if indeg[d]--; indeg[d] == 0 {
+				queue = append(queue, d)
+			}
+		}
+	}
+	if seen != n {
+		return fmt.Errorf("engine: pipeline dependency graph has a cycle")
+	}
+	return nil
+}
+
+// deps returns the dependency list of pipeline i (Deps may be shorter than
+// Pipelines when trailing pipelines have no dependencies).
+func (g *Graph) deps(i int) []int {
+	if i < len(g.Deps) {
+		return g.Deps[i]
+	}
+	return nil
+}
+
+// Engine is one server's persistent worker pool. Workers are started once
+// at New, participate in every graph run submitted to the engine, and live
+// until Close.
 type Engine struct {
 	topo       *numa.Topology
 	workers    []Worker
 	morselSize int
+
+	runMu sync.Mutex // serializes graph executions on the pool
+
+	mu   sync.Mutex
+	cond *sync.Cond
+	cur  *scheduler // the run workers should participate in (nil = idle)
+	gen  uint64     // bumped per run so late workers don't rejoin a finished one
+	stop bool
+	wg   sync.WaitGroup
 }
 
 // Config configures an engine.
@@ -74,7 +205,7 @@ type Config struct {
 	MorselSize int
 }
 
-// New creates an engine.
+// New creates an engine and starts its worker pool.
 func New(cfg Config) (*Engine, error) {
 	if cfg.Topology == nil {
 		return nil, fmt.Errorf("engine: topology is required")
@@ -91,12 +222,31 @@ func New(cfg Config) (*Engine, error) {
 		ms = DefaultMorselSize
 	}
 	e := &Engine{topo: cfg.Topology, morselSize: ms}
+	e.cond = sync.NewCond(&e.mu)
 	for i := 0; i < n; i++ {
 		// Workers are assigned to sockets round-robin so every socket has
 		// workers even when n < TotalCores.
 		e.workers = append(e.workers, Worker{ID: i, Node: numa.Node(i % cfg.Topology.Sockets)})
 	}
+	for i := range e.workers {
+		e.wg.Add(1)
+		go e.workerLoop(&e.workers[i])
+	}
 	return e, nil
+}
+
+// Close stops the worker pool. It must not be called concurrently with a
+// running graph.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	if e.stop {
+		e.mu.Unlock()
+		return
+	}
+	e.stop = true
+	e.cond.Broadcast()
+	e.mu.Unlock()
+	e.wg.Wait()
 }
 
 // Workers returns the number of worker threads.
@@ -108,60 +258,93 @@ func (e *Engine) MorselSize() int { return e.morselSize }
 // Topology returns the engine's NUMA topology.
 func (e *Engine) Topology() *numa.Topology { return e.topo }
 
-// RunPipeline executes one pipeline to completion with all workers.
-func (e *Engine) RunPipeline(p *Pipeline) error {
-	if p.Source == nil || p.Sink == nil {
-		return fmt.Errorf("engine: pipeline %q needs a source and a sink", p.Name)
+// workerLoop parks a pool worker between runs and joins every scheduler
+// published through e.cur.
+func (e *Engine) workerLoop(w *Worker) {
+	defer e.wg.Done()
+	var lastGen uint64
+	e.mu.Lock()
+	for {
+		for !e.stop && (e.cur == nil || e.gen == lastGen) {
+			e.cond.Wait()
+		}
+		if e.stop {
+			e.mu.Unlock()
+			return
+		}
+		s := e.cur
+		lastGen = e.gen
+		e.mu.Unlock()
+		s.loop(w)
+		e.mu.Lock()
 	}
-	var wg sync.WaitGroup
-	panics := make(chan any, len(e.workers))
-	for i := range e.workers {
-		w := &e.workers[i]
-		wg.Add(1)
+}
+
+// RunOptions configures one graph execution.
+type RunOptions struct {
+	// Coordinator enables CoordinatorOnly pipelines; on other servers they
+	// are skipped (their dependents are unblocked immediately, their sinks
+	// never finalize).
+	Coordinator bool
+	// Cancel aborts the run when closed (e.g. because another server of the
+	// cluster failed); RunGraph then returns ErrCancelled.
+	Cancel <-chan struct{}
+}
+
+// RunGraph executes a pipeline DAG on the worker pool and returns
+// per-pipeline statistics. Worker panics are captured and returned as an
+// error wrapping the first panic with its pipeline name.
+func (e *Engine) RunGraph(g *Graph, opt RunOptions) ([]PipelineStat, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	for _, p := range g.Pipelines {
+		if p.CoordinatorOnly && !opt.Coordinator {
+			continue
+		}
+		if p.Source == nil || p.Sink == nil {
+			return nil, fmt.Errorf("engine: pipeline %q needs a source and a sink", p.Name)
+		}
+	}
+	e.runMu.Lock()
+	defer e.runMu.Unlock()
+
+	s := newScheduler(g, opt.Coordinator)
+	if opt.Cancel != nil {
+		watcherDone := make(chan struct{})
+		defer close(watcherDone)
 		go func() {
-			defer wg.Done()
-			defer func() {
-				if r := recover(); r != nil {
-					panics <- r
-				}
-			}()
-			for {
-				b := p.Source.Next(w)
-				if b == nil {
-					return
-				}
-				for _, op := range p.Ops {
-					b = op.Process(w, b)
-					if b == nil || b.Rows() == 0 {
-						b = nil
-						break
-					}
-				}
-				if b != nil {
-					p.Sink.Consume(w, b)
-				}
+			select {
+			case <-opt.Cancel:
+				s.cancel(ErrCancelled)
+			case <-watcherDone:
 			}
 		}()
 	}
-	wg.Wait()
-	select {
-	case r := <-panics:
-		panic(fmt.Sprintf("engine: pipeline %q worker panicked: %v", p.Name, r))
-	default:
-	}
-	return p.Sink.Finalize()
+	e.mu.Lock()
+	e.cur = s
+	e.gen++
+	e.cond.Broadcast()
+	e.mu.Unlock()
+
+	<-s.doneCh
+
+	e.mu.Lock()
+	e.cur = nil
+	e.mu.Unlock()
+	return s.results()
 }
 
-// RunPlan executes pipelines in order; isCoordinator gates
+// RunPipeline executes one pipeline to completion with all workers.
+func (e *Engine) RunPipeline(p *Pipeline) error {
+	_, err := e.RunGraph(&Graph{Pipelines: []*Pipeline{p}}, RunOptions{Coordinator: true})
+	return err
+}
+
+// RunPlan executes pipelines strictly in slice order (the pre-DAG
+// execution model, kept for ablation); isCoordinator gates
 // coordinator-only pipelines.
 func (e *Engine) RunPlan(pipelines []*Pipeline, isCoordinator bool) error {
-	for _, p := range pipelines {
-		if p.CoordinatorOnly && !isCoordinator {
-			continue
-		}
-		if err := e.RunPipeline(p); err != nil {
-			return fmt.Errorf("engine: pipeline %q: %w", p.Name, err)
-		}
-	}
-	return nil
+	_, err := e.RunGraph(ChainGraph(pipelines), RunOptions{Coordinator: isCoordinator})
+	return err
 }

@@ -52,6 +52,7 @@ func TestAllWorkersParticipate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(e.Close)
 	if e.Workers() != 6 {
 		t.Fatalf("workers %d", e.Workers())
 	}
@@ -75,6 +76,7 @@ func TestAllWorkersParticipate(t *testing.T) {
 
 func TestWorkerSocketAssignment(t *testing.T) {
 	e, _ := New(Config{Topology: numa.TwoSocket(), Workers: 4})
+	t.Cleanup(e.Close)
 	sockets := map[numa.Node]int{}
 	for _, w := range e.workers {
 		sockets[w.Node]++
@@ -86,6 +88,7 @@ func TestWorkerSocketAssignment(t *testing.T) {
 
 func TestCoordinatorOnlySkipped(t *testing.T) {
 	e, _ := New(Config{Topology: numa.TwoSocket(), Workers: 2})
+	t.Cleanup(e.Close)
 	sink := &countSink{}
 	p := []*Pipeline{{
 		Name:            "coord",
@@ -109,6 +112,7 @@ func TestCoordinatorOnlySkipped(t *testing.T) {
 
 func TestOpChainShortCircuit(t *testing.T) {
 	e, _ := New(Config{Topology: numa.TwoSocket(), Workers: 2})
+	t.Cleanup(e.Close)
 	sink := &countSink{}
 	dropAll := opFunc(func(w *Worker, b *storage.Batch) *storage.Batch { return nil })
 	if err := e.RunPipeline(&Pipeline{
@@ -136,6 +140,7 @@ func TestConfigValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(e.Close)
 	if e.Workers() != 20 {
 		t.Fatalf("default workers %d, want TotalCores=20", e.Workers())
 	}

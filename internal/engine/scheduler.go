@@ -1,0 +1,378 @@
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"hsqp/internal/storage"
+)
+
+// pstate is the lifecycle of one pipeline inside a scheduler run.
+type pstate int8
+
+const (
+	psBlocked    pstate = iota // unmet dependencies
+	psRunnable                 // dispatchable: workers may pull morsels
+	psFinalizing               // source drained, Finalize in flight
+	psDone                     // finalized (or skipped)
+)
+
+// pipeNode is the scheduler's view of one pipeline.
+type pipeNode struct {
+	p       *Pipeline
+	poll    PollSource     // non-nil when the source is pollable
+	hint    LocalityHinter // non-nil when the source advertises locality
+	deps    int            // unmet dependency count
+	depOn   []int          // pipelines waiting on this one
+	state   pstate
+	active  int  // workers currently processing a morsel
+	srcDone bool // source reported exhaustion
+	skipped bool // coordinator-only pipeline on a non-coordinator
+
+	started bool
+	startT  time.Duration
+	endT    time.Duration
+	busy    time.Duration
+	morsels int
+}
+
+// scheduler tracks pipeline readiness by in-degree counting and hands
+// morsels from all runnable pipelines to the engine's pool workers. A
+// pipeline drains when its source is exhausted and no worker still holds
+// one of its morsels; its sink then finalizes exactly once, unlocking its
+// dependents.
+type scheduler struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	nodes     []pipeNode
+	remaining int    // pipelines not yet done
+	inFlight  int    // morsels being processed across all pipelines
+	wakeSeq   uint64 // bumped whenever new input/work may be available
+
+	err      error
+	aborted  bool
+	finished bool
+	start    time.Time
+	doneCh   chan struct{}
+}
+
+func newScheduler(g *Graph, isCoordinator bool) *scheduler {
+	s := &scheduler{
+		nodes:  make([]pipeNode, len(g.Pipelines)),
+		doneCh: make(chan struct{}),
+		start:  time.Now(),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	for i, p := range g.Pipelines {
+		n := &s.nodes[i]
+		n.p = p
+		n.deps = len(g.deps(i))
+		n.skipped = p.CoordinatorOnly && !isCoordinator
+		n.poll, _ = p.Source.(PollSource)
+		n.hint, _ = p.Source.(LocalityHinter)
+		for _, d := range g.deps(i) {
+			s.nodes[d].depOn = append(s.nodes[d].depOn, i)
+		}
+	}
+	s.remaining = len(s.nodes)
+
+	s.mu.Lock()
+	// Skipped pipelines complete immediately (without finalizing their
+	// sink) so their dependents unblock.
+	for i := range s.nodes {
+		if s.nodes[i].skipped {
+			s.completeLocked(i, nil)
+		}
+	}
+	for i := range s.nodes {
+		n := &s.nodes[i]
+		if n.state == psBlocked && n.deps == 0 {
+			n.state = psRunnable
+		}
+	}
+	if s.remaining == 0 && !s.finished {
+		s.finishLocked()
+	}
+	s.mu.Unlock()
+
+	// Register wake callbacks so message arrival restarts idle workers.
+	// Sources whose input is addressed to one specific worker (classic
+	// exchanges) must wake everyone: a Signal could rouse a worker that
+	// cannot consume the delivery, which would strand it forever.
+	for i := range s.nodes {
+		if ws, ok := s.nodes[i].p.Source.(WakeSource); ok && !s.nodes[i].skipped {
+			if tw, ok := s.nodes[i].p.Source.(TargetedWakeSource); ok && tw.WakeTargetsWorker() {
+				ws.SetWake(s.wakeAll)
+			} else {
+				ws.SetWake(s.wake)
+			}
+		}
+	}
+	return s
+}
+
+// wake is called by streaming sources when new input may be available.
+// One delivery is one unit of work, so one waiter is woken (a worker that
+// consumes it re-polls and drains any burst itself); completions still
+// broadcast because they can unlock many dependents at once.
+func (s *scheduler) wake() {
+	s.mu.Lock()
+	s.wakeSeq++
+	s.cond.Signal()
+	s.mu.Unlock()
+}
+
+// wakeAll is the wake for worker-targeted sources: every parked worker
+// must look, because only one specific worker can consume the delivery.
+func (s *scheduler) wakeAll() {
+	s.mu.Lock()
+	s.wakeSeq++
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// cancel aborts the run; in-flight morsels complete, nothing new starts.
+func (s *scheduler) cancel(err error) {
+	s.mu.Lock()
+	if !s.finished && !s.aborted {
+		s.aborted = true
+		if s.err == nil {
+			s.err = err
+		}
+		if s.inFlight == 0 {
+			s.finishLocked()
+		}
+		s.cond.Broadcast()
+	}
+	s.mu.Unlock()
+}
+
+// loop is one pool worker's participation in this run; it returns when the
+// run finishes or aborts.
+func (s *scheduler) loop(w *Worker) {
+	for {
+		i, b, ok := s.next(w)
+		if !ok {
+			return
+		}
+		t0 := time.Now()
+		err := s.process(w, s.nodes[i].p, b)
+		s.finishMorsel(i, time.Since(t0), err)
+		// Morsel boundaries are the engine's cooperative scheduling points:
+		// without this, one worker can drain a cheap source before its
+		// peers are ever scheduled on a loaded (or single-core) host.
+		runtime.Gosched()
+	}
+}
+
+// next picks a runnable pipeline and pulls a morsel from it for worker w.
+// Pipelines whose sources still hold NUMA-local work for w's socket are
+// preferred (pass 0); when w's socket is dry everywhere it steals remote
+// morsels and work from other pipelines (pass 1). Sources are always
+// pulled outside the scheduler lock: they take their own locks and may
+// invoke wake callbacks from other goroutines.
+func (s *scheduler) next(w *Worker) (node int, b *storage.Batch, ok bool) {
+	s.mu.Lock()
+	for {
+		if s.finished || s.aborted {
+			s.mu.Unlock()
+			return 0, nil, false
+		}
+		seq := s.wakeSeq
+		acted := false
+	scan:
+		for pass := 0; pass < 2; pass++ {
+			for i := range s.nodes {
+				n := &s.nodes[i]
+				if n.state != psRunnable || n.srcDone {
+					continue
+				}
+				local := n.hint == nil || n.hint.HasLocal(w.Node)
+				if (pass == 0) != local {
+					continue
+				}
+				n.active++
+				s.inFlight++
+				s.mu.Unlock()
+				mb, srcDone := s.pull(n, w)
+				s.mu.Lock()
+				if mb != nil {
+					if !n.started {
+						n.started = true
+						n.startT = time.Since(s.start)
+					}
+					n.morsels++
+					s.mu.Unlock()
+					return i, mb, true
+				}
+				n.active--
+				s.inFlight--
+				if srcDone {
+					n.srcDone = true
+				}
+				if !s.aborted && n.srcDone && n.active == 0 && n.state == psRunnable {
+					s.finalizeLocked(i)
+					acted = true
+					break scan // completion may have unlocked dependents
+				}
+				if s.aborted && s.inFlight == 0 && !s.finished {
+					// Aborted runs must not flush sinks of a query being
+					// torn down; this worker held the last in-flight slot,
+					// so it ends the run (mirrors finishMorsel).
+					s.finishLocked()
+				}
+				if s.finished || s.aborted {
+					s.mu.Unlock()
+					return 0, nil, false
+				}
+			}
+		}
+		if acted {
+			continue
+		}
+		if s.wakeSeq != seq {
+			continue // input arrived while we were polling
+		}
+		s.cond.Wait()
+	}
+}
+
+// pull fetches one morsel, preferring the non-blocking Poll protocol.
+func (s *scheduler) pull(n *pipeNode, w *Worker) (*storage.Batch, bool) {
+	if n.poll != nil {
+		return n.poll.Poll(w)
+	}
+	b := n.p.Source.Next(w)
+	return b, b == nil
+}
+
+// process pushes one morsel through the pipeline, converting panics into
+// errors so a bad operator cannot kill the whole cluster simulation.
+func (s *scheduler) process(w *Worker, p *Pipeline, b *storage.Batch) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("pipeline %q worker panicked: %v", p.Name, r)
+		}
+	}()
+	for _, op := range p.Ops {
+		b = op.Process(w, b)
+		if b == nil || b.Rows() == 0 {
+			return nil
+		}
+	}
+	p.Sink.Consume(w, b)
+	return nil
+}
+
+// finishMorsel returns a worker's morsel slot and drives drain detection.
+func (s *scheduler) finishMorsel(i int, d time.Duration, err error) {
+	s.mu.Lock()
+	n := &s.nodes[i]
+	n.active--
+	s.inFlight--
+	n.busy += d
+	if err != nil {
+		s.abortLocked(err)
+	}
+	if !s.aborted && n.srcDone && n.active == 0 && n.state == psRunnable {
+		s.finalizeLocked(i)
+	} else if s.aborted && s.inFlight == 0 && !s.finished {
+		s.finishLocked()
+	}
+	s.mu.Unlock()
+}
+
+// finalizeLocked finalizes pipeline i's sink (outside the lock: sinks send
+// messages, which can re-enter the scheduler through wake callbacks) and
+// completes it.
+func (s *scheduler) finalizeLocked(i int) {
+	n := &s.nodes[i]
+	n.state = psFinalizing
+	if !n.started {
+		// A pipeline whose source yielded nothing still finalizes (empty
+		// hash table, Last markers); its wall interval is just that point.
+		n.started = true
+		n.startT = time.Since(s.start)
+	}
+	// The Finalize call counts as in-flight work: a concurrent cancel must
+	// not complete the run (and release the engine for the next graph)
+	// while a sink is still flushing messages.
+	s.inFlight++
+	s.mu.Unlock()
+	err := safeFinalize(n.p)
+	s.mu.Lock()
+	s.inFlight--
+	s.completeLocked(i, err)
+}
+
+func safeFinalize(p *Pipeline) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("pipeline %q finalize panicked: %v", p.Name, r)
+		}
+	}()
+	return p.Sink.Finalize()
+}
+
+// completeLocked marks pipeline i done and unlocks its dependents.
+func (s *scheduler) completeLocked(i int, err error) {
+	n := &s.nodes[i]
+	n.state = psDone
+	n.endT = time.Since(s.start)
+	s.remaining--
+	if err != nil {
+		s.abortLocked(fmt.Errorf("pipeline %q: %w", n.p.Name, err))
+	}
+	for _, d := range n.depOn {
+		dn := &s.nodes[d]
+		dn.deps--
+		if dn.state == psBlocked && dn.deps == 0 && !s.aborted {
+			dn.state = psRunnable
+		}
+	}
+	s.wakeSeq++
+	if s.remaining == 0 || (s.aborted && s.inFlight == 0) {
+		if !s.finished {
+			s.finishLocked()
+		}
+	}
+	s.cond.Broadcast()
+}
+
+func (s *scheduler) abortLocked(err error) {
+	if s.err == nil {
+		s.err = err
+	}
+	s.aborted = true
+}
+
+func (s *scheduler) finishLocked() {
+	s.finished = true
+	close(s.doneCh)
+	s.cond.Broadcast()
+}
+
+// results reports per-pipeline statistics and the run error, if any.
+func (s *scheduler) results() ([]PipelineStat, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	stats := make([]PipelineStat, len(s.nodes))
+	for i := range s.nodes {
+		n := &s.nodes[i]
+		stats[i] = PipelineStat{
+			Name:    n.p.Name,
+			Skipped: n.skipped,
+			Start:   n.startT,
+			End:     n.endT,
+			Busy:    n.busy,
+			Morsels: n.morsels,
+		}
+	}
+	if s.err != nil {
+		return stats, fmt.Errorf("engine: %w", s.err)
+	}
+	return stats, nil
+}

@@ -243,7 +243,7 @@ type Source struct {
 	tuplesRecv atomic.Uint64
 }
 
-// Next implements engine.Source.
+// Next implements engine.Source (blocking receive).
 func (src *Source) Next(w *engine.Worker) *storage.Batch {
 	for {
 		var msg *memory.Message
@@ -255,26 +255,64 @@ func (src *Source) Next(w *engine.Worker) *storage.Batch {
 		if msg == nil {
 			return nil
 		}
-		if len(msg.Content) == 0 {
-			msg.Release()
-			continue // bare Last marker
-		}
-		// Step 6: deserialize. Touching a message homed on another socket
-		// streams it over QPI.
-		if src.Topo != nil {
-			src.Topo.Charge(w.Node, msg.Node, len(msg.Content), src.Scale)
-		}
-		b := storage.NewBatch(src.Codec.Schema(), 256)
-		if _, err := src.Codec.DecodeAll(msg.Content, b); err != nil {
-			msg.Release()
-			panic(fmt.Sprintf("exchange: corrupt message for exchange: %v", err))
-		}
-		msg.Release()
-		src.tuplesRecv.Add(uint64(b.Rows()))
-		if b.Rows() > 0 {
+		if b := src.decode(w, msg); b != nil {
 			return b
 		}
 	}
+}
+
+// Poll implements engine.PollSource: it never blocks, reporting
+// (nil, false) while the exchange is still open but has no message queued
+// — the distinction that lets a receive pipeline become runnable as soon
+// as the first message lands instead of stalling a whole plan stage.
+func (src *Source) Poll(w *engine.Worker) (*storage.Batch, bool) {
+	for {
+		var msg *memory.Message
+		var done bool
+		if src.Classic {
+			msg, done = src.Recv.TryRecvWorker(w.ID)
+		} else {
+			msg, done = src.Recv.TryRecv(w.Node)
+		}
+		if msg == nil {
+			return nil, done
+		}
+		if b := src.decode(w, msg); b != nil {
+			return b, false
+		}
+	}
+}
+
+// SetWake implements engine.WakeSource.
+func (src *Source) SetWake(f func()) { src.Recv.SetWake(f) }
+
+// WakeTargetsWorker implements engine.TargetedWakeSource: classic-mode
+// deliveries land in one fixed worker's private queue, so wakes must reach
+// the whole pool.
+func (src *Source) WakeTargetsWorker() bool { return src.Classic }
+
+// decode deserializes one message (step 6 of Figure 7), releasing the
+// buffer back to the pool; nil for bare Last markers.
+func (src *Source) decode(w *engine.Worker, msg *memory.Message) *storage.Batch {
+	if len(msg.Content) == 0 {
+		msg.Release()
+		return nil // bare Last marker
+	}
+	// Touching a message homed on another socket streams it over QPI.
+	if src.Topo != nil {
+		src.Topo.Charge(w.Node, msg.Node, len(msg.Content), src.Scale)
+	}
+	b := storage.NewBatch(src.Codec.Schema(), 256)
+	if _, err := src.Codec.DecodeAll(msg.Content, b); err != nil {
+		msg.Release()
+		panic(fmt.Sprintf("exchange: corrupt message for exchange: %v", err))
+	}
+	msg.Release()
+	src.tuplesRecv.Add(uint64(b.Rows()))
+	if b.Rows() == 0 {
+		return nil
+	}
+	return b
 }
 
 // TuplesReceived reports how many tuples were deserialized.

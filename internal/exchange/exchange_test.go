@@ -57,6 +57,7 @@ func newHarness(t *testing.T, servers int) *harness {
 	}
 	h.stop = func() {
 		for i, m := range h.muxes {
+			h.engs[i].Close()
 			m.Close()
 			eps[i].Close()
 		}

@@ -29,6 +29,8 @@ type ExchangeRecv struct {
 
 	received uint64
 	stolen   uint64
+
+	wake func() // engine-scheduler callback fired on every delivery
 }
 
 func newExchangeRecv(m *Mux, exID int32, senders, sockets int) *ExchangeRecv {
@@ -43,6 +45,15 @@ func newExchangeRecv(m *Mux, exID int32, senders, sockets int) *ExchangeRecv {
 	}
 	ex.cond = sync.NewCond(&ex.mu)
 	return ex
+}
+
+// SetWake registers a callback invoked after every message delivery, so a
+// polling scheduler learns that the exchange may have input without a
+// worker blocking in Recv. The callback runs outside the exchange lock.
+func (ex *ExchangeRecv) SetWake(f func()) {
+	ex.mu.Lock()
+	ex.wake = f
+	ex.mu.Unlock()
 }
 
 // push delivers a message into the queue of its home NUMA node (hybrid)
@@ -69,7 +80,11 @@ func (ex *ExchangeRecv) push(msg *memory.Message) {
 		}
 	}
 	ex.cond.Broadcast()
+	wake := ex.wake
 	ex.mu.Unlock()
+	if wake != nil {
+		wake()
+	}
 }
 
 // Recv returns the next message for a worker pinned to socket `local`,
@@ -128,7 +143,35 @@ func (ex *ExchangeRecv) TryRecv(local numa.Node) (msg *memory.Message, done bool
 			}
 		}
 	}
-	return nil, ex.remaining == 0
+	return nil, ex.remaining == 0 || ex.mux.stopped.Load()
+}
+
+// TryRecvWorker is the non-blocking classic-mode receive for the fixed
+// parallel unit `worker` (no stealing). done only turns true once *every*
+// unit's partition is complete and drained: the classic exchange is one
+// pipeline, and its sink must not finalize while another worker's
+// partition still holds messages.
+func (ex *ExchangeRecv) TryRecvWorker(worker int) (msg *memory.Message, done bool) {
+	cs := ex.classic
+	if cs == nil {
+		panic("mux: TryRecvWorker on a hybrid exchange")
+	}
+	ex.mu.Lock()
+	defer ex.mu.Unlock()
+	if q := cs.queues[worker]; len(q) > 0 {
+		m := q[0]
+		cs.queues[worker] = q[1:]
+		return m, false
+	}
+	if ex.mux.stopped.Load() {
+		return nil, true
+	}
+	for i := range cs.queues {
+		if len(cs.queues[i]) > 0 || cs.remaining[i] > 0 {
+			return nil, false
+		}
+	}
+	return nil, true
 }
 
 func (ex *ExchangeRecv) popLocked(q int, steal bool) *memory.Message {
@@ -229,7 +272,11 @@ func (ex *ExchangeRecv) pushClassic(msg *memory.Message) {
 		}
 	}
 	ex.cond.Broadcast()
+	wake := ex.wake
 	ex.mu.Unlock()
+	if wake != nil {
+		wake()
+	}
 }
 
 // RecvWorker returns the next message for the fixed parallel unit

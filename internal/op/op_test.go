@@ -16,6 +16,7 @@ func testEngine(t *testing.T, workers int) *engine.Engine {
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(e.Close)
 	return e
 }
 

@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"hsqp/internal/engine"
+	"hsqp/internal/numa"
 	"hsqp/internal/storage"
 )
 
@@ -59,6 +60,26 @@ func (s *TableSource) Next(w *engine.Worker) *storage.Batch {
 		}
 	}
 	return nil
+}
+
+// HasLocal implements engine.LocalityHinter: it reports whether the table
+// still holds unscanned morsels homed on the given socket, so the
+// scheduler can prefer pipelines with NUMA-local work for a worker before
+// letting it steal remote morsels or switch pipelines.
+func (s *TableSource) HasLocal(node numa.Node) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := int(node)
+	if n < 0 || n >= len(s.cursors) {
+		return false
+	}
+	for ci := range s.cursors[n] {
+		c := &s.cursors[n][ci]
+		if c.seg != nil && c.off < c.seg.Rows() {
+			return true
+		}
+	}
+	return false
 }
 
 // sliceBatch returns a window [lo,hi) over b sharing the column storage.

@@ -68,19 +68,37 @@ type stream struct {
 	replicated bool
 	// coordOnly: the stream only exists on the coordinator.
 	coordOnly bool
+	// deps: pipeline indexes whose sinks must finalize before a pipeline
+	// consuming this stream may start (hash builds, materialized
+	// aggregates/sorts the source lazily reads). Exchange-receive streams
+	// carry no deps — they poll the multiplexer and become runnable as
+	// soon as the first message lands.
+	deps []int
 }
 
-// Compiled is the result of compiling a query for one server.
+// Compiled is the result of compiling a query for one server: a pipeline
+// DAG whose dependency edges (build-before-probe,
+// materialize-before-consume, coordinator-merge-last) are emitted during
+// compilation instead of being implied by slice order.
 type Compiled struct {
 	Pipelines []*engine.Pipeline
+	// Deps[i] lists the pipelines that must finalize before Pipelines[i]
+	// starts.
+	Deps [][]int
 	// Result collects the final rows (only populated on the coordinator).
 	Result *op.Collector
 	Schema *storage.Schema
 }
 
+// Graph returns the executable pipeline DAG.
+func (c *Compiled) Graph() *engine.Graph {
+	return &engine.Graph{Pipelines: c.Pipelines, Deps: c.Deps}
+}
+
 type compiler struct {
 	env  *Env
 	pipe []*engine.Pipeline
+	deps [][]int
 }
 
 // Compile lowers a query to this server's pipelines.
@@ -90,7 +108,8 @@ func Compile(q *Query, env *Env) (*Compiled, error) {
 	if err != nil {
 		return nil, fmt.Errorf("plan: compile %s: %w", q.Name, err)
 	}
-	// Bring the final stream to the coordinator.
+	// Bring the final stream to the coordinator (merges last: the output
+	// pipeline depends on everything the final stream materializes).
 	res := &op.Collector{}
 	if out.coordOnly || env.Servers == 1 {
 		c.add(&engine.Pipeline{
@@ -99,7 +118,7 @@ func Compile(q *Query, env *Env) (*Compiled, error) {
 			Ops:             out.ops,
 			Sink:            res,
 			CoordinatorOnly: out.coordOnly,
-		})
+		}, out.deps)
 	} else {
 		gathered := c.gather(q.Name+"/gather", out)
 		c.add(&engine.Pipeline{
@@ -108,12 +127,24 @@ func Compile(q *Query, env *Env) (*Compiled, error) {
 			Ops:             gathered.ops,
 			Sink:            res,
 			CoordinatorOnly: true,
-		})
+		}, gathered.deps)
 	}
-	return &Compiled{Pipelines: c.pipe, Result: res, Schema: q.Root.Schema()}, nil
+	return &Compiled{Pipelines: c.pipe, Deps: c.deps, Result: res, Schema: q.Root.Schema()}, nil
 }
 
-func (c *compiler) add(p *engine.Pipeline) { c.pipe = append(c.pipe, p) }
+// add appends a pipeline with its dependency edges and returns its index.
+func (c *compiler) add(p *engine.Pipeline, deps []int) int {
+	c.pipe = append(c.pipe, p)
+	c.deps = append(c.deps, deps)
+	return len(c.pipe) - 1
+}
+
+// withDep returns a fresh dependency list extending deps with d.
+func withDep(deps []int, d int) []int {
+	out := make([]int, 0, len(deps)+1)
+	out = append(out, deps...)
+	return append(out, d)
+}
 
 func (c *compiler) build(n *Node) (*stream, error) {
 	switch n.Kind {
@@ -210,7 +241,7 @@ func (c *compiler) exchangeStream(name string, in *stream, mode exchange.Mode, k
 		Ops:             in.ops,
 		Sink:            send,
 		CoordinatorOnly: in.coordOnly,
-	})
+	}, in.deps)
 	// Non-coordinator servers still contribute a Last marker when they
 	// skip a coordinator-only send pipeline? No: senders is 1 then, and
 	// only the coordinator opens/sends. Receivers must know the count.
@@ -296,15 +327,18 @@ func (c *compiler) buildJoin(n *Node) (*stream, error) {
 	}
 
 	jb := op.NewJoinBuild(n.Build.Schema(), n.BuildKeys)
-	c.add(&engine.Pipeline{
+	build := c.add(&engine.Pipeline{
 		Name:            joinName(n, "build"),
 		Source:          bs.source,
 		Ops:             bs.ops,
 		Sink:            jb,
 		CoordinatorOnly: bs.coordOnly,
-	})
+	}, bs.deps)
 	probe := op.NewJoinProbe(jb, n.JoinType, n.Probe.Schema(), n.ProbeKeys, n.ProbeOut, n.BuildOut, n.Residual)
 	ps.ops = append(ps.ops, probe)
+	// Build-before-probe: whichever pipeline ends up running the probe
+	// operator must wait for the hash table to finalize.
+	ps.deps = withDep(ps.deps, build)
 	ps.schema = n.schema
 	// Resulting partitioning: the probe keys survive if they are among the
 	// emitted probe columns.
@@ -356,25 +390,26 @@ func (c *compiler) buildGroupJoin(n *Node) (*stream, error) {
 		}
 	}
 	gjb := op.NewGroupJoinBuild(n.Build.Schema(), n.BuildKeys, n.Aggs)
-	c.add(&engine.Pipeline{
+	build := c.add(&engine.Pipeline{
 		Name:   joinName(n, "gj-build"),
 		Source: bs.source,
 		Ops:    bs.ops,
 		Sink:   gjb,
-	})
+	}, bs.deps)
 	gjp := &op.GroupJoinProbe{Build: gjb, ProbeKeys: n.ProbeKeys, Residual: n.Residual}
-	c.add(&engine.Pipeline{
+	probe := c.add(&engine.Pipeline{
 		Name:   joinName(n, "gj-probe"),
 		Source: ps.source,
 		Ops:    ps.ops,
 		Sink:   gjp,
-	})
+	}, withDep(ps.deps, build))
 	// The output schema is the build schema plus aggregates, so the build
 	// stream's partitioning survives positionally.
 	return &stream{
 		source: &op.LazySource{Fn: gjb.ResultBatches, Morsel: c.env.MorselSize},
 		schema: n.schema,
 		part:   bs.part,
+		deps:   []int{probe},
 	}, nil
 }
 
@@ -397,48 +432,51 @@ func (c *compiler) buildGroupBy(n *Node) (*stream, error) {
 
 	if local {
 		gb := op.NewGroupBy(in.schema, n.Keys, n.Aggs, workers)
-		c.add(&engine.Pipeline{
+		agg := c.add(&engine.Pipeline{
 			Name:            gbName(n, "agg"),
 			Source:          in.source,
 			Ops:             in.ops,
 			Sink:            gb,
 			CoordinatorOnly: in.coordOnly,
-		})
+		}, in.deps)
 		return &stream{
 			source:    &op.LazySource{Fn: gb.FinalBatches, Morsel: env.MorselSize},
 			schema:    n.schema,
 			part:      groupPart(n, in),
 			coordOnly: in.coordOnly,
+			deps:      []int{agg},
 		}, nil
 	}
 
 	if len(n.Keys) == 0 {
 		// Scalar aggregate: local partial → gather → merge on coordinator.
 		partial := op.NewGroupBy(in.schema, nil, n.Aggs, workers)
-		c.add(&engine.Pipeline{
+		pa := c.add(&engine.Pipeline{
 			Name:   gbName(n, "partial"),
 			Source: in.source,
 			Ops:    in.ops,
 			Sink:   partial,
-		})
+		}, in.deps)
 		ps := partial.PartialSchema()
 		mid := &stream{
 			source: &op.LazySource{Fn: partial.PartialBatches, Morsel: env.MorselSize},
 			schema: ps,
+			deps:   []int{pa},
 		}
 		mid = c.gather(gbName(n, "gather"), mid)
 		merge := op.NewGroupBy(ps, nil, op.MergeSpecs(n.Aggs, 0), workers)
-		c.add(&engine.Pipeline{
+		mg := c.add(&engine.Pipeline{
 			Name:            gbName(n, "merge"),
 			Source:          mid.source,
 			Ops:             mid.ops,
 			Sink:            merge,
 			CoordinatorOnly: true,
-		})
+		}, mid.deps)
 		return &stream{
 			source:    &op.LazySource{Fn: merge.FinalBatches, Morsel: env.MorselSize},
 			schema:    n.schema,
 			coordOnly: true,
+			deps:      []int{mg},
 		}, nil
 	}
 
@@ -446,45 +484,48 @@ func (c *compiler) buildGroupBy(n *Node) (*stream, error) {
 		// Ablation: shuffle raw rows, aggregate once after the exchange.
 		shuffled := c.exchangeStream(gbName(n, "shuffle-raw"), in, exchange.ModePartition, n.Keys)
 		gb := op.NewGroupBy(shuffled.schema, n.Keys, n.Aggs, workers)
-		c.add(&engine.Pipeline{
+		agg := c.add(&engine.Pipeline{
 			Name:   gbName(n, "agg"),
 			Source: shuffled.source,
 			Ops:    shuffled.ops,
 			Sink:   gb,
-		})
+		}, shuffled.deps)
 		return &stream{
 			source: &op.LazySource{Fn: gb.FinalBatches, Morsel: env.MorselSize},
 			schema: n.schema,
 			part:   identity(len(n.Keys)),
+			deps:   []int{agg},
 		}, nil
 	}
 
 	// Pre-aggregate locally (Figure 6(c)), shuffle partials on the group
 	// keys, merge.
 	partial := op.NewGroupBy(in.schema, n.Keys, n.Aggs, workers)
-	c.add(&engine.Pipeline{
+	pa := c.add(&engine.Pipeline{
 		Name:   gbName(n, "preagg"),
 		Source: in.source,
 		Ops:    in.ops,
 		Sink:   partial,
-	})
+	}, in.deps)
 	ps := partial.PartialSchema()
 	mid := &stream{
 		source: &op.LazySource{Fn: partial.PartialBatches, Morsel: env.MorselSize},
 		schema: ps,
+		deps:   []int{pa},
 	}
 	mid = c.exchangeStream(gbName(n, "shuffle"), mid, exchange.ModePartition, identity(len(n.Keys)))
 	merge := op.NewGroupBy(ps, identity(len(n.Keys)), op.MergeSpecs(n.Aggs, len(n.Keys)), workers)
-	c.add(&engine.Pipeline{
+	mg := c.add(&engine.Pipeline{
 		Name:   gbName(n, "merge"),
 		Source: mid.source,
 		Ops:    mid.ops,
 		Sink:   merge,
-	})
+	}, mid.deps)
 	return &stream{
 		source: &op.LazySource{Fn: merge.FinalBatches, Morsel: env.MorselSize},
 		schema: n.schema,
 		part:   identity(len(n.Keys)),
+		deps:   []int{mg},
 	}, nil
 }
 
@@ -496,44 +537,47 @@ func (c *compiler) buildTopK(n *Node) (*stream, error) {
 	env := c.env
 	if env.Servers == 1 || in.coordOnly {
 		tk := op.NewTopK(in.schema, n.SortKeys, n.Limit)
-		c.add(&engine.Pipeline{
+		sortP := c.add(&engine.Pipeline{
 			Name:            "topk",
 			Source:          in.source,
 			Ops:             in.ops,
 			Sink:            tk,
 			CoordinatorOnly: in.coordOnly,
-		})
+		}, in.deps)
 		return &stream{
 			source:    &op.LazySource{Fn: tk.Batches, Morsel: env.MorselSize},
 			schema:    n.schema,
 			coordOnly: in.coordOnly,
+			deps:      []int{sortP},
 		}, nil
 	}
 	// Local top-k bounds what is shipped; the coordinator re-sorts.
 	local := op.NewTopK(in.schema, n.SortKeys, n.Limit)
-	c.add(&engine.Pipeline{
+	lp := c.add(&engine.Pipeline{
 		Name:   "topk/local",
 		Source: in.source,
 		Ops:    in.ops,
 		Sink:   local,
-	})
+	}, in.deps)
 	mid := &stream{
 		source: &op.LazySource{Fn: local.Batches, Morsel: env.MorselSize},
 		schema: in.schema,
+		deps:   []int{lp},
 	}
 	mid = c.gather("topk/gather", mid)
 	final := op.NewTopK(in.schema, n.SortKeys, n.Limit)
-	c.add(&engine.Pipeline{
+	fp := c.add(&engine.Pipeline{
 		Name:            "topk/final",
 		Source:          mid.source,
 		Ops:             mid.ops,
 		Sink:            final,
 		CoordinatorOnly: true,
-	})
+	}, mid.deps)
 	return &stream{
 		source:    &op.LazySource{Fn: final.Batches, Morsel: env.MorselSize},
 		schema:    n.schema,
 		coordOnly: true,
+		deps:      []int{fp},
 	}, nil
 }
 

@@ -81,6 +81,56 @@ func TestSourceTargetDual(t *testing.T) {
 	}
 }
 
+// TestPhaseMappingIsConflictFreePermutation is the property test behind
+// the DAG scheduler's use of the schedule: for every n ∈ 2..16 and every
+// phase chosen by the fuzzer, the sender→target mapping must be a
+// conflict-free permutation — a bijection with no fixed point whose
+// inverse is exactly Source. That is the invariant that keeps every link
+// busy without two senders sharing an ingress port.
+func TestPhaseMappingIsConflictFreePermutation(t *testing.T) {
+	f := func(n8, k8 uint8) bool {
+		n := int(n8%15) + 2 // n ∈ [2,16]
+		s, err := New(n)
+		if err != nil {
+			return false
+		}
+		k := int(k8) % s.Phases()
+		targets := make(map[int]bool, n)
+		for srv := 0; srv < n; srv++ {
+			tgt := s.Target(srv, k)
+			if tgt < 0 || tgt >= n || tgt == srv {
+				return false // out of range or self-send
+			}
+			if targets[tgt] {
+				return false // two senders share an ingress port
+			}
+			targets[tgt] = true
+			if s.Source(tgt, k) != srv {
+				return false // inverse mapping disagrees
+			}
+		}
+		return len(targets) == n // surjective onto the servers
+	}
+	cfg := &quick.Config{MaxCount: 2000}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+	// Exhaustive sweep of the same property for every n ∈ 2..16, every
+	// phase (the fuzzer samples; this pins the full grid).
+	for n := 2; n <= 16; n++ {
+		s, _ := New(n)
+		for k := 0; k < s.Phases(); k++ {
+			seen := make(map[int]bool, n)
+			for srv := 0; srv < n; srv++ {
+				seen[s.Target(srv, k)] = true
+			}
+			if len(seen) != n {
+				t.Fatalf("n=%d phase=%d: mapping is not a permutation", n, k)
+			}
+		}
+	}
+}
+
 func TestNewRejectsBadSize(t *testing.T) {
 	if _, err := New(0); err == nil {
 		t.Fatal("New(0) should fail")
