@@ -56,7 +56,7 @@ func usage() {
   hsqp run        -q <1-22> [-servers N] [-workers N] [-sf S] [-transport rdma|tcp|gbe]
                   [-sched] [-partitioned] [-classic] [-timescale X] [-rows N]
   hsqp explain    -q <1-22>
-  hsqp experiment -id table1|fig2|fig3|fig4|fig5|fig9|fig10b|fig10c|fig11|fig12a|fig12b|table2|sched|sf|skew|skewjoin|all
+  hsqp experiment -id table1|fig2|fig3|fig4|fig5|fig9|fig10b|fig10c|fig11|fig12a|fig12b|table2|sched|sf|skew|skewjoin|skewsweep|all
                   [-sf S] [-servers N] [-full]`)
 }
 
@@ -271,13 +271,23 @@ func cmdExperiment(args []string) error {
 		},
 		"skew": func() error { bench.Skew{}.Run(w); return nil },
 		"skewjoin": func() error {
-			_, err := bench.SkewedJoin{Servers: *servers}.Run(w)
+			_, err := bench.SkewedJoin{Servers: *servers, Transport: cluster.TCPGbE}.Run(w)
+			return err
+		},
+		"skewsweep": func() error {
+			run := bench.SkewSweep{SkewedJoin: bench.SkewedJoin{
+				Servers: *servers, Transport: cluster.TCPGbE, Rows: 200_000}}
+			if *full {
+				run.Rows = 600_000
+			}
+			_, err := run.Run(w)
 			return err
 		},
 	}
 	if *id == "all" {
 		order := []string{"table1", "fig2", "fig3", "fig4", "fig5", "fig9", "fig10b",
-			"fig10c", "fig11", "fig12a", "fig12b", "table2", "sched", "sf", "skew", "skewjoin"}
+			"fig10c", "fig11", "fig12a", "fig12b", "table2", "sched", "sf", "skew",
+			"skewjoin", "skewsweep"}
 		for _, name := range order {
 			if err := run(name, all[name]); err != nil {
 				return err

@@ -342,12 +342,17 @@ func allToAll(servers, msgsPer, msgSize int, timeScale float64, scheduling bool)
 		wg.Add(1)
 		go func() { // producer
 			defer wg.Done()
+			// Receivers assert strictly increasing per-sender sequence
+			// numbers, so stamp one counter per destination.
+			seq := make([]uint32, servers)
 			for k := 0; k < msgsPer; k++ {
 				dst := (i + 1 + k%(servers-1)) % servers
 				m := pool.Get(0)
 				m.Content = m.Content[:msgSize-memory.HeaderSize]
 				m.ExchangeID = exID
 				m.Sender = i
+				m.Seq = seq[dst]
+				seq[dst]++
 				muxes[i].Send(dst, m)
 			}
 			for d := 0; d < servers; d++ {
@@ -355,6 +360,7 @@ func allToAll(servers, msgsPer, msgSize int, timeScale float64, scheduling bool)
 				last.ExchangeID = exID
 				last.Sender = i
 				last.Last = true
+				last.Seq = seq[d]
 				muxes[i].Send(d, last)
 			}
 		}()

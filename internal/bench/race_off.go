@@ -1,0 +1,8 @@
+//go:build !race
+
+package bench
+
+// raceEnabled reports whether the race detector is compiled in; timing
+// assertions are skipped under the detector (instrumentation shifts the
+// compute/network balance the skew figures measure).
+const raceEnabled = false

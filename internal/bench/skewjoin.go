@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"hsqp/internal/cluster"
+	"hsqp/internal/exchange"
 	"hsqp/internal/op"
 	"hsqp/internal/plan"
 	"hsqp/internal/storage"
@@ -19,6 +20,18 @@ import (
 // becomes the straggler the whole query waits for, while hybrid
 // parallelism partitions only across the n servers and lets all of a
 // server's workers steal messages from the overloaded partition.
+//
+// Three engines are compared:
+//
+//   - static: hybrid parallelism with static hash partitioning — tolerates
+//     moderate skew (per-server stealing) but still ships every tuple of a
+//     heavy key to its one owning server;
+//   - classic: the classic exchange-operator model (n×t fixed parallel
+//     units, no stealing) — the Figure 2 baseline;
+//   - adaptive: hybrid parallelism plus Flow-Join-style skew handling —
+//     heavy hitters are detected online through a Space-Saving sketch over
+//     the first morsels, their build rows are selectively broadcast, and
+//     their probe tuples stay on the origin server.
 type SkewedJoin struct {
 	Servers   int
 	Workers   int
@@ -26,12 +39,41 @@ type SkewedJoin struct {
 	Keys      int     // distinct join keys
 	Zipf      float64 // skew parameter (paper analyzes z = 0.84)
 	TimeScale float64
+	Runs      int // best-of runs per engine (default 2)
+	// Transport selects the simulated interconnect (zero value: RDMA).
+	// Skew handling is about the straggler's network link, so the figure is
+	// most telling on a bandwidth-limited transport (TCPGbE): on the
+	// simulated Infiniband fabric this workload is compute-bound and the
+	// static and adaptive engines converge.
+	Transport cluster.TransportKind
+	// Skew tunes the adaptive engine. All-zero selects a grid tuned for
+	// this workload: sample two early morsels' worth of keys and treat the
+	// whole detectable Zipf head as hot (the build side is tiny, so
+	// broadcasting a generous hot set costs almost nothing while every hot
+	// probe tuple kept off the wire relieves the straggler link).
+	Skew exchange.SkewConfig
 }
 
-// SkewedJoinPoint is one engine's runtime.
+// SkewedJoinPoint is one engine's runtime at one skew level.
 type SkewedJoinPoint struct {
 	Engine string
+	Zipf   float64
 	Time   time.Duration
+	Bytes  uint64 // wire bytes shuffled between servers
+}
+
+// skewEngine is one cell of the comparison grid: label, classic exchange
+// model, join strategy.
+type skewEngine struct {
+	name     string
+	classic  bool
+	strategy plan.JoinStrategy
+}
+
+var skewEngines = []skewEngine{
+	{"static", false, plan.PartitionBoth},
+	{"classic", true, plan.PartitionBoth},
+	{"adaptive", false, plan.SkewAdaptive},
 }
 
 // buildSkewTables generates the synthetic build/probe relations.
@@ -44,20 +86,94 @@ func buildSkewTables(rows, keys int, z float64) (build, probe *storage.Batch) {
 	for k := 0; k < keys; k++ {
 		build.AppendRow(int64(k), int64(k*7))
 	}
-	probeSchema := storage.NewSchema(
-		storage.Field{Name: "s_key", Type: storage.TInt64},
-		storage.Field{Name: "s_val", Type: storage.TInt64},
-	)
-	probe = storage.NewBatch(probeSchema, rows)
+	probe = storage.NewBatch(skewProbeSchema(), rows)
 	zf := tpch.NewZipf(keys, z, 99)
+	// The pad models the payload columns a real probe tuple drags through
+	// the shuffle: the straggler's link carries full tuples, not bare keys.
+	pad := "abcdefghijklmnopqrstuvwxyz0123456789"
 	for i := 0; i < rows; i++ {
-		probe.AppendRow(int64(zf.Next()), int64(i))
+		probe.AppendRow(int64(zf.Next()), int64(i), pad)
 	}
 	return build, probe
 }
 
-// Run executes the comparison.
-func (f SkewedJoin) Run(w io.Writer) ([]SkewedJoinPoint, error) {
+// skewQuery builds the shuffle-join-aggregate query under one strategy.
+func skewQuery(strategy plan.JoinStrategy) *plan.Query {
+	s := plan.Scan("skew_probe", skewProbeSchema())
+	r := plan.Scan("skew_build", skewBuildSchema())
+	j := s.Join(r, []string{"s_key"}, []string{"r_key"},
+		plan.JoinSpec{Type: op.Inner, Strategy: strategy,
+			ProbeOut: []string{"s_key", "s_val"},
+			BuildOut: []string{"r_payload"}})
+	g := j.GroupBy([]string{"s_key"},
+		op.AggSpec{Kind: op.Sum, Name: "v", Arg: op.Col(j.Col("s_val")), ArgType: storage.TInt64})
+	top := g.OrderBy([]op.SortKey{{Col: 1, Desc: true}}, 10)
+	return plan.NewQuery("skewjoin", top)
+}
+
+func skewBuildSchema() *storage.Schema {
+	return storage.NewSchema(
+		storage.Field{Name: "r_key", Type: storage.TInt64},
+		storage.Field{Name: "r_payload", Type: storage.TInt64},
+	)
+}
+
+func skewProbeSchema() *storage.Schema {
+	return storage.NewSchema(
+		storage.Field{Name: "s_key", Type: storage.TInt64},
+		storage.Field{Name: "s_val", Type: storage.TInt64},
+		storage.Field{Name: "s_pad", Type: storage.TString},
+	)
+}
+
+// RunEngine executes one engine of the comparison and returns the query
+// result with the best-of-Runs stats (used by the conformance test to
+// check all three engines produce identical rows).
+func (f SkewedJoin) RunEngine(name string, build, probe *storage.Batch) (*storage.Batch, cluster.QueryStats, error) {
+	var eng *skewEngine
+	for i := range skewEngines {
+		if skewEngines[i].name == name {
+			eng = &skewEngines[i]
+			break
+		}
+	}
+	if eng == nil {
+		return nil, cluster.QueryStats{}, fmt.Errorf("bench: unknown skew engine %q", name)
+	}
+	c, err := cluster.New(cluster.Config{
+		Servers:          f.Servers,
+		WorkersPerServer: f.Workers,
+		Transport:        f.Transport,
+		Scheduling:       true,
+		Classic:          eng.classic,
+		Skew:             f.Skew,
+		TimeScale:        f.TimeScale,
+	})
+	if err != nil {
+		return nil, cluster.QueryStats{}, err
+	}
+	defer c.Close()
+	c.LoadTable("skew_build", build, storage.PlacementChunked, 0)
+	c.LoadTable("skew_probe", probe, storage.PlacementChunked, 0)
+	runs := f.Runs
+	if runs <= 0 {
+		runs = 2
+	}
+	var bestRes *storage.Batch
+	var bestStats cluster.QueryStats
+	for r := 0; r < runs; r++ {
+		res, stats, err := c.Run(skewQuery(eng.strategy))
+		if err != nil {
+			return nil, cluster.QueryStats{}, err
+		}
+		if r == 0 || stats.Duration < bestStats.Duration {
+			bestRes, bestStats = res, stats
+		}
+	}
+	return bestRes, bestStats, nil
+}
+
+func (f *SkewedJoin) defaults() {
 	if f.Servers == 0 {
 		f.Servers = 3
 	}
@@ -81,62 +197,84 @@ func (f SkewedJoin) Run(w io.Writer) ([]SkewedJoinPoint, error) {
 	if f.TimeScale == 0 {
 		f.TimeScale = cluster.DefaultTimeScale
 	}
-	build, probe := buildSkewTables(f.Rows, f.Keys, f.Zipf)
-
-	makeQuery := func() *plan.Query {
-		s := plan.Scan("skew_probe", probe.Schema)
-		r := plan.Scan("skew_build", build.Schema)
-		j := s.Join(r, []string{"s_key"}, []string{"r_key"},
-			plan.JoinSpec{Type: op.Inner, Strategy: plan.PartitionBoth,
-				ProbeOut: []string{"s_key", "s_val"},
-				BuildOut: []string{"r_payload"}})
-		g := j.GroupBy([]string{"s_key"},
-			op.AggSpec{Kind: op.Sum, Name: "v", Arg: op.Col(j.Col("s_val")), ArgType: storage.TInt64})
-		top := g.OrderBy([]op.SortKey{{Col: 1, Desc: true}}, 10)
-		return plan.NewQuery("skewjoin", top)
+	if f.Skew == (exchange.SkewConfig{}) {
+		f.Skew = exchange.SkewConfig{SampleBudget: 4096, HotFraction: 0.002, MaxHot: 128}
 	}
+}
+
+// Run executes the three-engine comparison at one skew level.
+func (f SkewedJoin) Run(w io.Writer) ([]SkewedJoinPoint, error) {
+	f.defaults()
+	build, probe := buildSkewTables(f.Rows, f.Keys, f.Zipf)
 
 	var out []SkewedJoinPoint
 	tab := &Table{
-		Title: fmt.Sprintf("§3.1 skewed shuffle join (Zipf z=%.2f, %d rows): hybrid vs classic",
+		Title: fmt.Sprintf("§3.1 skewed shuffle join (Zipf z=%.2f, %d rows): static vs classic vs adaptive",
 			f.Zipf, f.Rows),
-		Header: []string{"engine", "time", "slowdown vs hybrid"},
+		Header: []string{"engine", "time", "shuffled", "speedup vs static"},
 	}
-	var hybridTime time.Duration
-	for _, classic := range []bool{false, true} {
-		c, err := cluster.New(cluster.Config{
-			Servers:          f.Servers,
-			WorkersPerServer: f.Workers,
-			Transport:        cluster.RDMA,
-			Scheduling:       true,
-			Classic:          classic,
-			TimeScale:        f.TimeScale,
-		})
+	var staticTime time.Duration
+	for _, eng := range skewEngines {
+		_, stats, err := f.RunEngine(eng.name, build, probe)
 		if err != nil {
 			return nil, err
 		}
-		c.LoadTable("skew_build", build, storage.PlacementChunked, 0)
-		c.LoadTable("skew_probe", probe, storage.PlacementChunked, 0)
-		var best time.Duration
-		for r := 0; r < 2; r++ {
-			_, stats, err := c.Run(makeQuery())
+		if eng.name == "static" {
+			staticTime = stats.Duration
+		}
+		out = append(out, SkewedJoinPoint{Engine: eng.name, Zipf: f.Zipf, Time: stats.Duration, Bytes: stats.BytesSent})
+		tab.Add(eng.name, Dur(stats.Duration), MB(stats.BytesSent),
+			F2(staticTime.Seconds()/stats.Duration.Seconds())+"x")
+	}
+	tab.Fprint(w)
+	return out, nil
+}
+
+// SkewSweep is the skew-tolerance figure: the three engines across a Zipf
+// exponent sweep. At z = 0 (uniform) the adaptive engine should cost the
+// same as static partitioning (the sketch finds no heavy hitters and every
+// tuple keeps its hash route); as z grows, static partitioning degrades
+// into a straggler-bound shuffle while the adaptive engine spreads every
+// heavy key over all servers.
+type SkewSweep struct {
+	SkewedJoin
+	// ZipfList are the skew levels swept (default 0, 0.6, 0.9, 1.1, 1.4).
+	ZipfList []float64
+}
+
+// Run executes the sweep.
+func (f SkewSweep) Run(w io.Writer) ([]SkewedJoinPoint, error) {
+	f.defaults()
+	if len(f.ZipfList) == 0 {
+		f.ZipfList = []float64{0, 0.6, 0.9, 1.1, 1.4}
+	}
+	tab := &Table{
+		Title: fmt.Sprintf("adaptive skew handling: shuffle join runtime across Zipf skew (%d rows, %d servers)",
+			f.Rows, f.Servers),
+		Header: []string{"zipf", "static", "classic", "adaptive", "adaptive speedup", "bytes saved"},
+	}
+	var out []SkewedJoinPoint
+	for _, z := range f.ZipfList {
+		build, probe := buildSkewTables(f.Rows, f.Keys, z)
+		times := map[string]time.Duration{}
+		bytes := map[string]uint64{}
+		for _, eng := range skewEngines {
+			run := f.SkewedJoin
+			run.Zipf = z
+			_, stats, err := run.RunEngine(eng.name, build, probe)
 			if err != nil {
-				c.Close()
 				return nil, err
 			}
-			if r == 0 || stats.Duration < best {
-				best = stats.Duration
-			}
+			times[eng.name] = stats.Duration
+			bytes[eng.name] = stats.BytesSent
+			out = append(out, SkewedJoinPoint{Engine: eng.name, Zipf: z, Time: stats.Duration, Bytes: stats.BytesSent})
 		}
-		c.Close()
-		name := "hybrid"
-		if classic {
-			name = "classic"
-		} else {
-			hybridTime = best
+		saved := "-"
+		if bytes["static"] > bytes["adaptive"] {
+			saved = MB(bytes["static"] - bytes["adaptive"])
 		}
-		out = append(out, SkewedJoinPoint{Engine: name, Time: best})
-		tab.Add(name, Dur(best), F2(best.Seconds()/hybridTime.Seconds()))
+		tab.Add(fmt.Sprintf("%.1f", z), Dur(times["static"]), Dur(times["classic"]), Dur(times["adaptive"]),
+			F2(times["static"].Seconds()/times["adaptive"].Seconds())+"x", saved)
 	}
 	tab.Fprint(w)
 	return out, nil

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"hsqp/internal/engine"
+	"hsqp/internal/exchange"
 	"hsqp/internal/fabric"
 	"hsqp/internal/memory"
 	"hsqp/internal/mux"
@@ -74,6 +75,9 @@ type Config struct {
 	AllocPolicy numa.AllocPolicy
 	// Classic compiles plans in the classic exchange-operator model.
 	Classic bool
+	// Skew tunes adaptive skew handling for plan.SkewAdaptive joins (zero
+	// values select the exchange package defaults).
+	Skew exchange.SkewConfig
 	// Serial executes each server's pipelines strictly in compile order
 	// (the pre-DAG execution model) instead of scheduling the pipeline DAG
 	// on the worker pool — kept as an ablation/reference path.
@@ -335,6 +339,10 @@ func (c *Cluster) Run(q *plan.Query) (*storage.Batch, QueryStats, error) {
 	}
 
 	compiled := make([]*plan.Compiled, c.cfg.Servers)
+	// The cancel channel exists before compilation: skew-adaptive plans
+	// capture it so an aborted query unblocks send finalizes waiting for
+	// remote sketches.
+	cancel := make(chan struct{})
 	// All servers must compile the identical plan with the identical
 	// exchange-id sequence.
 	base := c.nextExID.Add(4096) - 4096
@@ -351,6 +359,8 @@ func (c *Cluster) Run(q *plan.Query) (*storage.Batch, QueryStats, error) {
 			Topo:             node.Topo,
 			Scale:            c.cfg.TimeScale,
 			Classic:          c.cfg.Classic,
+			Skew:             c.cfg.Skew,
+			Cancel:           cancel,
 			DisablePreAgg:    c.cfg.DisablePreAgg,
 			MorselSize:       c.cfg.MorselSize,
 			AfterScan:        c.cfg.AfterScan,
@@ -382,7 +392,6 @@ func (c *Cluster) Run(q *plan.Query) (*storage.Batch, QueryStats, error) {
 	// others so a bad operator aborts the query instead of deadlocking the
 	// cluster on never-sent Last markers.
 	start := time.Now()
-	cancel := make(chan struct{})
 	var cancelOnce sync.Once
 	var wg sync.WaitGroup
 	errs := make([]error, c.cfg.Servers)

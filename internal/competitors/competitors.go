@@ -28,6 +28,7 @@ package competitors
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"hsqp/internal/cluster"
 	"hsqp/internal/engine"
@@ -141,22 +142,27 @@ type rowStage interface {
 	next(row []any) []any
 }
 
-type identityStage struct{ counter int64 }
+// identityStage's counter is shared by all workers running the pipeline
+// (Ops must be safe for concurrent use), so the per-row tally is
+// accumulated locally and published with one atomic add.
+type identityStage struct{ counter atomic.Int64 }
 
 func (s *identityStage) next(row []any) []any {
 	// Touch every attribute like an expression interpreter would.
+	var c int64
 	for _, v := range row {
 		switch x := v.(type) {
 		case int64:
-			s.counter += x & 1
+			c += x & 1
 		case string:
-			s.counter += int64(len(x) & 1)
+			c += int64(len(x) & 1)
 		case float64:
 			if x != 0 {
-				s.counter++
+				c++
 			}
 		}
 	}
+	s.counter.Add(c)
 	return row
 }
 

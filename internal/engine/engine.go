@@ -76,6 +76,24 @@ type LocalityHinter interface {
 	HasLocal(node numa.Node) bool
 }
 
+// FallibleSource is a Source that can fail mid-stream (an exchange receive
+// hitting a corrupt message). Such a source reports exhaustion through the
+// normal Next/Poll protocol and records the cause; the scheduler checks
+// Err when the source drains and aborts the run with the pipeline's name
+// instead of relying on panic recovery.
+type FallibleSource interface {
+	Err() error
+}
+
+// WorkerFinalizer is a Sink whose Finalize needs to know which pool worker
+// runs it — send-side exchanges allocate their flush and Last-marker
+// buffers NUMA-local to the finalizing worker instead of defaulting to
+// socket 0. The scheduler prefers FinalizeOn over Finalize when
+// implemented.
+type WorkerFinalizer interface {
+	FinalizeOn(w *Worker) error
+}
+
 // Op transforms one morsel batch. It may return its input unchanged, a new
 // batch, or nil (all rows filtered). Implementations must be safe for
 // concurrent use by distinct workers.

@@ -160,7 +160,7 @@ func (s *scheduler) loop(w *Worker) {
 		}
 		t0 := time.Now()
 		err := s.process(w, s.nodes[i].p, b)
-		s.finishMorsel(i, time.Since(t0), err)
+		s.finishMorsel(i, time.Since(t0), err, w)
 		// Morsel boundaries are the engine's cooperative scheduling points:
 		// without this, one worker can drain a cheap source before its
 		// peers are ever scheduled on a loaded (or single-core) host.
@@ -212,9 +212,10 @@ func (s *scheduler) next(w *Worker) (node int, b *storage.Batch, ok bool) {
 				s.inFlight--
 				if srcDone {
 					n.srcDone = true
+					s.checkSourceErrLocked(n)
 				}
 				if !s.aborted && n.srcDone && n.active == 0 && n.state == psRunnable {
-					s.finalizeLocked(i)
+					s.finalizeLocked(i, w)
 					acted = true
 					break scan // completion may have unlocked dependents
 				}
@@ -268,7 +269,7 @@ func (s *scheduler) process(w *Worker, p *Pipeline, b *storage.Batch) (err error
 }
 
 // finishMorsel returns a worker's morsel slot and drives drain detection.
-func (s *scheduler) finishMorsel(i int, d time.Duration, err error) {
+func (s *scheduler) finishMorsel(i int, d time.Duration, err error, w *Worker) {
 	s.mu.Lock()
 	n := &s.nodes[i]
 	n.active--
@@ -278,17 +279,30 @@ func (s *scheduler) finishMorsel(i int, d time.Duration, err error) {
 		s.abortLocked(err)
 	}
 	if !s.aborted && n.srcDone && n.active == 0 && n.state == psRunnable {
-		s.finalizeLocked(i)
+		s.finalizeLocked(i, w)
 	} else if s.aborted && s.inFlight == 0 && !s.finished {
 		s.finishLocked()
 	}
 	s.mu.Unlock()
 }
 
+// checkSourceErrLocked aborts the run when a drained source reports a
+// mid-stream failure (FallibleSource), naming the pipeline.
+func (s *scheduler) checkSourceErrLocked(n *pipeNode) {
+	fs, ok := n.p.Source.(FallibleSource)
+	if !ok {
+		return
+	}
+	if err := fs.Err(); err != nil {
+		s.abortLocked(fmt.Errorf("pipeline %q source: %w", n.p.Name, err))
+	}
+}
+
 // finalizeLocked finalizes pipeline i's sink (outside the lock: sinks send
 // messages, which can re-enter the scheduler through wake callbacks) and
-// completes it.
-func (s *scheduler) finalizeLocked(i int) {
+// completes it. w is the pool worker driving the finalize; NUMA-aware
+// sinks (WorkerFinalizer) allocate their flush buffers on its socket.
+func (s *scheduler) finalizeLocked(i int, w *Worker) {
 	n := &s.nodes[i]
 	n.state = psFinalizing
 	if !n.started {
@@ -302,18 +316,21 @@ func (s *scheduler) finalizeLocked(i int) {
 	// while a sink is still flushing messages.
 	s.inFlight++
 	s.mu.Unlock()
-	err := safeFinalize(n.p)
+	err := safeFinalize(n.p, w)
 	s.mu.Lock()
 	s.inFlight--
 	s.completeLocked(i, err)
 }
 
-func safeFinalize(p *Pipeline) (err error) {
+func safeFinalize(p *Pipeline, w *Worker) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("pipeline %q finalize panicked: %v", p.Name, r)
 		}
 	}()
+	if wf, ok := p.Sink.(WorkerFinalizer); ok && w != nil {
+		return wf.FinalizeOn(w)
+	}
 	return p.Sink.Finalize()
 }
 

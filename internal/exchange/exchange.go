@@ -13,10 +13,19 @@
 // The same package implements the classic exchange-operator baseline
 // (Mode ModeClassicPartition): n×t parallel units with fixed partition
 // assignment and no stealing — used by Figure 2's comparison.
+//
+// Adaptive skew handling (Flow-Join style, see skew.go): the probe-side
+// send samples key hashes through a Space-Saving sketch during the first
+// morsels, the per-server sketches are merged cluster-wide, and tuples of
+// globally heavy keys switch routes — heavy probe tuples stay on their
+// origin server while the build side replicates heavy keys to every
+// server through the Retain-based selective-broadcast stream. Cold keys
+// keep ordinary hash partitioning.
 package exchange
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"hsqp/internal/engine"
@@ -42,6 +51,17 @@ const (
 	// ModeClassicPartition hash-partitions into n×t streams, one per
 	// (server, worker) parallel unit — the classic baseline.
 	ModeClassicPartition
+	// ModeSkewProbe is the probe side of a skew-adaptive join: key hashes
+	// are sampled through the SkewCoord's sketch during the first morsels;
+	// after the cluster-wide heavy-hitter decision, tuples of hot keys stay
+	// on their origin server and cold keys hash-partition as usual.
+	ModeSkewProbe
+	// ModeSkewBuild is the build side of a skew-adaptive join: tuples of
+	// hot keys are replicated to every server through a Retain-based
+	// selective-broadcast stream, cold keys hash-partition. The pipeline
+	// feeding this sink must be gated on the SkewCoord decision
+	// (GatedSource).
+	ModeSkewBuild
 )
 
 func (m Mode) String() string {
@@ -54,6 +74,10 @@ func (m Mode) String() string {
 		return "gather"
 	case ModeClassicPartition:
 		return "classic-partition"
+	case ModeSkewProbe:
+		return "skew-probe"
+	case ModeSkewBuild:
+		return "skew-build"
 	default:
 		return fmt.Sprintf("Mode(%d)", int(m))
 	}
@@ -78,6 +102,10 @@ type SendConfig struct {
 	// homed on another socket (Figure 9's send-side share).
 	Topo  *numa.Topology
 	Scale float64
+	// Skew is the per-server heavy-hitter coordinator shared by the probe
+	// and build sides of one skew-adaptive join (ModeSkewProbe /
+	// ModeSkewBuild).
+	Skew *SkewCoord
 }
 
 // Send is the send-side pipeline breaker.
@@ -86,12 +114,27 @@ type Send struct {
 	units   int // number of destination streams
 	workers []workerSendState
 
+	// destSeq[d] is the next wire sequence number for destination server d.
+	// Stamping and handing the message to the multiplexer happen under
+	// destMu[d] so each per-destination stream stays strictly increasing
+	// even when workers dispatch concurrently — per-destination locks,
+	// because Mux.Send can block on a backed-up link and one straggler
+	// destination must not head-of-line-block sends to healthy ones.
+	// broadcastStamped acquires all locks in index order.
+	destMu  []sync.Mutex
+	destSeq []uint32
+
+	lastNode   atomic.Int32 // node of the most recent consuming worker
 	tuplesSent atomic.Uint64
+	hotTuples  atomic.Uint64 // tuples routed via the hot-key path
 }
 
 type workerSendState struct {
 	// open[unit] is the message currently being filled for a destination.
 	open []*memory.Message
+	// held buffers batches during the skew sampling phase (ModeSkewProbe):
+	// nothing is routed until the cluster-wide heavy-hitter set is known.
+	held []*storage.Batch
 	_pad [8]uint64 // avoid false sharing between workers
 }
 
@@ -106,8 +149,16 @@ func NewSend(cfg SendConfig) *Send {
 		}
 	case ModeBroadcast, ModeGather:
 		units = 1 // one stream, fanned out / directed by flush
+	case ModeSkewBuild:
+		// One stream per server for cold keys plus the selective-broadcast
+		// stream for hot keys.
+		units = cfg.Servers + 1
 	}
-	s := &Send{cfg: cfg, units: units}
+	if (cfg.Mode == ModeSkewProbe || cfg.Mode == ModeSkewBuild) && cfg.Skew == nil {
+		panic("exchange: skew modes need a SkewCoord")
+	}
+	s := &Send{cfg: cfg, units: units,
+		destMu: make([]sync.Mutex, cfg.Servers), destSeq: make([]uint32, cfg.Servers)}
 	s.workers = make([]workerSendState, cfg.NumWorkers)
 	for i := range s.workers {
 		s.workers[i].open = make([]*memory.Message, units)
@@ -118,12 +169,59 @@ func NewSend(cfg SendConfig) *Send {
 // TuplesSent reports how many tuples passed through the operator.
 func (s *Send) TuplesSent() uint64 { return s.tuplesSent.Load() }
 
+// HotTuples reports how many tuples took the hot-key route (stayed local
+// on the probe side, selective-broadcast on the build side).
+func (s *Send) HotTuples() uint64 { return s.hotTuples.Load() }
+
 // Consume implements engine.Sink: partition/serialize (step 2 of
 // Figure 7) and pass full messages to the multiplexer (step 3).
 func (s *Send) Consume(w *engine.Worker, b *storage.Batch) {
 	st := &s.workers[w.ID]
+	s.lastNode.Store(int32(w.Node))
+	s.tuplesSent.Add(uint64(b.Rows()))
+	switch s.cfg.Mode {
+	case ModeSkewProbe:
+		sk := s.cfg.Skew
+		if !sk.Ready() {
+			// Sampling phase: hold the batch and feed the sketch; the
+			// worker that exhausts the budget publishes the local sketch
+			// (non-blocking — the cluster-wide merge runs asynchronously).
+			st.held = append(st.held, b)
+			if sk.ObserveBatch(b, s.cfg.Keys) {
+				sk.CompleteSampling(w.Node)
+			}
+			return
+		}
+		s.flushHeld(st, w.Node)
+	case ModeSkewBuild:
+		// Plans gate the build pipeline on the decision (GatedSource); a
+		// direct caller may not, so block defensively.
+		if !s.cfg.Skew.Ready() {
+			if err := s.cfg.Skew.WaitReady(); err != nil {
+				return // query is being cancelled; drop
+			}
+		}
+	}
+	s.routeBatch(st, w.Node, b)
+}
+
+// flushHeld routes the batches a worker buffered during skew sampling.
+func (s *Send) flushHeld(st *workerSendState, node numa.Node) {
+	if len(st.held) == 0 {
+		return
+	}
+	held := st.held
+	st.held = nil
+	for _, b := range held {
+		s.routeBatch(st, node, b)
+	}
+}
+
+// routeBatch serializes every row of b into the open message of its
+// destination stream, dispatching messages as they fill up.
+func (s *Send) routeBatch(st *workerSendState, node numa.Node, b *storage.Batch) {
 	n := b.Rows()
-	s.tuplesSent.Add(uint64(n))
+	var hot uint64 // tallied locally; one shared atomic add per batch
 	for i := 0; i < n; i++ {
 		unit := 0
 		switch s.cfg.Mode {
@@ -131,10 +229,30 @@ func (s *Send) Consume(w *engine.Worker, b *storage.Batch) {
 			unit = storage.PartitionOf(storage.HashRow(b, s.cfg.Keys, i), s.cfg.Servers)
 		case ModeClassicPartition:
 			unit = storage.PartitionOf(storage.HashRow(b, s.cfg.Keys, i), s.units)
+		case ModeSkewProbe:
+			h := storage.HashRow(b, s.cfg.Keys, i)
+			if s.cfg.Skew.Hot(h) {
+				// Hot probe tuples stay local: every server holds the
+				// broadcast build rows of hot keys, so probing on the
+				// origin server is correct and spreads the heavy key over
+				// all servers instead of one owner.
+				unit = s.cfg.Mux.ServerID()
+				hot++
+			} else {
+				unit = storage.PartitionOf(h, s.cfg.Servers)
+			}
+		case ModeSkewBuild:
+			h := storage.HashRow(b, s.cfg.Keys, i)
+			if s.cfg.Skew.Hot(h) {
+				unit = s.units - 1 // selective-broadcast stream
+				hot++
+			} else {
+				unit = storage.PartitionOf(h, s.cfg.Servers)
+			}
 		}
 		msg := st.open[unit]
 		if msg == nil {
-			msg = s.newMessage(w)
+			msg = s.newMessage(node)
 			st.open[unit] = msg
 		}
 		need := s.cfg.Codec.RowSize(b, i)
@@ -143,20 +261,66 @@ func (s *Send) Consume(w *engine.Worker, b *storage.Batch) {
 				panic(fmt.Sprintf("exchange: tuple of %d bytes exceeds message capacity %d", need, msg.Capacity()))
 			}
 			s.dispatch(unit, msg, false)
-			msg = s.newMessage(w)
+			msg = s.newMessage(node)
 			st.open[unit] = msg
 		}
 		before := len(msg.Content)
 		msg.Content = s.cfg.Codec.EncodeRow(b, i, msg.Content)
 		if s.cfg.Topo != nil {
-			s.cfg.Topo.Charge(w.Node, msg.Node, len(msg.Content)-before, s.cfg.Scale)
+			s.cfg.Topo.Charge(node, msg.Node, len(msg.Content)-before, s.cfg.Scale)
 		}
+	}
+	if hot > 0 {
+		s.hotTuples.Add(hot)
 	}
 }
 
-func (s *Send) newMessage(w *engine.Worker) *memory.Message {
+func (s *Send) newMessage(node numa.Node) *memory.Message {
 	// Step 4 of Figure 7: reuse a NUMA-local message from the pool.
-	return s.cfg.Pool.Get(w.Node)
+	return s.cfg.Pool.Get(node)
+}
+
+// sendStamped stamps the next per-destination sequence number and hands
+// the message to the multiplexer. Allocation and enqueue happen under the
+// destination's mutex so its stream stays strictly increasing.
+func (s *Send) sendStamped(dst int, msg *memory.Message) {
+	s.destMu[dst].Lock()
+	msg.Seq = s.destSeq[dst]
+	s.destSeq[dst]++
+	s.cfg.Mux.Send(dst, msg)
+	s.destMu[dst].Unlock()
+}
+
+// broadcastStamped sends one shared buffer to every server via the retain
+// count. The single wire sequence number must be valid for all
+// destinations, so it holds every destination lock (in index order, so
+// concurrent broadcasts cannot deadlock), takes the maximum of the
+// per-destination counters and advances them all past it — destination
+// streams may skip values but never regress.
+func (s *Send) broadcastStamped(msg *memory.Message) {
+	for d := range s.destMu {
+		s.destMu[d].Lock()
+	}
+	seq := uint32(0)
+	for _, v := range s.destSeq {
+		if v > seq {
+			seq = v
+		}
+	}
+	msg.Seq = seq
+	for d := range s.destSeq {
+		s.destSeq[d] = seq + 1
+	}
+	// One buffer, n references: retain for the n−1 extra destinations.
+	if s.cfg.Servers > 1 {
+		msg.Retain(s.cfg.Servers - 1)
+	}
+	for d := 0; d < s.cfg.Servers; d++ {
+		s.cfg.Mux.Send(d, msg)
+	}
+	for d := range s.destMu {
+		s.destMu[d].Unlock()
+	}
 }
 
 // dispatch routes one finished message stream unit. The header is stamped
@@ -167,28 +331,54 @@ func (s *Send) dispatch(unit int, msg *memory.Message, last bool) {
 	msg.ExchangeID = s.cfg.ExID
 	msg.Sender = s.cfg.Mux.ServerID()
 	switch s.cfg.Mode {
-	case ModePartition:
-		s.cfg.Mux.Send(unit, msg)
+	case ModePartition, ModeSkewProbe:
+		s.sendStamped(unit, msg)
 	case ModeClassicPartition:
 		srv := unit / s.cfg.WorkersPerServer
 		msg.Part = int16(unit % s.cfg.WorkersPerServer)
-		s.cfg.Mux.Send(srv, msg)
+		s.sendStamped(srv, msg)
 	case ModeGather:
-		s.cfg.Mux.Send(0, msg)
+		s.sendStamped(0, msg)
 	case ModeBroadcast:
-		// One buffer, n references: retain for the n−1 extra destinations.
-		if s.cfg.Servers > 1 {
-			msg.Retain(s.cfg.Servers - 1)
-		}
-		for d := 0; d < s.cfg.Servers; d++ {
-			s.cfg.Mux.Send(d, msg)
+		s.broadcastStamped(msg)
+	case ModeSkewBuild:
+		if unit == s.units-1 {
+			s.broadcastStamped(msg) // hot keys: selective broadcast
+		} else {
+			s.sendStamped(unit, msg)
 		}
 	}
 }
 
 // Finalize flushes all partially filled messages and emits the Last
-// markers that close this server's contribution to the exchange.
+// markers that close this server's contribution to the exchange. Without
+// scheduler support the flush buffers are allocated on the node of the
+// last consuming worker (FinalizeOn is preferred).
 func (s *Send) Finalize() error {
+	return s.finalizeOn(numa.Node(s.lastNode.Load()))
+}
+
+// FinalizeOn implements engine.WorkerFinalizer: flush and Last-marker
+// buffers are allocated NUMA-local to the finalizing worker, honoring the
+// pool's AllocLocal policy instead of defaulting to socket 0.
+func (s *Send) FinalizeOn(w *engine.Worker) error {
+	return s.finalizeOn(w.Node)
+}
+
+func (s *Send) finalizeOn(node numa.Node) error {
+	if s.cfg.Mode == ModeSkewProbe {
+		// A probe input smaller than the sample budget completes sampling
+		// here; then wait for the cluster-wide decision and route whatever
+		// the workers buffered.
+		sk := s.cfg.Skew
+		sk.CompleteSampling(node)
+		if err := sk.WaitReady(); err != nil {
+			return err
+		}
+		for wi := range s.workers {
+			s.flushHeld(&s.workers[wi], node)
+		}
+	}
 	for wi := range s.workers {
 		st := &s.workers[wi]
 		for unit, msg := range st.open {
@@ -200,7 +390,9 @@ func (s *Send) Finalize() error {
 			st.open[unit] = nil
 		}
 	}
-	// Last markers: empty messages flagged Last.
+	// Last markers: empty messages flagged Last, one per destination
+	// server (the broadcast streams contribute data only — completion is
+	// tracked per sender).
 	stamp := func(m *memory.Message) *memory.Message {
 		m.Last = true
 		m.ExchangeID = s.cfg.ExID
@@ -208,22 +400,18 @@ func (s *Send) Finalize() error {
 		return m
 	}
 	switch s.cfg.Mode {
-	case ModePartition:
+	case ModePartition, ModeSkewProbe, ModeSkewBuild, ModeBroadcast:
 		for d := 0; d < s.cfg.Servers; d++ {
-			s.cfg.Mux.Send(d, stamp(s.cfg.Pool.Get(0)))
+			s.sendStamped(d, stamp(s.cfg.Pool.Get(node)))
 		}
 	case ModeClassicPartition:
 		for u := 0; u < s.units; u++ {
-			m := stamp(s.cfg.Pool.Get(0))
+			m := stamp(s.cfg.Pool.Get(node))
 			m.Part = int16(u % s.cfg.WorkersPerServer)
-			s.cfg.Mux.Send(u/s.cfg.WorkersPerServer, m)
+			s.sendStamped(u/s.cfg.WorkersPerServer, m)
 		}
 	case ModeGather:
-		s.cfg.Mux.Send(0, stamp(s.cfg.Pool.Get(0)))
-	case ModeBroadcast:
-		for d := 0; d < s.cfg.Servers; d++ {
-			s.cfg.Mux.Send(d, stamp(s.cfg.Pool.Get(0)))
-		}
+		s.sendStamped(0, stamp(s.cfg.Pool.Get(node)))
 	}
 	return nil
 }
@@ -241,11 +429,17 @@ type Source struct {
 	Classic bool
 
 	tuplesRecv atomic.Uint64
+
+	failMu  sync.Mutex
+	failure error
 }
 
 // Next implements engine.Source (blocking receive).
 func (src *Source) Next(w *engine.Worker) *storage.Batch {
 	for {
+		if src.Err() != nil {
+			return nil
+		}
 		var msg *memory.Message
 		if src.Classic {
 			msg = src.Recv.RecvWorker(w.ID)
@@ -267,6 +461,9 @@ func (src *Source) Next(w *engine.Worker) *storage.Batch {
 // as the first message lands instead of stalling a whole plan stage.
 func (src *Source) Poll(w *engine.Worker) (*storage.Batch, bool) {
 	for {
+		if src.Err() != nil {
+			return nil, true
+		}
 		var msg *memory.Message
 		var done bool
 		if src.Classic {
@@ -291,8 +488,27 @@ func (src *Source) SetWake(f func()) { src.Recv.SetWake(f) }
 // the whole pool.
 func (src *Source) WakeTargetsWorker() bool { return src.Classic }
 
+// Err implements engine.FallibleSource: a corrupt message records the
+// failure here and reports the source as drained; the scheduler aborts
+// the run with the pipeline's name, cancelling the query cluster-wide
+// instead of relying on panic recovery.
+func (src *Source) Err() error {
+	src.failMu.Lock()
+	defer src.failMu.Unlock()
+	return src.failure
+}
+
+func (src *Source) fail(err error) {
+	src.failMu.Lock()
+	if src.failure == nil {
+		src.failure = err
+	}
+	src.failMu.Unlock()
+}
+
 // decode deserializes one message (step 6 of Figure 7), releasing the
-// buffer back to the pool; nil for bare Last markers.
+// buffer back to the pool; nil for bare Last markers or on a recorded
+// decode failure.
 func (src *Source) decode(w *engine.Worker, msg *memory.Message) *storage.Batch {
 	if len(msg.Content) == 0 {
 		msg.Release()
@@ -304,8 +520,11 @@ func (src *Source) decode(w *engine.Worker, msg *memory.Message) *storage.Batch 
 	}
 	b := storage.NewBatch(src.Codec.Schema(), 256)
 	if _, err := src.Codec.DecodeAll(msg.Content, b); err != nil {
+		sender := msg.Sender
 		msg.Release()
-		panic(fmt.Sprintf("exchange: corrupt message for exchange: %v", err))
+		src.fail(fmt.Errorf("exchange %d: corrupt message from server %d: %w",
+			src.Recv.ExID(), sender, err))
+		return nil
 	}
 	msg.Release()
 	src.tuplesRecv.Add(uint64(b.Rows()))

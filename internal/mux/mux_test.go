@@ -52,12 +52,14 @@ func sendAll(m *Mux, pool *memory.Pool, exID int32, servers, msgsPerDst int) {
 			msg := pool.Get(0)
 			msg.ExchangeID = exID
 			msg.Sender = m.ServerID()
+			msg.Seq = uint32(k)
 			msg.Content = append(msg.Content, byte(d), byte(k))
 			m.Send(d, msg)
 		}
 		last := pool.Get(0)
 		last.ExchangeID = exID
 		last.Sender = m.ServerID()
+		last.Seq = uint32(msgsPerDst)
 		last.Last = true
 		m.Send(d, last)
 	}
@@ -128,6 +130,7 @@ func TestEarlyArrivalsBuffered(t *testing.T) {
 	last := pool.Get(0)
 	last.ExchangeID = 9
 	last.Sender = 0
+	last.Seq = 1
 	last.Last = true
 	muxes[0].Send(1, last)
 	// Our own contribution for exchange 9 on server 0 is irrelevant; open
@@ -160,12 +163,14 @@ func TestWorkStealingAcrossSockets(t *testing.T) {
 		msg := pool.GetOn(1)
 		msg.ExchangeID = 3
 		msg.Sender = 0
+		msg.Seq = uint32(k)
 		msg.Content = append(msg.Content, byte(k))
 		muxes[0].Send(0, msg)
 	}
 	last := pool.GetOn(1)
 	last.ExchangeID = 3
 	last.Sender = 0
+	last.Seq = 5
 	last.Last = true
 	muxes[0].Send(0, last)
 
@@ -196,11 +201,13 @@ func TestClassicModeRouting(t *testing.T) {
 	const workers = 3
 	recv := muxes[1].OpenExchangeClassic(5, 1, workers)
 
-	// Address each worker individually from server 0.
+	// Address each worker individually from server 0. Sequence numbers are
+	// per destination *server*, continuing across the worker partitions.
 	for w := 0; w < workers; w++ {
 		msg := pool.Get(0)
 		msg.ExchangeID = 5
 		msg.Sender = 0
+		msg.Seq = uint32(w)
 		msg.Part = int16(w)
 		msg.Content = append(msg.Content, byte(w))
 		muxes[0].Send(1, msg)
@@ -209,6 +216,7 @@ func TestClassicModeRouting(t *testing.T) {
 		last := pool.Get(0)
 		last.ExchangeID = 5
 		last.Sender = 0
+		last.Seq = uint32(workers + w)
 		last.Part = int16(w)
 		last.Last = true
 		muxes[0].Send(1, last)
@@ -228,6 +236,72 @@ func TestClassicModeRouting(t *testing.T) {
 		if len(payloads) != 1 || payloads[0][0] != byte(w) {
 			t.Fatalf("worker %d got %v, want exactly its own message", w, payloads)
 		}
+	}
+}
+
+// TestSeqOrderingAssertion: a duplicate (or regressing) sequence number
+// from one sender must trip the receive-side ordering assertion. Local
+// sends route synchronously, so the panic surfaces on the caller.
+func TestSeqOrderingAssertion(t *testing.T) {
+	muxes, stop := testCluster(t, 1, false)
+	defer stop()
+	topo := numa.TwoSocket()
+	pool := memory.NewPool(topo, numa.AllocLocal, 4096, nil)
+	muxes[0].OpenExchange(11, 1)
+	a := pool.Get(0)
+	a.ExchangeID = 11
+	a.Sender = 0
+	a.Seq = 3
+	a.Content = append(a.Content, 1)
+	muxes[0].Send(0, a)
+	b := pool.Get(0)
+	b.ExchangeID = 11
+	b.Sender = 0
+	b.Seq = 3 // duplicate: must panic
+	b.Content = append(b.Content, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate sequence number did not trip the ordering assertion")
+		}
+	}()
+	muxes[0].Send(0, b)
+}
+
+// TestSeqGapsAllowed: gaps are legal (selective broadcast advances all of
+// a sender's destination counters at once); only regressions panic.
+func TestSeqGapsAllowed(t *testing.T) {
+	muxes, stop := testCluster(t, 1, false)
+	defer stop()
+	topo := numa.TwoSocket()
+	pool := memory.NewPool(topo, numa.AllocLocal, 4096, nil)
+	recv := muxes[0].OpenExchange(12, 1)
+	for _, seq := range []uint32{0, 2, 7} {
+		m := pool.Get(0)
+		m.ExchangeID = 12
+		m.Sender = 0
+		m.Seq = seq
+		m.Content = append(m.Content, byte(seq))
+		muxes[0].Send(0, m)
+	}
+	last := pool.Get(0)
+	last.ExchangeID = 12
+	last.Sender = 0
+	last.Seq = 8
+	last.Last = true
+	muxes[0].Send(0, last)
+	n := 0
+	for {
+		m := recv.Recv(0)
+		if m == nil {
+			break
+		}
+		if len(m.Content) > 0 {
+			n++
+		}
+		m.Release()
+	}
+	if n != 3 {
+		t.Fatalf("received %d data messages, want 3", n)
 	}
 }
 

@@ -27,6 +27,12 @@ type ExchangeRecv struct {
 	queued    int
 	classic   *classicState // non-nil in classic exchange mode
 
+	// lastSeq[sender] is the highest wire sequence number seen from that
+	// server. Senders stamp strictly increasing per-destination sequence
+	// numbers, so a regression or duplicate here means the transport (or a
+	// sender) reordered the stream.
+	lastSeq map[int]int64
+
 	received uint64
 	stolen   uint64
 
@@ -42,9 +48,31 @@ func newExchangeRecv(m *Mux, exID int32, senders, sockets int) *ExchangeRecv {
 		exID:      exID,
 		queues:    make([][]*memory.Message, sockets),
 		remaining: senders,
+		lastSeq:   make(map[int]int64),
 	}
 	ex.cond = sync.NewCond(&ex.mu)
 	return ex
+}
+
+// ExID returns the logical exchange operator id.
+func (ex *ExchangeRecv) ExID() int32 { return ex.exID }
+
+// checkSeqLocked asserts that messages from each sender arrive with
+// strictly increasing sequence numbers. Gaps are legal (a selective
+// broadcast advances all of the sender's destination counters at once),
+// regressions and duplicates are not: per (sender, destination) the wire
+// is FIFO end-to-end, so any non-monotonic sequence means messages were
+// reordered or replayed. The caller panics with the returned message
+// after releasing ex.mu — panicking under the lock would deadlock
+// teardown paths (Mux.Close wakes every exchange).
+func (ex *ExchangeRecv) checkSeqLocked(msg *memory.Message) string {
+	prev, seen := ex.lastSeq[msg.Sender]
+	if seen && int64(msg.Seq) <= prev {
+		return fmt.Sprintf("mux: exchange %d: out-of-order message from server %d: seq %d after %d",
+			ex.exID, msg.Sender, msg.Seq, prev)
+	}
+	ex.lastSeq[msg.Sender] = int64(msg.Seq)
+	return ""
 }
 
 // SetWake registers a callback invoked after every message delivery, so a
@@ -69,6 +97,10 @@ func (ex *ExchangeRecv) push(msg *memory.Message) {
 		node = int(ex.received % uint64(len(ex.queues)))
 	}
 	ex.mu.Lock()
+	if viol := ex.checkSeqLocked(msg); viol != "" {
+		ex.mu.Unlock()
+		panic(viol)
+	}
 	ex.queues[node] = append(ex.queues[node], msg)
 	ex.queued++
 	ex.received++
@@ -262,6 +294,10 @@ func (ex *ExchangeRecv) pushClassic(msg *memory.Message) {
 		part = 0
 	}
 	ex.mu.Lock()
+	if viol := ex.checkSeqLocked(msg); viol != "" {
+		ex.mu.Unlock()
+		panic(viol)
+	}
 	cs.queues[part] = append(cs.queues[part], msg)
 	ex.received++
 	if msg.Last {

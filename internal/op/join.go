@@ -81,16 +81,40 @@ func (h *HashTable) KeyEq(bi int32, probe *storage.Batch, probeKeys []int, pi in
 // Size returns the number of build rows.
 func (h *HashTable) Size() int { return h.Build.Rows() }
 
-// JoinBuild is the build-side pipeline breaker: workers collect morsels,
-// Finalize consolidates them and builds the hash table.
+// JoinBuild is the build-side pipeline breaker: workers collect morsels
+// into per-worker shards (no shared lock on the hot path), Finalize
+// consolidates them and builds the hash table.
+//
+// Duplicate-build invariant (skew-adaptive joins): under the SkewAdaptive
+// strategy the build rows of a hot key are replicated to every server, so
+// this server's table may hold "duplicate" partitions — build rows whose
+// key it does not own. That is correct as long as (a) each build tuple is
+// routed to any given server at most once (the send-side routes each
+// tuple either to its owner or to the broadcast stream, never both) and
+// (b) each probe tuple is processed on exactly one server (hot probe
+// tuples stay on their origin server, cold ones go to the key's owner).
+// The hash table itself chains every received row; it must NOT
+// deduplicate keys — two build tuples with equal keys are distinct match
+// partners, replicated copies of one tuple never share a server.
 type JoinBuild struct {
 	Keys   []int
 	Schema *storage.Schema
 
+	shards [joinBuildShards]joinBuildShard
+	ht     *HashTable
+}
+
+// joinBuildShards spreads concurrent Consume calls over independent
+// locks; workers map onto shards by id.
+const joinBuildShards = 8
+
+type joinBuildShard struct {
 	mu      sync.Mutex
 	batches []*storage.Batch
 	rows    int
-	ht      *HashTable
+	// Pad the 40 payload bytes to 128 (a 64-byte multiple) so adjacent
+	// shards never share a cache line.
+	_pad [11]uint64
 }
 
 // NewJoinBuild creates a build sink keyed on the given columns of schema.
@@ -99,22 +123,44 @@ func NewJoinBuild(schema *storage.Schema, keys []int) *JoinBuild {
 }
 
 // Consume implements engine.Sink.
-func (jb *JoinBuild) Consume(_ *engine.Worker, b *storage.Batch) {
-	jb.mu.Lock()
-	jb.batches = append(jb.batches, b)
-	jb.rows += b.Rows()
-	jb.mu.Unlock()
+func (jb *JoinBuild) Consume(w *engine.Worker, b *storage.Batch) {
+	idx := 0
+	if w != nil {
+		idx = w.ID % joinBuildShards
+	}
+	sh := &jb.shards[idx]
+	sh.mu.Lock()
+	sh.batches = append(sh.batches, b)
+	sh.rows += b.Rows()
+	sh.mu.Unlock()
 }
 
-// Finalize consolidates the collected batches and builds the table.
-func (jb *JoinBuild) Finalize() error {
-	build := storage.NewBatch(jb.Schema, jb.rows)
-	for _, b := range jb.batches {
-		for i := 0; i < b.Rows(); i++ {
-			build.AppendRowFrom(b, i)
-		}
+// Rows returns the number of build rows collected so far.
+func (jb *JoinBuild) Rows() int {
+	n := 0
+	for i := range jb.shards {
+		sh := &jb.shards[i]
+		sh.mu.Lock()
+		n += sh.rows
+		sh.mu.Unlock()
 	}
-	jb.batches = nil
+	return n
+}
+
+// Finalize consolidates the collected batches (in shard order, so the
+// layout does not depend on consume interleaving beyond batch arrival
+// order) and builds the table.
+func (jb *JoinBuild) Finalize() error {
+	build := storage.NewBatch(jb.Schema, jb.Rows())
+	for i := range jb.shards {
+		sh := &jb.shards[i]
+		for _, b := range sh.batches {
+			for r := 0; r < b.Rows(); r++ {
+				build.AppendRowFrom(b, r)
+			}
+		}
+		sh.batches = nil
+	}
 	m := make(map[uint32][]int32, build.Rows())
 	for i := 0; i < build.Rows(); i++ {
 		h := storage.HashRow(build, jb.Keys, i)

@@ -37,6 +37,12 @@ type Env struct {
 	// Classic compiles exchanges in the classic exchange-operator model
 	// (n×t fixed parallel units, Figure 2 baseline).
 	Classic bool
+	// Skew tunes adaptive skew handling for SkewAdaptive joins (zero
+	// values select the exchange package defaults).
+	Skew exchange.SkewConfig
+	// Cancel, when closed, aborts in-flight skew decisions so a failing
+	// query cannot deadlock a send finalize waiting for remote sketches.
+	Cancel <-chan struct{}
 	// DisablePreAgg turns off pre-aggregation before group-by exchanges
 	// (ablation).
 	DisablePreAgg bool
@@ -212,6 +218,15 @@ func (c *compiler) buildScan(n *Node) (*stream, error) {
 // exchangeStream cuts the stream with a send-side exchange and returns the
 // receive-side stream. senders is the number of servers contributing.
 func (c *compiler) exchangeStream(name string, in *stream, mode exchange.Mode, keys []int) *stream {
+	return c.exchangeStreamSkew(name, in, mode, keys, nil)
+}
+
+// exchangeStreamSkew is exchangeStream with an optional skew coordinator:
+// the probe and build sides of a skew-adaptive join share one coordinator,
+// and the build side is gated on its decision (hot and cold keys take
+// different routes, so no build tuple may be routed before the
+// cluster-wide hot set is agreed).
+func (c *compiler) exchangeStreamSkew(name string, in *stream, mode exchange.Mode, keys []int, skew *exchange.SkewCoord) *stream {
 	env := c.env
 	if env.Classic && mode == exchange.ModePartition {
 		mode = exchange.ModeClassicPartition
@@ -234,10 +249,15 @@ func (c *compiler) exchangeStream(name string, in *stream, mode exchange.Mode, k
 		NumWorkers:       env.Engine.Workers(),
 		Topo:             env.Topo,
 		Scale:            env.Scale,
+		Skew:             skew,
 	})
+	source := in.source
+	if mode == exchange.ModeSkewBuild {
+		source = exchange.NewGatedSource(source, skew)
+	}
 	c.add(&engine.Pipeline{
 		Name:            name,
-		Source:          in.source,
+		Source:          source,
 		Ops:             in.ops,
 		Sink:            send,
 		CoordinatorOnly: in.coordOnly,
@@ -317,6 +337,20 @@ func (c *compiler) buildJoin(n *Node) (*stream, error) {
 		if !aligned(ps.part, n.ProbeKeys) {
 			ps = c.exchangeStream(joinName(n, "shuffle-probe"), ps, exchange.ModePartition, n.ProbeKeys)
 		}
+	case SkewAdaptive:
+		// One coordinator per join per server; its control exchange id is
+		// allocated first so every server produces the identical id
+		// sequence (sketch, probe shuffle, build shuffle).
+		coord := exchange.NewSkewCoord(exchange.SkewCoordConfig{
+			Mux:     c.env.Mux,
+			Pool:    c.env.Pool,
+			ExID:    c.env.NextExID(),
+			Servers: c.env.Servers,
+			Config:  c.env.Skew,
+			Cancel:  c.env.Cancel,
+		})
+		ps = c.exchangeStreamSkew(joinName(n, "skew-shuffle-probe"), ps, exchange.ModeSkewProbe, n.ProbeKeys, coord)
+		bs = c.exchangeStreamSkew(joinName(n, "skew-shuffle-build"), bs, exchange.ModeSkewBuild, n.BuildKeys, coord)
 	case LocalJoin:
 		// Nothing to move.
 	}
@@ -345,6 +379,12 @@ func (c *compiler) buildJoin(n *Node) (*stream, error) {
 	switch strat {
 	case PartitionBoth:
 		ps.part = remap(n.ProbeKeys, n.ProbeOut)
+	case SkewAdaptive:
+		// Hot probe tuples stayed on their origin server, so the output is
+		// NOT partitioned on the join keys: a downstream group-by must
+		// re-shuffle or it would aggregate the same hot key on several
+		// servers (double counting).
+		ps.part = nil
 	default:
 		ps.part = remap(ps.part, n.ProbeOut)
 	}
@@ -368,6 +408,14 @@ func (c *compiler) decideJoin(n *Node, bs, ps *stream) JoinStrategy {
 	}
 	if aligned(bs.part, n.BuildKeys) && aligned(ps.part, n.ProbeKeys) {
 		return LocalJoin
+	}
+	if n.Strategy == SkewAdaptive {
+		if c.env.Classic {
+			// The classic exchange-operator baseline has no adaptive
+			// machinery; keep it an honest static comparison point.
+			return PartitionBoth
+		}
+		return SkewAdaptive
 	}
 	return PartitionBoth
 }

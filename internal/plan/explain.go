@@ -41,6 +41,8 @@ func explainNode(sb *strings.Builder, n *Node, depth int) {
 			strat = " [partition both]"
 		case LocalJoin:
 			strat = " [local]"
+		case SkewAdaptive:
+			strat = " [skew-adaptive: hot keys broadcast build + probe local, cold keys partitioned]"
 		}
 		fmt.Fprintf(sb, "%s%s join%s\n", indent, n.JoinType, strat)
 		fmt.Fprintf(sb, "%s  probe:\n", indent)

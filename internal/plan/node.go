@@ -49,6 +49,15 @@ const (
 	PartitionBoth
 	// LocalJoin asserts the join is already co-located (placement).
 	LocalJoin
+	// SkewAdaptive hash-partitions both inputs but detects heavy probe
+	// keys online (Space-Saving sketch over the first morsels, merged
+	// cluster-wide): tuples of hot keys switch to a selective-broadcast
+	// route — the build side of a hot key is replicated to every server
+	// while its probe tuples stay on their origin server — and cold keys
+	// keep hash partitioning. Tolerates Zipf-skewed join keys without a
+	// straggler server; falls back to PartitionBoth under the classic
+	// exchange-operator model.
+	SkewAdaptive
 )
 
 // Node is a logical plan operator.

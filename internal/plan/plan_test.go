@@ -95,6 +95,16 @@ func TestExplainMentionsOperators(t *testing.T) {
 	}
 }
 
+func TestExplainSkewAdaptive(t *testing.T) {
+	ls, rs := testSchemas()
+	root := Scan("left", ls).Join(Scan("right", rs), []string{"l_k"}, []string{"r_k"},
+		JoinSpec{Type: op.Inner, Strategy: SkewAdaptive})
+	out := Explain(NewQuery("demo", root))
+	if !strings.Contains(out, "[skew-adaptive") {
+		t.Fatalf("explain missing skew-adaptive strategy:\n%s", out)
+	}
+}
+
 func TestAlignedAndRemap(t *testing.T) {
 	if !aligned([]int{1, 2}, []int{1, 2}) {
 		t.Fatal("aligned false negative")

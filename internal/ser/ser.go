@@ -111,15 +111,21 @@ func (c *Codec) RowSize(b *storage.Batch, row int) int {
 }
 
 // DecodeAll decodes the whole buffer into dst, appending rows. It returns
-// the number of rows decoded.
+// the number of rows decoded. A schema whose rows serialize to zero bytes
+// (no decodable fields) cannot make progress against a non-empty buffer;
+// that case returns an error instead of looping forever.
 func (c *Codec) DecodeAll(in []byte, dst *storage.Batch) (int, error) {
 	rows := 0
 	for len(in) > 0 {
 		var err error
+		before := len(in)
 		for _, d := range c.dec {
 			if in, err = d(in, dst); err != nil {
 				return rows, fmt.Errorf("ser: row %d: %w", rows, err)
 			}
+		}
+		if len(in) >= before {
+			return rows, fmt.Errorf("ser: no progress decoding row %d: schema has no decodable fields but %d input bytes remain", rows, len(in))
 		}
 		rows++
 	}

@@ -1,0 +1,104 @@
+// Package sketch implements the Space-Saving heavy-hitter sketch
+// (Metwally, Agrawal, El Abbadi: "Efficient Computation of Frequent and
+// Top-k Elements in Data Streams") used by the adaptive skew handling of
+// the distributed join: the send-side exchange samples the join-key hashes
+// of the first morsels through a small fixed-size sketch, the per-server
+// sketches are merged, and keys whose estimated global frequency exceeds a
+// threshold are switched from hash partitioning to selective broadcast
+// (Flow-Join style detection, cf. Rödiger et al.).
+//
+// The sketch maintains k counters. An observed item that already has a
+// counter increments it; otherwise, if a counter is free it is claimed;
+// otherwise the minimum counter is evicted and overwritten with
+// count = min+1 and error = min. Guarantees: for every item,
+// count ≥ true frequency (within the observed stream) and
+// count − err ≤ true frequency, and any item with true frequency
+// > Total/k is guaranteed to hold a counter.
+package sketch
+
+import "sort"
+
+// Entry is one tracked item with its estimated count and maximum
+// overestimation error.
+type Entry struct {
+	Item  uint32
+	Count uint64
+	Err   uint64
+}
+
+// SpaceSaving is a fixed-size top-k frequency sketch over uint32 items
+// (the exchange feeds it CRC32 key hashes). Not safe for concurrent use;
+// callers synchronize externally.
+type SpaceSaving struct {
+	k       int
+	idx     map[uint32]int // item → position in entries
+	entries []Entry
+	total   uint64
+}
+
+// New creates a sketch with k counters. k must be positive.
+func New(k int) *SpaceSaving {
+	if k <= 0 {
+		panic("sketch: SpaceSaving needs k > 0")
+	}
+	return &SpaceSaving{k: k, idx: make(map[uint32]int, k)}
+}
+
+// K returns the number of counters.
+func (s *SpaceSaving) K() int { return s.k }
+
+// Total returns the number of observations.
+func (s *SpaceSaving) Total() uint64 { return s.total }
+
+// Observe counts one occurrence of item.
+func (s *SpaceSaving) Observe(item uint32) { s.ObserveN(item, 1) }
+
+// ObserveN counts n occurrences of item.
+func (s *SpaceSaving) ObserveN(item uint32, n uint64) {
+	if n == 0 {
+		return
+	}
+	s.total += n
+	if i, ok := s.idx[item]; ok {
+		s.entries[i].Count += n
+		return
+	}
+	if len(s.entries) < s.k {
+		s.idx[item] = len(s.entries)
+		s.entries = append(s.entries, Entry{Item: item, Count: n})
+		return
+	}
+	// Evict the minimum counter (linear scan: k is small).
+	min := 0
+	for i := 1; i < len(s.entries); i++ {
+		if s.entries[i].Count < s.entries[min].Count {
+			min = i
+		}
+	}
+	old := s.entries[min]
+	delete(s.idx, old.Item)
+	s.idx[item] = min
+	s.entries[min] = Entry{Item: item, Count: old.Count + n, Err: old.Count}
+}
+
+// Entries returns the tracked items ordered by descending estimated count
+// (ties broken by item value for determinism).
+func (s *SpaceSaving) Entries() []Entry {
+	out := make([]Entry, len(s.entries))
+	copy(out, s.entries)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Item < out[j].Item
+	})
+	return out
+}
+
+// Estimate returns the estimated count of item (0 if untracked).
+func (s *SpaceSaving) Estimate(item uint32) uint64 {
+	if i, ok := s.idx[item]; ok {
+		return s.entries[i].Count
+	}
+	return 0
+}

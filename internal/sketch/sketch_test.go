@@ -1,0 +1,115 @@
+package sketch
+
+import (
+	"testing"
+)
+
+// zipfStream deterministically generates a skewed stream: item i appears
+// weight(i) times, weight decaying geometrically for the head plus a long
+// uniform tail.
+func zipfStream() (stream []uint32, freq map[uint32]int) {
+	freq = map[uint32]int{}
+	var out []uint32
+	emit := func(item uint32, n int) {
+		for i := 0; i < n; i++ {
+			out = append(out, item)
+		}
+		freq[item] += n
+	}
+	// Head: 8 heavy items.
+	for i := 0; i < 8; i++ {
+		emit(uint32(1000+i), 4096>>i)
+	}
+	// Tail: 500 items, 3 occurrences each.
+	for i := 0; i < 500; i++ {
+		emit(uint32(2000+i), 3)
+	}
+	// Deterministic interleave so heavy items are not contiguous.
+	rng := uint64(12345)
+	for i := len(out) - 1; i > 0; i-- {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		j := int(rng % uint64(i+1))
+		out[i], out[j] = out[j], out[i]
+	}
+	return out, freq
+}
+
+func TestSpaceSavingFindsHeavyHitters(t *testing.T) {
+	stream, freq := zipfStream()
+	s := New(64)
+	for _, it := range stream {
+		s.Observe(it)
+	}
+	if s.Total() != uint64(len(stream)) {
+		t.Fatalf("total %d, want %d", s.Total(), len(stream))
+	}
+	// Every item with frequency > Total/k must be tracked, with
+	// true ≤ count ≤ true + err.
+	thresh := s.Total() / uint64(s.K())
+	for item, f := range freq {
+		if uint64(f) <= thresh {
+			continue
+		}
+		est := s.Estimate(item)
+		if est == 0 {
+			t.Fatalf("heavy item %d (freq %d > %d) not tracked", item, f, thresh)
+		}
+		if est < uint64(f) {
+			t.Fatalf("item %d estimate %d below true frequency %d", item, est, f)
+		}
+	}
+	// The guarantees count ≥ true and count − err ≤ true hold for all
+	// tracked items.
+	for _, e := range s.Entries() {
+		true_ := uint64(freq[e.Item])
+		if e.Count < true_ {
+			t.Fatalf("item %d count %d < true %d", e.Item, e.Count, true_)
+		}
+		if e.Count-e.Err > true_ {
+			t.Fatalf("item %d lower bound %d > true %d", e.Item, e.Count-e.Err, true_)
+		}
+	}
+	// The top-4 by estimate must be the true top-4 (well separated here).
+	ents := s.Entries()
+	for i := 0; i < 4; i++ {
+		if ents[i].Item != uint32(1000+i) {
+			t.Fatalf("rank %d is item %d, want %d", i, ents[i].Item, 1000+i)
+		}
+	}
+}
+
+func TestSpaceSavingExactBelowCapacity(t *testing.T) {
+	s := New(16)
+	for i := 0; i < 10; i++ {
+		s.ObserveN(uint32(i), uint64(i+1))
+	}
+	for i := 0; i < 10; i++ {
+		if got := s.Estimate(uint32(i)); got != uint64(i+1) {
+			t.Fatalf("item %d estimate %d, want exact %d", i, got, i+1)
+		}
+	}
+	for _, e := range s.Entries() {
+		if e.Err != 0 {
+			t.Fatalf("no eviction happened, but item %d has err %d", e.Item, e.Err)
+		}
+	}
+}
+
+func TestSpaceSavingDeterministicOrder(t *testing.T) {
+	a, b := New(8), New(8)
+	for i := 0; i < 100; i++ {
+		a.Observe(uint32(i % 12))
+		b.Observe(uint32(i % 12))
+	}
+	ea, eb := a.Entries(), b.Entries()
+	if len(ea) != len(eb) {
+		t.Fatal("entry count differs")
+	}
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatalf("entry %d differs: %+v vs %+v", i, ea[i], eb[i])
+		}
+	}
+}
