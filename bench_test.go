@@ -398,3 +398,45 @@ func BenchmarkSingleQuery(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkThroughput is the multi-query headline: 8 concurrent TPC-H Q12
+// streams on the shared 3-server engine versus the same queries run
+// serially. Reported metrics are queries/sec in both modes and the
+// concurrent/serial speedup (CI tracks these in BENCH_5.json).
+func BenchmarkThroughput(b *testing.B) {
+	bench.Warmup()
+	var buf bytes.Buffer
+	var last bench.ThroughputResult
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		res, err := bench.Throughput{}.Run(&buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	logTable(b, &buf)
+	b.ReportMetric(last.SerialQPS, "serial-qps")
+	b.ReportMetric(last.ConcurrentQPS, "concurrent-qps")
+	b.ReportMetric(last.Speedup, "speedup")
+	b.ReportMetric(float64(last.ConcurrentP99.Milliseconds()), "p99-ms")
+}
+
+// BenchmarkThroughputMixed runs the Q1/Q12 mixed-stream variant.
+func BenchmarkThroughputMixed(b *testing.B) {
+	bench.Warmup()
+	var buf bytes.Buffer
+	var last bench.ThroughputResult
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		res, err := bench.Throughput{Queries: []int{1, 12}}.Run(&buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	logTable(b, &buf)
+	b.ReportMetric(last.SerialQPS, "serial-qps")
+	b.ReportMetric(last.ConcurrentQPS, "concurrent-qps")
+	b.ReportMetric(last.Speedup, "speedup")
+}

@@ -56,8 +56,8 @@ func usage() {
   hsqp run        -q <1-22> [-servers N] [-workers N] [-sf S] [-transport rdma|tcp|gbe]
                   [-sched] [-partitioned] [-classic] [-timescale X] [-rows N]
   hsqp explain    -q <1-22>
-  hsqp experiment -id table1|fig2|fig3|fig4|fig5|fig9|fig10b|fig10c|fig11|fig12a|fig12b|table2|sched|sf|skew|skewjoin|skewsweep|all
-                  [-sf S] [-servers N] [-full]`)
+  hsqp experiment -id table1|fig2|fig3|fig4|fig5|fig9|fig10b|fig10c|fig11|fig12a|fig12b|table2|sched|sf|skew|skewjoin|skewsweep|throughput|all
+                  [-sf S] [-servers N] [-concurrency N] [-full]`)
 }
 
 func cmdDbgen(args []string) error {
@@ -199,6 +199,7 @@ func cmdExperiment(args []string) error {
 	id := fs.String("id", "", "experiment id")
 	sf := fs.Float64("sf", 0.05, "scale factor")
 	servers := fs.Int("servers", 3, "cluster size (engine experiments)")
+	concurrency := fs.Int("concurrency", 8, "concurrent query streams (throughput experiment)")
 	full := fs.Bool("full", false, "run all 22 queries / full parameter grids")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -274,6 +275,15 @@ func cmdExperiment(args []string) error {
 			_, err := bench.SkewedJoin{Servers: *servers, Transport: cluster.TCPGbE}.Run(w)
 			return err
 		},
+		"throughput": func() error {
+			run := bench.Throughput{Servers: *servers, Streams: *concurrency}
+			if *full {
+				run.Queries = []int{1, 12}
+				run.Rounds = 2
+			}
+			_, err := run.Run(w)
+			return err
+		},
 		"skewsweep": func() error {
 			run := bench.SkewSweep{SkewedJoin: bench.SkewedJoin{
 				Servers: *servers, Transport: cluster.TCPGbE, Rows: 200_000}}
@@ -287,7 +297,7 @@ func cmdExperiment(args []string) error {
 	if *id == "all" {
 		order := []string{"table1", "fig2", "fig3", "fig4", "fig5", "fig9", "fig10b",
 			"fig10c", "fig11", "fig12a", "fig12b", "table2", "sched", "sf", "skew",
-			"skewjoin", "skewsweep"}
+			"skewjoin", "skewsweep", "throughput"}
 		for _, name := range order {
 			if err := run(name, all[name]); err != nil {
 				return err

@@ -91,6 +91,22 @@ const (
 	AllocSingleSocket = numa.AllocSingleSocket
 )
 
+// Session is the admission-controlled multi-query entry point: at most
+// MaxConcurrent queries execute at once over a cluster's shared worker
+// pools and fabric, at most MaxQueued more wait in line, and anything
+// beyond fails fast with ErrOverloaded (see cluster.Session).
+type Session = cluster.Session
+
+// SessionConfig tunes a Session's admission control.
+type SessionConfig = cluster.SessionConfig
+
+// QueryOutcome is one query's result within a RunConcurrent batch.
+type QueryOutcome = cluster.QueryOutcome
+
+// ErrOverloaded is returned by Session.Run when the admission queue is
+// full.
+var ErrOverloaded = cluster.ErrOverloaded
+
 // Query is a compiled logical plan.
 type Query = plan.Query
 
@@ -163,5 +179,13 @@ func ExperimentFigure10b(w io.Writer) error {
 // ExperimentFigure12a runs the system-style comparison.
 func ExperimentFigure12a(w io.Writer, wl Workload) error {
 	_, err := bench.Figure12a{Workload: wl}.Run(w)
+	return err
+}
+
+// ExperimentThroughput runs the multi-query throughput comparison:
+// N concurrent TPC-H streams through a Session versus the same queries
+// back-to-back, reporting qps and p50/p99 latency for both modes.
+func ExperimentThroughput(w io.Writer, streams int) error {
+	_, err := bench.Throughput{Streams: streams}.Run(w)
 	return err
 }

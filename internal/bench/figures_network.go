@@ -319,7 +319,7 @@ func allToAll(servers, msgsPer, msgSize int, timeScale float64, scheduling bool)
 		m.SetTransport(ep)
 		muxes[i] = m
 		endpoints[i] = ep
-		recvs[i] = m.OpenExchange(exID, servers)
+		recvs[i] = m.OpenExchange(0, exID, servers)
 	}
 	fab.Start()
 	for i, m := range muxes {

@@ -120,8 +120,8 @@ type Cluster struct {
 	fab   *fabric.Fabric
 	Nodes []*Node
 
-	nextExID atomic.Int32
-	closed   atomic.Bool
+	nextQueryID atomic.Int32
+	closed      atomic.Bool
 }
 
 // New builds and starts a cluster.
@@ -155,7 +155,6 @@ func New(cfg Config) (*Cluster, error) {
 		return nil, err
 	}
 	c := &Cluster{cfg: cfg, fab: fab}
-	c.nextExID.Store(1)
 
 	for id := 0; id < cfg.Servers; id++ {
 		topo := cfg.Topology
@@ -283,6 +282,10 @@ func (c *Cluster) LoadTPCH(db *tpch.Database, partitioned bool) {
 }
 
 // QueryStats reports the network and scheduling activity of one query run.
+// The network counters (BytesSent, MessagesSent, …) are cluster-wide
+// deltas over the query's wall interval: when other queries execute
+// concurrently their traffic is included, so treat them as exact only for
+// queries run alone.
 type QueryStats struct {
 	Duration     time.Duration
 	BytesSent    uint64 // wire bytes between servers
@@ -331,25 +334,51 @@ func (s *QueryStats) PeakConcurrentPipelines() int {
 }
 
 // Run executes a query across the cluster and returns the coordinator's
-// result rows.
+// result rows. Queries submitted concurrently (from several goroutines,
+// or through a Session) share the worker pools, multiplexers and network
+// schedule; the engine interleaves their morsels fairly.
 func (c *Cluster) Run(q *plan.Query) (*storage.Batch, QueryStats, error) {
+	return c.RunWithCancel(q, nil)
+}
+
+// RunWithCancel is Run with a caller-supplied cancellation channel:
+// closing userCancel aborts this query (and only this query) cluster-wide;
+// the other queries sharing the engine keep running.
+func (c *Cluster) RunWithCancel(q *plan.Query, userCancel <-chan struct{}) (*storage.Batch, QueryStats, error) {
 	var before []mux.Stats
 	for _, n := range c.Nodes {
 		before = append(before, n.Mux.Stats())
 	}
 
+	// Every query gets a cluster-wide id; the multiplexers route messages
+	// on (QueryID, ExchangeID), so each query's exchange-id sequence can
+	// start at zero — concurrent queries reuse the same exchange ids
+	// without colliding.
+	qid := c.nextQueryID.Add(1)
 	compiled := make([]*plan.Compiled, c.cfg.Servers)
 	// The cancel channel exists before compilation: skew-adaptive plans
 	// capture it so an aborted query unblocks send finalizes waiting for
 	// remote sketches.
 	cancel := make(chan struct{})
+	var cancelOnce sync.Once
+	abort := func() { cancelOnce.Do(func() { close(cancel) }) }
+	if userCancel != nil {
+		userDone := make(chan struct{})
+		defer close(userDone)
+		go func() {
+			select {
+			case <-userCancel:
+				abort()
+			case <-userDone:
+			}
+		}()
+	}
 	// All servers must compile the identical plan with the identical
 	// exchange-id sequence.
-	base := c.nextExID.Add(4096) - 4096
-	var used int32
 	for id, node := range c.Nodes {
-		next := base
+		var next int32
 		env := &plan.Env{
+			QueryID:          qid,
 			ServerID:         id,
 			Servers:          c.cfg.Servers,
 			WorkersPerServer: node.Engine.Workers(),
@@ -373,26 +402,29 @@ func (c *Cluster) Run(q *plan.Query) (*storage.Batch, QueryStats, error) {
 		}
 		cp, err := plan.Compile(q, env)
 		if err != nil {
+			// Earlier servers may already have opened exchanges for this
+			// query; release that state before bailing out.
+			for _, n := range c.Nodes {
+				n.Mux.CloseQuery(qid)
+			}
 			return nil, QueryStats{}, err
 		}
 		compiled[id] = cp
-		used = next - base
 	}
 	defer func() {
-		// Forget this query's exchanges so the multiplexer maps don't grow
-		// across queries.
+		// Forget this query's exchanges and drop any stragglers so the
+		// multiplexer maps don't grow across queries.
 		for _, node := range c.Nodes {
-			for e := base; e < base+used; e++ {
-				node.Mux.CloseExchange(e)
-			}
+			node.Mux.CloseQuery(qid)
 		}
 	}()
 
 	// One DAG scheduler per server node. A failing server cancels the
 	// others so a bad operator aborts the query instead of deadlocking the
-	// cluster on never-sent Last markers.
+	// cluster on never-sent Last markers — but only this query: its cancel
+	// channel is private, so concurrent queries are isolated from the
+	// failure.
 	start := time.Now()
-	var cancelOnce sync.Once
 	var wg sync.WaitGroup
 	errs := make([]error, c.cfg.Servers)
 	pstats := make([][]engine.PipelineStat, c.cfg.Servers)
@@ -411,7 +443,7 @@ func (c *Cluster) Run(q *plan.Query) (*storage.Batch, QueryStats, error) {
 			pstats[id] = st
 			if err != nil {
 				errs[id] = err
-				cancelOnce.Do(func() { close(cancel) })
+				abort()
 			}
 		}(id, node)
 	}

@@ -1,0 +1,155 @@
+package cluster
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"hsqp/internal/op"
+	"hsqp/internal/plan"
+	"hsqp/internal/queries"
+	"hsqp/internal/storage"
+	"hsqp/internal/tpch"
+)
+
+// TestMuxStateFreedAcrossQueries is the regression test for the routing
+// leak: the multiplexer used to keep registered-exchange and pending
+// entries forever. 100 sequential queries must leave every node's routing
+// tables empty.
+func TestMuxStateFreedAcrossQueries(t *testing.T) {
+	orders := testOrders(500)
+	c := newTestCluster(t, 3, RDMA, true)
+	c.LoadTable("orders", orders, storage.PlacementChunked, 0)
+
+	for i := 0; i < 100; i++ {
+		got := runGroupByQuery(t, c)
+		if len(got) != 7 {
+			t.Fatalf("query %d: %d groups, want 7", i, len(got))
+		}
+		for _, n := range c.Nodes {
+			ex, pend := n.Mux.TableSizes()
+			if ex != 0 || pend != 0 {
+				t.Fatalf("after query %d: server %d holds %d exchanges, %d pending entries; want 0/0",
+					i, n.ID, ex, pend)
+			}
+		}
+	}
+}
+
+// concurrentConformanceQueries is the mixed workload of the acceptance
+// test: k queries over TPC-H Q1/Q5/Q12.
+func concurrentConformanceQueries(sf float64) []*plan.Query {
+	var qs []*plan.Query
+	for _, qn := range []int{1, 5, 12, 12, 5, 1} {
+		qs = append(qs, queries.MustBuild(qn, queries.Params{SF: sf}))
+	}
+	return qs
+}
+
+// TestConcurrentQueriesMatchSerial: k mixed queries (Q1/Q5/Q12) executed
+// concurrently over one cluster must produce byte-identical (canonical
+// row order) results to the same queries run back-to-back serially.
+func TestConcurrentQueriesMatchSerial(t *testing.T) {
+	const sf = 0.05
+	db := tpch.Generate(sf, 42)
+	c := newTPCHCluster(t, false)
+	c.LoadTPCH(db, false)
+
+	qs := concurrentConformanceQueries(sf)
+	want := make([][]string, len(qs))
+	for i, q := range qs {
+		res, _, err := c.Run(q)
+		if err != nil {
+			t.Fatalf("serial %s: %v", q.Name, err)
+		}
+		want[i] = rowSet(res)
+	}
+
+	outcomes := c.RunConcurrent(concurrentConformanceQueries(sf), 4)
+	for i, out := range outcomes {
+		if out.Err != nil {
+			t.Fatalf("concurrent %s: %v", qs[i].Name, out.Err)
+		}
+		got := rowSet(out.Result)
+		if len(got) != len(want[i]) {
+			t.Fatalf("query %d (%s): %d rows concurrent vs %d serial", i, qs[i].Name, len(got), len(want[i]))
+		}
+		for r := range got {
+			if got[r] != want[i][r] {
+				t.Fatalf("query %d (%s) row %d differs:\n concurrent: %s\n serial:     %s",
+					i, qs[i].Name, r, got[r], want[i][r])
+			}
+		}
+	}
+}
+
+// TestSessionAdmissionControl pins the overload semantics: when every
+// execution slot and every queue position is taken, Run fails fast with
+// ErrOverloaded; once capacity frees up, queries are admitted again.
+func TestSessionAdmissionControl(t *testing.T) {
+	orders := testOrders(200)
+	c := newTestCluster(t, 2, RDMA, true)
+	c.LoadTable("orders", orders, storage.PlacementChunked, 0)
+
+	s := c.NewSession(SessionConfig{MaxConcurrent: 2, MaxQueued: 1})
+	if got := s.Config(); got.MaxConcurrent != 2 || got.MaxQueued != 1 {
+		t.Fatalf("config defaults drifted: %+v", got)
+	}
+
+	// Fill every admission ticket (2 slots + 1 queue position) by hand —
+	// deterministic, no timing dependence on real queries.
+	for i := 0; i < 3; i++ {
+		s.tickets <- struct{}{}
+	}
+	if _, _, err := s.Run(groupByQueryPlan()); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("overloaded session returned %v, want ErrOverloaded", err)
+	}
+	// One caller leaves the queue: the next query must be admitted and run.
+	<-s.tickets
+	if _, _, err := s.Run(groupByQueryPlan()); err != nil {
+		t.Fatalf("run after capacity freed: %v", err)
+	}
+	for i := 0; i < 2; i++ {
+		<-s.tickets
+	}
+
+	s.Close()
+	if _, _, err := s.Run(groupByQueryPlan()); !errors.Is(err, ErrSessionClosed) {
+		t.Fatalf("closed session returned %v, want ErrSessionClosed", err)
+	}
+}
+
+// TestPerQueryCancellation: cancelling one query aborts it cluster-wide
+// while the engine keeps serving others.
+func TestPerQueryCancellation(t *testing.T) {
+	orders := testOrders(2000)
+	c := newTestCluster(t, 2, RDMA, true)
+	c.LoadTable("orders", orders, storage.PlacementChunked, 0)
+
+	cancelled := make(chan struct{})
+	close(cancelled)
+	_, _, err := c.RunWithCancel(groupByQueryPlan(), cancelled)
+	if err == nil || !strings.Contains(err.Error(), "cancel") {
+		t.Fatalf("pre-cancelled query returned %v, want cancellation error", err)
+	}
+
+	// The same cluster must still execute queries normally afterwards.
+	got := runGroupByQuery(t, c)
+	if len(got) != 7 {
+		t.Fatalf("post-cancel query broken: %d groups, want 7", len(got))
+	}
+}
+
+// groupByQueryPlan builds the sum-by-customer plan used by the session
+// tests (same shape as runGroupByQuery).
+func groupByQueryPlan() *plan.Query {
+	schema := storage.NewSchema(
+		storage.Field{Name: "o_key", Type: storage.TInt64},
+		storage.Field{Name: "o_cust", Type: storage.TInt64},
+		storage.Field{Name: "o_price", Type: storage.TDecimal},
+	)
+	root := plan.Scan("orders", schema).
+		GroupBy([]string{"o_cust"},
+			op.AggSpec{Kind: op.Sum, Name: "rev", Arg: op.Col(2), ArgType: storage.TDecimal})
+	return plan.NewQuery("sum-by-cust", root)
+}

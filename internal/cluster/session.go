@@ -1,0 +1,169 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"hsqp/internal/engine"
+	"hsqp/internal/plan"
+	"hsqp/internal/storage"
+)
+
+// ErrOverloaded is returned by Session.Run when both the execution slots
+// and the bounded admission queue are full: the caller should back off and
+// retry instead of piling more work onto a saturated cluster.
+var ErrOverloaded = errors.New("cluster: session overloaded: admission queue full")
+
+// ErrSessionClosed is returned by Session.Run after Close.
+var ErrSessionClosed = errors.New("cluster: session closed")
+
+// SessionConfig tunes a Session's admission control.
+type SessionConfig struct {
+	// MaxConcurrent is how many queries may execute on the cluster at once
+	// through this session. Zero means DefaultMaxConcurrent.
+	MaxConcurrent int
+	// MaxQueued bounds how many additional queries may wait for a slot.
+	// A query arriving when MaxConcurrent are running and MaxQueued are
+	// waiting fails fast with ErrOverloaded. Zero means 4×MaxConcurrent;
+	// negative means no queue (immediate rejection when slots are busy).
+	MaxQueued int
+}
+
+// DefaultMaxConcurrent is the default number of in-flight queries per
+// session.
+const DefaultMaxConcurrent = 4
+
+func (cfg SessionConfig) withDefaults() SessionConfig {
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = DefaultMaxConcurrent
+	}
+	switch {
+	case cfg.MaxQueued == 0:
+		cfg.MaxQueued = 4 * cfg.MaxConcurrent
+	case cfg.MaxQueued < 0:
+		cfg.MaxQueued = 0
+	}
+	return cfg
+}
+
+// Session executes queries concurrently on one cluster with bounded
+// admission: at most MaxConcurrent queries run at a time, at most
+// MaxQueued more wait in line, and anything beyond that is rejected with
+// ErrOverloaded so overload degrades into queueing (then fast rejection)
+// instead of thrashing the worker pools. A Session is safe for concurrent
+// use by many goroutines — it is the "millions of users" front door.
+type Session struct {
+	c   *Cluster
+	cfg SessionConfig
+
+	// tickets has capacity MaxConcurrent+MaxQueued and gates admission
+	// (fast-fail when full); slots has capacity MaxConcurrent and gates
+	// execution (queued queries block here, in FIFO-ish channel order).
+	tickets chan struct{}
+	slots   chan struct{}
+
+	mu     sync.Mutex
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewSession creates a session on the cluster.
+func (c *Cluster) NewSession(cfg SessionConfig) *Session {
+	cfg = cfg.withDefaults()
+	return &Session{
+		c:       c,
+		cfg:     cfg,
+		tickets: make(chan struct{}, cfg.MaxConcurrent+cfg.MaxQueued),
+		slots:   make(chan struct{}, cfg.MaxConcurrent),
+	}
+}
+
+// Config returns the session's effective (defaulted) configuration.
+func (s *Session) Config() SessionConfig { return s.cfg }
+
+// Run executes one query through the session's admission control. It
+// blocks while the query is queued or running and returns the
+// coordinator's result rows; ErrOverloaded is returned immediately when
+// the admission queue is full.
+func (s *Session) Run(q *plan.Query) (*storage.Batch, QueryStats, error) {
+	return s.RunWithCancel(q, nil)
+}
+
+// RunWithCancel is Run with a per-query cancellation channel: closing it
+// aborts this query only (whether still queued or already executing).
+func (s *Session) RunWithCancel(q *plan.Query, cancel <-chan struct{}) (*storage.Batch, QueryStats, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, QueryStats{}, ErrSessionClosed
+	}
+	select {
+	case s.tickets <- struct{}{}:
+		s.wg.Add(1)
+	default:
+		s.mu.Unlock()
+		return nil, QueryStats{}, ErrOverloaded
+	}
+	s.mu.Unlock()
+	defer func() {
+		<-s.tickets
+		s.wg.Done()
+	}()
+
+	// Admitted: wait (bounded by the ticket count) for an execution slot.
+	// A cancel while queued surfaces the same sentinel as a cancel during
+	// execution, so errors.Is(err, engine.ErrCancelled) works regardless
+	// of which phase the cancellation raced with.
+	if cancel != nil {
+		select {
+		case s.slots <- struct{}{}:
+		case <-cancel:
+			return nil, QueryStats{}, fmt.Errorf("cluster: query cancelled while queued: %w", engine.ErrCancelled)
+		}
+	} else {
+		s.slots <- struct{}{}
+	}
+	defer func() { <-s.slots }()
+	return s.c.RunWithCancel(q, cancel)
+}
+
+// Close marks the session closed and waits for in-flight (queued and
+// executing) queries to drain. The underlying cluster stays open.
+func (s *Session) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// QueryOutcome is one query's result within a concurrent batch.
+type QueryOutcome struct {
+	Result *storage.Batch
+	Stats  QueryStats
+	Err    error
+}
+
+// RunConcurrent executes the queries concurrently over the cluster —
+// at most maxConcurrent at a time (0 = DefaultMaxConcurrent) — and
+// returns the outcomes in input order. The admission queue is sized to
+// hold the whole batch, so no query is rejected; overload just queues.
+func (c *Cluster) RunConcurrent(qs []*plan.Query, maxConcurrent int) []QueryOutcome {
+	if maxConcurrent <= 0 {
+		maxConcurrent = DefaultMaxConcurrent
+	}
+	s := c.NewSession(SessionConfig{MaxConcurrent: maxConcurrent, MaxQueued: len(qs)})
+	defer s.Close()
+	out := make([]QueryOutcome, len(qs))
+	var wg sync.WaitGroup
+	for i, q := range qs {
+		wg.Add(1)
+		go func(i int, q *plan.Query) {
+			defer wg.Done()
+			res, stats, err := s.Run(q)
+			out[i] = QueryOutcome{Result: res, Stats: stats, Err: err}
+		}(i, q)
+	}
+	wg.Wait()
+	return out
+}

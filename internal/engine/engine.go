@@ -19,7 +19,10 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"hsqp/internal/numa"
 	"hsqp/internal/storage"
@@ -198,19 +201,26 @@ func (g *Graph) deps(i int) []int {
 // Engine is one server's persistent worker pool. Workers are started once
 // at New, participate in every graph run submitted to the engine, and live
 // until Close.
+//
+// Several graph runs — several queries — may be active at once: RunGraph
+// registers its scheduler in the active set and every pool worker
+// round-robins across the set per morsel, so concurrent queries share the
+// pool fairly instead of queueing behind each other. Each run keeps its
+// own cancellation and error state; a failing or cancelled query never
+// disturbs the others.
 type Engine struct {
 	topo       *numa.Topology
 	workers    []Worker
 	morselSize int
 
-	runMu sync.Mutex // serializes graph executions on the pool
+	mu      sync.Mutex
+	cond    *sync.Cond
+	runs    []*scheduler // active graph runs sharing the pool
+	wakeSeq uint64       // bumped whenever any run may have new work
+	stop    bool
+	wg      sync.WaitGroup
 
-	mu   sync.Mutex
-	cond *sync.Cond
-	cur  *scheduler // the run workers should participate in (nil = idle)
-	gen  uint64     // bumped per run so late workers don't rejoin a finished one
-	stop bool
-	wg   sync.WaitGroup
+	rr atomic.Uint64 // rotates the first run each morsel pull looks at
 }
 
 // Config configures an engine.
@@ -253,8 +263,9 @@ func New(cfg Config) (*Engine, error) {
 	return e, nil
 }
 
-// Close stops the worker pool. It must not be called concurrently with a
-// running graph.
+// Close stops the worker pool. Runs still active are aborted (their
+// RunGraph callers return ErrCancelled) — with no workers left, nothing
+// else could ever finish them.
 func (e *Engine) Close() {
 	e.mu.Lock()
 	if e.stop {
@@ -262,9 +273,18 @@ func (e *Engine) Close() {
 		return
 	}
 	e.stop = true
+	// Snapshot under the same critical section that sets stop: any run
+	// attached earlier is in the snapshot, any later RunGraph is refused.
+	runs := append([]*scheduler(nil), e.runs...)
 	e.cond.Broadcast()
 	e.mu.Unlock()
 	e.wg.Wait()
+	// Workers have drained their in-flight morsels and exited, so each
+	// remaining run has inFlight == 0 and cancel completes it immediately,
+	// unblocking its RunGraph caller.
+	for _, s := range runs {
+		s.cancel(ErrCancelled)
+	}
 }
 
 // Workers returns the number of worker threads.
@@ -276,25 +296,73 @@ func (e *Engine) MorselSize() int { return e.morselSize }
 // Topology returns the engine's NUMA topology.
 func (e *Engine) Topology() *numa.Topology { return e.topo }
 
-// workerLoop parks a pool worker between runs and joins every scheduler
-// published through e.cur.
+// pulse records that new work may be available somewhere in the active
+// set and rouses parked workers. Schedulers call it from their wake
+// callbacks and on pipeline completions (lock order: a scheduler's mutex
+// may be held while pulsing; the engine mutex is never held while calling
+// into a scheduler).
+func (e *Engine) pulse(all bool) {
+	e.mu.Lock()
+	e.wakeSeq++
+	if all {
+		e.cond.Broadcast()
+	} else {
+		e.cond.Signal()
+	}
+	e.mu.Unlock()
+}
+
+// workerLoop is one pool worker: it scans the active runs — starting at a
+// rotating offset so morsel dispatch round-robins across concurrent
+// queries — executes one morsel (or one finalize) per scan, and parks on
+// the engine condition when no run has work.
 func (e *Engine) workerLoop(w *Worker) {
 	defer e.wg.Done()
-	var lastGen uint64
+	var runs []*scheduler
 	e.mu.Lock()
 	for {
-		for !e.stop && (e.cur == nil || e.gen == lastGen) {
-			e.cond.Wait()
-		}
 		if e.stop {
 			e.mu.Unlock()
 			return
 		}
-		s := e.cur
-		lastGen = e.gen
+		seq := e.wakeSeq
+		prev := len(runs)
+		runs = append(runs[:0], e.runs...)
+		// Drop stale scheduler pointers beyond the new length: a parked
+		// worker must not keep the previous query's graph (sinks, hash
+		// tables) reachable through its snapshot's backing array. (When
+		// append grew the array, the old one is unreferenced already.)
+		if prev > len(runs) && prev <= cap(runs) {
+			clear(runs[len(runs):prev])
+		}
 		e.mu.Unlock()
-		s.loop(w)
+
+		worked := false
+		if n := len(runs); n > 0 {
+			off := int(e.rr.Add(1)-1) % n
+			for k := 0; k < n; k++ {
+				s := runs[(off+k)%n]
+				i, b, progress := s.tryMorsel(w)
+				if b != nil {
+					t0 := time.Now()
+					err := s.process(w, s.nodes[i].p, b)
+					s.finishMorsel(i, time.Since(t0), err, w)
+					// Morsel boundaries are the engine's cooperative
+					// scheduling points: without this, one worker can drain
+					// a cheap source before its peers are ever scheduled on
+					// a loaded (or single-core) host.
+					runtime.Gosched()
+				}
+				if progress {
+					worked = true
+					break // re-rotate so queries stay fairly interleaved
+				}
+			}
+		}
 		e.mu.Lock()
+		if !worked && e.wakeSeq == seq && !e.stop {
+			e.cond.Wait()
+		}
 	}
 }
 
@@ -324,10 +392,7 @@ func (e *Engine) RunGraph(g *Graph, opt RunOptions) ([]PipelineStat, error) {
 			return nil, fmt.Errorf("engine: pipeline %q needs a source and a sink", p.Name)
 		}
 	}
-	e.runMu.Lock()
-	defer e.runMu.Unlock()
-
-	s := newScheduler(g, opt.Coordinator)
+	s := newScheduler(g, opt.Coordinator, e.pulse)
 	if opt.Cancel != nil {
 		watcherDone := make(chan struct{})
 		defer close(watcherDone)
@@ -340,15 +405,24 @@ func (e *Engine) RunGraph(g *Graph, opt RunOptions) ([]PipelineStat, error) {
 		}()
 	}
 	e.mu.Lock()
-	e.cur = s
-	e.gen++
+	if e.stop {
+		e.mu.Unlock()
+		return nil, fmt.Errorf("engine: RunGraph on a closed engine")
+	}
+	e.runs = append(e.runs, s)
+	e.wakeSeq++
 	e.cond.Broadcast()
 	e.mu.Unlock()
 
 	<-s.doneCh
 
 	e.mu.Lock()
-	e.cur = nil
+	for i, r := range e.runs {
+		if r == s {
+			e.runs = append(e.runs[:i], e.runs[i+1:]...)
+			break
+		}
+	}
 	e.mu.Unlock()
 	return s.results()
 }

@@ -2,7 +2,6 @@ package engine
 
 import (
 	"fmt"
-	"runtime"
 	"sync"
 	"time"
 
@@ -43,14 +42,25 @@ type pipeNode struct {
 // pipeline drains when its source is exhausted and no worker still holds
 // one of its morsels; its sink then finalizes exactly once, unlocking its
 // dependents.
+//
+// One scheduler is one query's run. Several schedulers can be active on
+// the engine at once; workers pull from them through tryMorsel (never
+// blocking inside a scheduler), and the scheduler reports new work to the
+// shared pool through notify.
 type scheduler struct {
-	mu   sync.Mutex
-	cond *sync.Cond
+	mu sync.Mutex
 
 	nodes     []pipeNode
-	remaining int    // pipelines not yet done
-	inFlight  int    // morsels being processed across all pipelines
-	wakeSeq   uint64 // bumped whenever new input/work may be available
+	remaining int // pipelines not yet done
+	inFlight  int // morsels being processed across all pipelines
+
+	// notify rouses the engine's pool workers: notify(false) wakes one
+	// (one delivery = one unit of work), notify(true) wakes all (pipeline
+	// completions can unlock many dependents; worker-targeted sources need
+	// the one worker that can consume the delivery to look). It may be
+	// called with s.mu held — the engine never holds its own mutex while
+	// calling into a scheduler.
+	notify func(all bool)
 
 	err      error
 	aborted  bool
@@ -59,13 +69,13 @@ type scheduler struct {
 	doneCh   chan struct{}
 }
 
-func newScheduler(g *Graph, isCoordinator bool) *scheduler {
+func newScheduler(g *Graph, isCoordinator bool, notify func(all bool)) *scheduler {
 	s := &scheduler{
 		nodes:  make([]pipeNode, len(g.Pipelines)),
+		notify: notify,
 		doneCh: make(chan struct{}),
 		start:  time.Now(),
 	}
-	s.cond = sync.NewCond(&s.mu)
 	for i, p := range g.Pipelines {
 		n := &s.nodes[i]
 		n.p = p
@@ -115,23 +125,17 @@ func newScheduler(g *Graph, isCoordinator bool) *scheduler {
 }
 
 // wake is called by streaming sources when new input may be available.
-// One delivery is one unit of work, so one waiter is woken (a worker that
-// consumes it re-polls and drains any burst itself); completions still
-// broadcast because they can unlock many dependents at once.
+// One delivery is one unit of work, so one pool worker is woken (a worker
+// that consumes it re-polls and drains any burst itself); completions
+// still broadcast because they can unlock many dependents at once.
 func (s *scheduler) wake() {
-	s.mu.Lock()
-	s.wakeSeq++
-	s.cond.Signal()
-	s.mu.Unlock()
+	s.notify(false)
 }
 
 // wakeAll is the wake for worker-targeted sources: every parked worker
 // must look, because only one specific worker can consume the delivery.
 func (s *scheduler) wakeAll() {
-	s.mu.Lock()
-	s.wakeSeq++
-	s.cond.Broadcast()
-	s.mu.Unlock()
+	s.notify(true)
 }
 
 // cancel aborts the run; in-flight morsels complete, nothing new starts.
@@ -144,101 +148,82 @@ func (s *scheduler) cancel(err error) {
 		}
 		if s.inFlight == 0 {
 			s.finishLocked()
+		} else {
+			s.notify(true)
 		}
-		s.cond.Broadcast()
 	}
 	s.mu.Unlock()
 }
 
-// loop is one pool worker's participation in this run; it returns when the
-// run finishes or aborts.
-func (s *scheduler) loop(w *Worker) {
-	for {
-		i, b, ok := s.next(w)
-		if !ok {
-			return
-		}
-		t0 := time.Now()
-		err := s.process(w, s.nodes[i].p, b)
-		s.finishMorsel(i, time.Since(t0), err, w)
-		// Morsel boundaries are the engine's cooperative scheduling points:
-		// without this, one worker can drain a cheap source before its
-		// peers are ever scheduled on a loaded (or single-core) host.
-		runtime.Gosched()
-	}
-}
-
-// next picks a runnable pipeline and pulls a morsel from it for worker w.
+// tryMorsel picks a runnable pipeline and pulls one morsel from it for
+// worker w, without ever parking the worker: the engine loops over all
+// active runs and sleeps on its own condition when every run is idle.
+//
 // Pipelines whose sources still hold NUMA-local work for w's socket are
-// preferred (pass 0); when w's socket is dry everywhere it steals remote
-// morsels and work from other pipelines (pass 1). Sources are always
-// pulled outside the scheduler lock: they take their own locks and may
-// invoke wake callbacks from other goroutines.
-func (s *scheduler) next(w *Worker) (node int, b *storage.Batch, ok bool) {
+// preferred (pass 0); when w's socket is dry everywhere the worker steals
+// remote morsels and work from other pipelines (pass 1). Sources are
+// always pulled outside the scheduler lock: they take their own locks and
+// may invoke wake callbacks from other goroutines.
+//
+// The return value is (pipeline, morsel, progress): a nil morsel with
+// progress=true means the call advanced the run another way (finalized a
+// drained pipeline), so the caller should rescan; progress=false means
+// this run has nothing to offer right now.
+func (s *scheduler) tryMorsel(w *Worker) (node int, b *storage.Batch, progress bool) {
 	s.mu.Lock()
-	for {
-		if s.finished || s.aborted {
+	if s.finished || s.aborted {
+		s.mu.Unlock()
+		return 0, nil, false
+	}
+	for pass := 0; pass < 2; pass++ {
+		for i := range s.nodes {
+			n := &s.nodes[i]
+			if n.state != psRunnable || n.srcDone {
+				continue
+			}
+			local := n.hint == nil || n.hint.HasLocal(w.Node)
+			if (pass == 0) != local {
+				continue
+			}
+			n.active++
+			s.inFlight++
 			s.mu.Unlock()
-			return 0, nil, false
-		}
-		seq := s.wakeSeq
-		acted := false
-	scan:
-		for pass := 0; pass < 2; pass++ {
-			for i := range s.nodes {
-				n := &s.nodes[i]
-				if n.state != psRunnable || n.srcDone {
-					continue
+			mb, srcDone := s.pull(n, w)
+			s.mu.Lock()
+			if mb != nil {
+				if !n.started {
+					n.started = true
+					n.startT = time.Since(s.start)
 				}
-				local := n.hint == nil || n.hint.HasLocal(w.Node)
-				if (pass == 0) != local {
-					continue
-				}
-				n.active++
-				s.inFlight++
+				n.morsels++
 				s.mu.Unlock()
-				mb, srcDone := s.pull(n, w)
-				s.mu.Lock()
-				if mb != nil {
-					if !n.started {
-						n.started = true
-						n.startT = time.Since(s.start)
-					}
-					n.morsels++
-					s.mu.Unlock()
-					return i, mb, true
-				}
-				n.active--
-				s.inFlight--
-				if srcDone {
-					n.srcDone = true
-					s.checkSourceErrLocked(n)
-				}
-				if !s.aborted && n.srcDone && n.active == 0 && n.state == psRunnable {
-					s.finalizeLocked(i, w)
-					acted = true
-					break scan // completion may have unlocked dependents
-				}
-				if s.aborted && s.inFlight == 0 && !s.finished {
-					// Aborted runs must not flush sinks of a query being
-					// torn down; this worker held the last in-flight slot,
-					// so it ends the run (mirrors finishMorsel).
-					s.finishLocked()
-				}
-				if s.finished || s.aborted {
-					s.mu.Unlock()
-					return 0, nil, false
-				}
+				return i, mb, true
+			}
+			n.active--
+			s.inFlight--
+			if srcDone {
+				n.srcDone = true
+				s.checkSourceErrLocked(n)
+			}
+			if !s.aborted && n.srcDone && n.active == 0 && n.state == psRunnable {
+				s.finalizeLocked(i, w)
+				s.mu.Unlock()
+				return 0, nil, true // completion may have unlocked dependents
+			}
+			if s.aborted && s.inFlight == 0 && !s.finished {
+				// Aborted runs must not flush sinks of a query being torn
+				// down; this worker held the last in-flight slot, so it
+				// ends the run (mirrors finishMorsel).
+				s.finishLocked()
+			}
+			if s.finished || s.aborted {
+				s.mu.Unlock()
+				return 0, nil, false
 			}
 		}
-		if acted {
-			continue
-		}
-		if s.wakeSeq != seq {
-			continue // input arrived while we were polling
-		}
-		s.cond.Wait()
 	}
+	s.mu.Unlock()
+	return 0, nil, false
 }
 
 // pull fetches one morsel, preferring the non-blocking Poll protocol.
@@ -350,13 +335,12 @@ func (s *scheduler) completeLocked(i int, err error) {
 			dn.state = psRunnable
 		}
 	}
-	s.wakeSeq++
 	if s.remaining == 0 || (s.aborted && s.inFlight == 0) {
 		if !s.finished {
 			s.finishLocked()
 		}
 	}
-	s.cond.Broadcast()
+	s.notify(true)
 }
 
 func (s *scheduler) abortLocked(err error) {
@@ -369,7 +353,7 @@ func (s *scheduler) abortLocked(err error) {
 func (s *scheduler) finishLocked() {
 	s.finished = true
 	close(s.doneCh)
-	s.cond.Broadcast()
+	s.notify(true)
 }
 
 // results reports per-pipeline statistics and the run error, if any.

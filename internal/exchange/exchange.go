@@ -85,8 +85,12 @@ func (m Mode) String() string {
 
 // SendConfig configures a send-side exchange operator.
 type SendConfig struct {
-	Mux     *mux.Mux
-	Pool    *memory.Pool
+	Mux  *mux.Mux
+	Pool *memory.Pool
+	// QueryID identifies the query this exchange belongs to; the
+	// multiplexer routes on (QueryID, ExID) so concurrent queries may reuse
+	// the same exchange-id sequence.
+	QueryID int32
 	ExID    int32
 	Mode    Mode
 	Servers int
@@ -328,6 +332,7 @@ func (s *Send) broadcastStamped(msg *memory.Message) {
 // buffer across destinations.
 func (s *Send) dispatch(unit int, msg *memory.Message, last bool) {
 	msg.Last = last
+	msg.QueryID = s.cfg.QueryID
 	msg.ExchangeID = s.cfg.ExID
 	msg.Sender = s.cfg.Mux.ServerID()
 	switch s.cfg.Mode {
@@ -395,6 +400,7 @@ func (s *Send) finalizeOn(node numa.Node) error {
 	// tracked per sender).
 	stamp := func(m *memory.Message) *memory.Message {
 		m.Last = true
+		m.QueryID = s.cfg.QueryID
 		m.ExchangeID = s.cfg.ExID
 		m.Sender = s.cfg.Mux.ServerID()
 		return m

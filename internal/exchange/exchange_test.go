@@ -91,7 +91,7 @@ func runExchange(t *testing.T, servers int, mode Mode, rowsPer int) []map[string
 
 	recvs := make([]*mux.ExchangeRecv, servers)
 	for i, m := range h.muxes {
-		recvs[i] = m.OpenExchange(1, servers)
+		recvs[i] = m.OpenExchange(0, 1, servers)
 	}
 	var wg sync.WaitGroup
 	got := make([]map[string]bool, servers)
@@ -186,7 +186,7 @@ func TestGatherExchangeCoordinatorOnly(t *testing.T) {
 	h := newHarness(t, servers)
 	schema := rows(1, 0).Schema
 	codec := ser.NewCodec(schema)
-	recv := h.muxes[0].OpenExchange(1, servers) // coordinator only
+	recv := h.muxes[0].OpenExchange(0, 1, servers) // coordinator only
 	var wg sync.WaitGroup
 	for i := 0; i < servers; i++ {
 		i := i
@@ -241,7 +241,7 @@ func TestFinalizeBuffersNUMALocal(t *testing.T) {
 	h := newHarness(t, 1)
 	schema := rows(1, 0).Schema
 	codec := ser.NewCodec(schema)
-	recv := h.muxes[0].OpenExchange(1, 1)
+	recv := h.muxes[0].OpenExchange(0, 1, 1)
 	send := NewSend(SendConfig{
 		Mux: h.muxes[0], Pool: h.pools[0], ExID: 1, Mode: ModePartition,
 		Servers: 1, Keys: []int{0}, Codec: codec, NumWorkers: h.engs[0].Workers(),
@@ -278,7 +278,7 @@ func TestCorruptMessagePropagatesError(t *testing.T) {
 	h := newHarness(t, 1)
 	schema := rows(1, 0).Schema // (int64 k, string tag)
 	codec := ser.NewCodec(schema)
-	recv := h.muxes[0].OpenExchange(1, 1)
+	recv := h.muxes[0].OpenExchange(0, 1, 1)
 
 	// A row whose string length field claims far more bytes than follow.
 	msg := h.pools[0].Get(0)
@@ -351,8 +351,8 @@ func TestSkewAdaptiveExchange(t *testing.T) {
 		coords[i] = NewSkewCoord(SkewCoordConfig{
 			Mux: m, Pool: h.pools[i], ExID: 7, Servers: servers, Config: skCfg,
 		})
-		probeRecvs[i] = m.OpenExchange(8, servers)
-		buildRecvs[i] = m.OpenExchange(9, servers)
+		probeRecvs[i] = m.OpenExchange(0, 8, servers)
+		buildRecvs[i] = m.OpenExchange(0, 9, servers)
 	}
 
 	// Per server: one graph with the probe-send and the (gated) build-send.

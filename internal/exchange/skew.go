@@ -82,6 +82,7 @@ type SkewStats struct {
 type SkewCoordConfig struct {
 	Mux     *mux.Mux
 	Pool    *memory.Pool
+	QueryID int32 // query the control exchange belongs to
 	ExID    int32 // dedicated control exchange carrying the sketches
 	Servers int
 	Config  SkewConfig
@@ -125,7 +126,7 @@ func NewSkewCoord(cfg SkewCoordConfig) *SkewCoord {
 	cfg.Config = cfg.Config.withDefaults()
 	c := &SkewCoord{
 		cfg:      cfg,
-		recv:     cfg.Mux.OpenExchange(cfg.ExID, cfg.Servers),
+		recv:     cfg.Mux.OpenExchange(cfg.QueryID, cfg.ExID, cfg.Servers),
 		sampling: true,
 		// Oversize the sketch relative to the hot-set cap for accuracy.
 		sk:    sketch.New(4 * cfg.Config.MaxHot),
@@ -169,6 +170,7 @@ func (c *SkewCoord) CompleteSampling(node numa.Node) {
 		c.mu.Unlock()
 
 		msg := c.cfg.Pool.Get(node)
+		msg.QueryID = c.cfg.QueryID
 		msg.ExchangeID = c.cfg.ExID
 		msg.Sender = c.cfg.Mux.ServerID()
 		msg.Last = true // one sketch per sender closes the exchange

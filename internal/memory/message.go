@@ -25,9 +25,9 @@ import (
 // synchronization cost of network scheduling completely (Figure 10(c)).
 const DefaultMessageSize = 512 * 1024
 
-// HeaderSize is the wire overhead per message: exchange id (4), flags (1),
-// bytes used (4), sender (2), sequence (4), partition (2).
-const HeaderSize = 17
+// HeaderSize is the wire overhead per message: query id (4), exchange id
+// (4), flags (1), bytes used (4), sender (2), sequence (4), partition (2).
+const HeaderSize = 21
 
 // Message is a pooled, "registered" network buffer.
 type Message struct {
@@ -37,6 +37,7 @@ type Message struct {
 	retain  atomic.Int32
 
 	// Wire part.
+	QueryID    int32 // query the exchange belongs to (multi-query routing)
 	ExchangeID int32 // logical exchange operator this message belongs to
 	Last       bool  // last message from this sender for this exchange
 	Sender     int   // originating server
@@ -91,6 +92,7 @@ func (m *Message) RefCount() int32 { return m.retain.Load() }
 
 // Reset clears the wire part for reuse.
 func (m *Message) Reset() {
+	m.QueryID = 0
 	m.ExchangeID = 0
 	m.Last = false
 	m.Sender = 0

@@ -64,7 +64,21 @@ type Stats struct {
 	LocalMsgs    uint64 // messages short-circuited to local exchanges
 	StolenMsgs   uint64 // messages consumed from a non-local NUMA queue
 	SyncBarriers uint64
+	DroppedMsgs  uint64 // late arrivals for already-closed queries
 }
+
+// ExchangeKey addresses one logical exchange operator cluster-wide:
+// queries run concurrently over the same multiplexer, so a bare exchange
+// id is ambiguous — routing is on (query, exchange).
+type ExchangeKey struct {
+	Query    int32
+	Exchange int32
+}
+
+// closedQueryMemory bounds how many finished query ids the multiplexer
+// remembers so straggler messages (e.g. from an aborted query's in-flight
+// sends) are dropped instead of accumulating in the pending map forever.
+const closedQueryMemory = 1024
 
 // Mux is one server's communication multiplexer.
 type Mux struct {
@@ -74,9 +88,11 @@ type Mux struct {
 
 	sendQ []chan *memory.Message // per destination server
 
-	mu        sync.Mutex
-	exchanges map[int32]*ExchangeRecv
-	pending   map[int32][]*memory.Message // early arrivals before Open
+	mu         sync.Mutex
+	exchanges  map[ExchangeKey]*ExchangeRecv
+	pending    map[ExchangeKey][]*memory.Message // early arrivals before Open
+	closed     map[int32]struct{}                // finished queries (late arrivals dropped)
+	closedFifo []int32                           // eviction order for closed
 
 	recvRotate atomic.Uint64 // rotates posted receive buffers over sockets
 
@@ -84,11 +100,12 @@ type Mux struct {
 	inlineCond *sync.Cond
 	inlineSeen map[uint64]struct{} // key: src<<32 | tag
 
-	bytesSent  atomic.Uint64
-	msgsSent   atomic.Uint64
-	localMsgs  atomic.Uint64
-	stolenMsgs atomic.Uint64
-	barriers   atomic.Uint64
+	bytesSent   atomic.Uint64
+	msgsSent    atomic.Uint64
+	localMsgs   atomic.Uint64
+	stolenMsgs  atomic.Uint64
+	barriers    atomic.Uint64
+	droppedMsgs atomic.Uint64
 
 	wakeCh  chan struct{} // pokes the network loop when work arrives
 	stopCh  chan struct{}
@@ -121,8 +138,9 @@ func New(cfg Config) (*Mux, error) {
 		cfg:        cfg,
 		schedule:   sc,
 		sendQ:      make([]chan *memory.Message, cfg.Servers),
-		exchanges:  make(map[int32]*ExchangeRecv),
-		pending:    make(map[int32][]*memory.Message),
+		exchanges:  make(map[ExchangeKey]*ExchangeRecv),
+		pending:    make(map[ExchangeKey][]*memory.Message),
+		closed:     make(map[int32]struct{}),
 		inlineSeen: make(map[uint64]struct{}),
 		wakeCh:     make(chan struct{}, 1),
 		stopCh:     make(chan struct{}),
@@ -197,7 +215,16 @@ func (m *Mux) Stats() Stats {
 		LocalMsgs:    m.localMsgs.Load(),
 		StolenMsgs:   m.stolenMsgs.Load(),
 		SyncBarriers: m.barriers.Load(),
+		DroppedMsgs:  m.droppedMsgs.Load(),
 	}
+}
+
+// TableSizes reports the current size of the routing maps (leak tests:
+// both must return to zero once every query has been closed).
+func (m *Mux) TableSizes() (exchanges, pending int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.exchanges), len(m.pending)
 }
 
 // ServerID returns this multiplexer's server id (senders stamp it into
@@ -228,12 +255,21 @@ func (m *Mux) Send(dst int, msg *memory.Message) {
 }
 
 // route hands a message to its exchange's receive queues, buffering it if
-// the exchange has not been opened yet.
+// the exchange has not been opened yet. Messages addressed to a query that
+// already finished (late stragglers of an aborted run) are released
+// immediately instead of leaking into the pending map.
 func (m *Mux) route(msg *memory.Message, local bool) {
+	key := ExchangeKey{Query: msg.QueryID, Exchange: msg.ExchangeID}
 	m.mu.Lock()
-	ex, ok := m.exchanges[msg.ExchangeID]
+	ex, ok := m.exchanges[key]
 	if !ok {
-		m.pending[msg.ExchangeID] = append(m.pending[msg.ExchangeID], msg)
+		if _, dead := m.closed[msg.QueryID]; dead {
+			m.mu.Unlock()
+			m.droppedMsgs.Add(1)
+			msg.Release()
+			return
+		}
+		m.pending[key] = append(m.pending[key], msg)
 		m.mu.Unlock()
 		return
 	}
@@ -241,19 +277,21 @@ func (m *Mux) route(msg *memory.Message, local bool) {
 	ex.push(msg)
 }
 
-// OpenExchange registers a logical exchange operator that will receive
-// from `senders` servers (each sends exactly one Last-flagged message).
-// Early arrivals buffered under this id are replayed.
-func (m *Mux) OpenExchange(exID int32, senders int) *ExchangeRecv {
-	ex := newExchangeRecv(m, exID, senders, m.cfg.Topology.Sockets)
+// OpenExchange registers a logical exchange operator of one query that
+// will receive from `senders` servers (each sends exactly one Last-flagged
+// message). Early arrivals buffered under this (query, exchange) key are
+// replayed.
+func (m *Mux) OpenExchange(queryID, exID int32, senders int) *ExchangeRecv {
+	ex := newExchangeRecv(m, queryID, exID, senders, m.cfg.Topology.Sockets)
+	key := ExchangeKey{Query: queryID, Exchange: exID}
 	m.mu.Lock()
-	if _, dup := m.exchanges[exID]; dup {
+	if _, dup := m.exchanges[key]; dup {
 		m.mu.Unlock()
-		panic(fmt.Sprintf("mux: exchange %d opened twice", exID))
+		panic(fmt.Sprintf("mux: exchange %d/%d opened twice", queryID, exID))
 	}
-	m.exchanges[exID] = ex
-	early := m.pending[exID]
-	delete(m.pending, exID)
+	m.exchanges[key] = ex
+	early := m.pending[key]
+	delete(m.pending, key)
 	m.mu.Unlock()
 	for _, msg := range early {
 		ex.push(msg)
@@ -261,11 +299,38 @@ func (m *Mux) OpenExchange(exID int32, senders int) *ExchangeRecv {
 	return ex
 }
 
-// CloseExchange forgets a finished exchange.
-func (m *Mux) CloseExchange(exID int32) {
+// CloseQuery forgets every exchange of a finished query and releases any
+// pending (never-opened) buffers it still holds, so the routing maps do
+// not grow across queries. The query id is remembered (bounded FIFO of
+// closedQueryMemory entries) so in-flight stragglers are dropped on
+// arrival instead of re-populating the pending map.
+func (m *Mux) CloseQuery(queryID int32) {
+	var drop []*memory.Message
 	m.mu.Lock()
-	delete(m.exchanges, exID)
+	for key := range m.exchanges {
+		if key.Query == queryID {
+			delete(m.exchanges, key)
+		}
+	}
+	for key, msgs := range m.pending {
+		if key.Query == queryID {
+			drop = append(drop, msgs...)
+			delete(m.pending, key)
+		}
+	}
+	if _, seen := m.closed[queryID]; !seen {
+		m.closed[queryID] = struct{}{}
+		m.closedFifo = append(m.closedFifo, queryID)
+		if len(m.closedFifo) > closedQueryMemory {
+			delete(m.closed, m.closedFifo[0])
+			m.closedFifo = m.closedFifo[1:]
+		}
+	}
 	m.mu.Unlock()
+	for _, msg := range drop {
+		m.droppedMsgs.Add(1)
+		msg.Release()
+	}
 }
 
 // networkLoop is the dedicated network goroutine.

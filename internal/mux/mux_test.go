@@ -75,7 +75,7 @@ func TestAllToAllDelivery(t *testing.T) {
 			topo := numa.TwoSocket()
 			recvs := make([]*ExchangeRecv, n)
 			for i, m := range muxes {
-				recvs[i] = m.OpenExchange(1, n)
+				recvs[i] = m.OpenExchange(0, 1, n)
 			}
 			var wg sync.WaitGroup
 			got := make([]int, n)
@@ -135,7 +135,7 @@ func TestEarlyArrivalsBuffered(t *testing.T) {
 	muxes[0].Send(1, last)
 	// Our own contribution for exchange 9 on server 0 is irrelevant; open
 	// with senders=1 on server 1 only.
-	recv := muxes[1].OpenExchange(9, 1)
+	recv := muxes[1].OpenExchange(0, 9, 1)
 	var payloads [][]byte
 	for {
 		m := recv.Recv(0)
@@ -157,7 +157,7 @@ func TestWorkStealingAcrossSockets(t *testing.T) {
 	defer stop()
 	topo := numa.TwoSocket()
 	pool := memory.NewPool(topo, numa.AllocLocal, 4096, nil)
-	recv := muxes[0].OpenExchange(3, 1)
+	recv := muxes[0].OpenExchange(0, 3, 1)
 	// All messages homed on socket 1; the consumer sits on socket 0.
 	for k := 0; k < 5; k++ {
 		msg := pool.GetOn(1)
@@ -199,7 +199,7 @@ func TestClassicModeRouting(t *testing.T) {
 	topo := numa.TwoSocket()
 	pool := memory.NewPool(topo, numa.AllocLocal, 4096, nil)
 	const workers = 3
-	recv := muxes[1].OpenExchangeClassic(5, 1, workers)
+	recv := muxes[1].OpenExchangeClassic(0, 5, 1, workers)
 
 	// Address each worker individually from server 0. Sequence numbers are
 	// per destination *server*, continuing across the worker partitions.
@@ -247,7 +247,7 @@ func TestSeqOrderingAssertion(t *testing.T) {
 	defer stop()
 	topo := numa.TwoSocket()
 	pool := memory.NewPool(topo, numa.AllocLocal, 4096, nil)
-	muxes[0].OpenExchange(11, 1)
+	muxes[0].OpenExchange(0, 11, 1)
 	a := pool.Get(0)
 	a.ExchangeID = 11
 	a.Sender = 0
@@ -274,7 +274,7 @@ func TestSeqGapsAllowed(t *testing.T) {
 	defer stop()
 	topo := numa.TwoSocket()
 	pool := memory.NewPool(topo, numa.AllocLocal, 4096, nil)
-	recv := muxes[0].OpenExchange(12, 1)
+	recv := muxes[0].OpenExchange(0, 12, 1)
 	for _, seq := range []uint32{0, 2, 7} {
 		m := pool.Get(0)
 		m.ExchangeID = 12
@@ -308,13 +308,13 @@ func TestSeqGapsAllowed(t *testing.T) {
 func TestDuplicateOpenPanics(t *testing.T) {
 	muxes, stop := testCluster(t, 1, false)
 	defer stop()
-	muxes[0].OpenExchange(7, 1)
+	muxes[0].OpenExchange(0, 7, 1)
 	defer func() {
 		if recover() == nil {
 			t.Fatal("duplicate OpenExchange did not panic")
 		}
 	}()
-	muxes[0].OpenExchange(7, 1)
+	muxes[0].OpenExchange(0, 7, 1)
 }
 
 func TestStatsCounters(t *testing.T) {
@@ -322,8 +322,8 @@ func TestStatsCounters(t *testing.T) {
 	defer stop()
 	topo := numa.TwoSocket()
 	pool := memory.NewPool(topo, numa.AllocLocal, 4096, nil)
-	recv0 := muxes[0].OpenExchange(2, 2)
-	recv1 := muxes[1].OpenExchange(2, 2)
+	recv0 := muxes[0].OpenExchange(0, 2, 2)
+	recv1 := muxes[1].OpenExchange(0, 2, 2)
 	var wg sync.WaitGroup
 	for i, m := range muxes {
 		i, m := i, m

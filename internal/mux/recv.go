@@ -17,8 +17,9 @@ import (
 // exchange; once all Last markers have arrived and all queued messages
 // have been consumed, Recv returns nil.
 type ExchangeRecv struct {
-	mux  *Mux
-	exID int32
+	mux     *Mux
+	queryID int32
+	exID    int32
 
 	mu        sync.Mutex
 	cond      *sync.Cond
@@ -39,12 +40,13 @@ type ExchangeRecv struct {
 	wake func() // engine-scheduler callback fired on every delivery
 }
 
-func newExchangeRecv(m *Mux, exID int32, senders, sockets int) *ExchangeRecv {
+func newExchangeRecv(m *Mux, queryID, exID int32, senders, sockets int) *ExchangeRecv {
 	if senders < 1 {
 		panic(fmt.Sprintf("mux: exchange %d needs at least one sender", exID))
 	}
 	ex := &ExchangeRecv{
 		mux:       m,
+		queryID:   queryID,
 		exID:      exID,
 		queues:    make([][]*memory.Message, sockets),
 		remaining: senders,
@@ -54,7 +56,10 @@ func newExchangeRecv(m *Mux, exID int32, senders, sockets int) *ExchangeRecv {
 	return ex
 }
 
-// ExID returns the logical exchange operator id.
+// QueryID returns the id of the query the exchange belongs to.
+func (ex *ExchangeRecv) QueryID() int32 { return ex.queryID }
+
+// ExID returns the logical exchange operator id (unique within its query).
 func (ex *ExchangeRecv) ExID() int32 { return ex.exID }
 
 // checkSeqLocked asserts that messages from each sender arrive with
@@ -262,8 +267,8 @@ type classicState struct {
 
 // OpenExchangeClassic registers an exchange in classic mode with `workers`
 // parallel units on this server, each expecting `senders` Last markers.
-func (m *Mux) OpenExchangeClassic(exID int32, senders, workers int) *ExchangeRecv {
-	ex := newExchangeRecv(m, exID, senders, m.cfg.Topology.Sockets)
+func (m *Mux) OpenExchangeClassic(queryID, exID int32, senders, workers int) *ExchangeRecv {
+	ex := newExchangeRecv(m, queryID, exID, senders, m.cfg.Topology.Sockets)
 	ex.classic = &classicState{
 		queues:    make([][]*memory.Message, workers),
 		remaining: make([]int, workers),
@@ -271,14 +276,15 @@ func (m *Mux) OpenExchangeClassic(exID int32, senders, workers int) *ExchangeRec
 	for i := range ex.classic.remaining {
 		ex.classic.remaining[i] = senders
 	}
+	key := ExchangeKey{Query: queryID, Exchange: exID}
 	m.mu.Lock()
-	if _, dup := m.exchanges[exID]; dup {
+	if _, dup := m.exchanges[key]; dup {
 		m.mu.Unlock()
-		panic(fmt.Sprintf("mux: exchange %d opened twice", exID))
+		panic(fmt.Sprintf("mux: exchange %d/%d opened twice", queryID, exID))
 	}
-	m.exchanges[exID] = ex
-	early := m.pending[exID]
-	delete(m.pending, exID)
+	m.exchanges[key] = ex
+	early := m.pending[key]
+	delete(m.pending, key)
 	m.mu.Unlock()
 	for _, msg := range early {
 		ex.push(msg)

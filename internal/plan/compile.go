@@ -26,6 +26,10 @@ type TableInfo struct {
 
 // Env is the per-server compilation environment.
 type Env struct {
+	// QueryID is the cluster-wide id of the query being compiled; it is
+	// stamped into every exchange the plan opens so the multiplexer can
+	// route concurrent queries' messages on (QueryID, ExchangeID).
+	QueryID          int32
 	ServerID         int
 	Servers          int
 	WorkersPerServer int
@@ -240,6 +244,7 @@ func (c *compiler) exchangeStreamSkew(name string, in *stream, mode exchange.Mod
 	send := exchange.NewSend(exchange.SendConfig{
 		Mux:              env.Mux,
 		Pool:             env.Pool,
+		QueryID:          env.QueryID,
 		ExID:             exID,
 		Mode:             mode,
 		Servers:          env.Servers,
@@ -273,9 +278,9 @@ func (c *compiler) exchangeStreamSkew(name string, in *stream, mode exchange.Mod
 	}
 	if openHere {
 		if classic {
-			recv = env.Mux.OpenExchangeClassic(exID, senders, env.Engine.Workers())
+			recv = env.Mux.OpenExchangeClassic(env.QueryID, exID, senders, env.Engine.Workers())
 		} else {
-			recv = env.Mux.OpenExchange(exID, senders)
+			recv = env.Mux.OpenExchange(env.QueryID, exID, senders)
 		}
 	}
 	out := &stream{
@@ -344,6 +349,7 @@ func (c *compiler) buildJoin(n *Node) (*stream, error) {
 		coord := exchange.NewSkewCoord(exchange.SkewCoordConfig{
 			Mux:     c.env.Mux,
 			Pool:    c.env.Pool,
+			QueryID: c.env.QueryID,
 			ExID:    c.env.NextExID(),
 			Servers: c.env.Servers,
 			Config:  c.env.Skew,

@@ -164,6 +164,7 @@ func (ep *Endpoint) complete(fm *fabric.Message) {
 		// copy is done here, on the fabric goroutine, which stands in for
 		// the HCA's DMA engine: application cores are not involved.
 		dst := ep.recvAlloc()
+		dst.QueryID = pl.QueryID
 		dst.ExchangeID = pl.ExchangeID
 		dst.Last = pl.Last
 		dst.Sender = pl.Sender

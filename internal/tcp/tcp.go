@@ -246,6 +246,7 @@ func (ep *Endpoint) Send(dst int, m *memory.Message) {
 	pl := &wirePayload{
 		owner: ep,
 		header: memory.Message{
+			QueryID:    m.QueryID,
 			ExchangeID: m.ExchangeID,
 			Last:       m.Last,
 			Sender:     m.Sender,
@@ -322,6 +323,7 @@ func (ep *Endpoint) handle(fm *fabric.Message) {
 		ep.chargeCPU(cost)
 
 		dst := ep.recvAlloc()
+		dst.QueryID = pl.header.QueryID
 		dst.ExchangeID = pl.header.ExchangeID
 		dst.Last = pl.header.Last
 		dst.Sender = pl.header.Sender
