@@ -422,6 +422,46 @@ func BenchmarkThroughput(b *testing.B) {
 	b.ReportMetric(float64(last.ConcurrentP99.Milliseconds()), "p99-ms")
 }
 
+// BenchmarkFusedHotPath measures the single-pass fused operator path
+// against the one-materialization-per-operator ablation on the two
+// select/map-heavy TPC-H plans (Q1: select+map before a wide aggregate;
+// Q12: selective filters feeding a join). Single server takes the network
+// out of the measurement; allocs/op shows the scratch-pooling win.
+func BenchmarkFusedHotPath(b *testing.B) {
+	bench.Warmup()
+	for _, qn := range []int{1, 12} {
+		for _, mode := range []struct {
+			name   string
+			nofuse bool
+		}{{"fused", false}, {"nofuse", true}} {
+			b.Run(fmt.Sprintf("q%02d/%s", qn, mode.name), func(b *testing.B) {
+				c, err := cluster.New(cluster.Config{
+					Servers:          1,
+					WorkersPerServer: 4,
+					Transport:        cluster.RDMA,
+					Scheduling:       true,
+					TimeScale:        cluster.DefaultTimeScale,
+					NoFuse:           mode.nofuse,
+					NoPushdown:       mode.nofuse,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer c.Close()
+				c.LoadTPCH(bench.DB(0.05, 42), false)
+				q := queries.MustBuild(qn, queries.Params{SF: 0.05})
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, _, err := c.Run(q); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkThroughputMixed runs the Q1/Q12 mixed-stream variant.
 func BenchmarkThroughputMixed(b *testing.B) {
 	bench.Warmup()

@@ -55,6 +55,7 @@ func usage() {
   hsqp dbgen      -sf <scale> [-seed N] [-o dir]
   hsqp run        -q <1-22> [-servers N] [-workers N] [-sf S] [-transport rdma|tcp|gbe]
                   [-sched] [-partitioned] [-classic] [-timescale X] [-rows N]
+                  [-nofuse] [-nopushdown] [-analyze]
   hsqp explain    -q <1-22>
   hsqp experiment -id table1|fig2|fig3|fig4|fig5|fig9|fig10b|fig10c|fig11|fig12a|fig12b|table2|sched|sf|skew|skewjoin|skewsweep|throughput|all
                   [-sf S] [-servers N] [-concurrency N] [-full]`)
@@ -110,6 +111,9 @@ func cmdRun(args []string) error {
 	classic := fs.Bool("classic", false, "classic exchange-operator model")
 	timescale := fs.Float64("timescale", cluster.DefaultTimeScale, "network time scale")
 	rows := fs.Int("rows", 20, "result rows to print")
+	nofuse := fs.Bool("nofuse", false, "disable operator fusion (ablation)")
+	nopushdown := fs.Bool("nopushdown", false, "disable column pruning below exchanges (ablation)")
+	analyze := fs.Bool("analyze", false, "print explain analyze (per-operator rows/time/allocs) after the run")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -124,6 +128,8 @@ func cmdRun(args []string) error {
 		Scheduling:       *sched,
 		Classic:          *classic,
 		TimeScale:        *timescale,
+		NoFuse:           *nofuse,
+		NoPushdown:       *nopushdown,
 	})
 	if err != nil {
 		return err
@@ -146,6 +152,9 @@ func cmdRun(args []string) error {
 		stats.StolenMsgs, stats.LocalMsgs)
 	fmt.Printf("pipeline DAG: overlap ratio %.2f, peak %d concurrent pipelines/server\n",
 		stats.MaxOverlap(), stats.PeakConcurrentPipelines())
+	if *analyze {
+		fmt.Printf("\n%s", plan.ExplainAnalyze(qp, stats.PipelineStats))
+	}
 	return nil
 }
 

@@ -59,7 +59,7 @@ type SkewedJoinPoint struct {
 	Engine string
 	Zipf   float64
 	Time   time.Duration
-	Bytes  uint64 // wire bytes shuffled between servers
+	Bytes  uint64 // per-query exact wire bytes (summed from the query's exchange sends)
 }
 
 // skewEngine is one cell of the comparison grid: label, classic exchange
@@ -148,6 +148,11 @@ func (f SkewedJoin) RunEngine(name string, build, probe *storage.Batch) (*storag
 		Classic:          eng.classic,
 		Skew:             f.Skew,
 		TimeScale:        f.TimeScale,
+		// The synthetic query drops s_pad at the probe, so column pruning
+		// would (correctly) strip it below the exchange and dissolve the
+		// very network bottleneck this figure isolates. Keep the modeled
+		// payload on the wire.
+		NoPushdown: true,
 	})
 	if err != nil {
 		return nil, cluster.QueryStats{}, err
@@ -222,8 +227,8 @@ func (f SkewedJoin) Run(w io.Writer) ([]SkewedJoinPoint, error) {
 		if eng.name == "static" {
 			staticTime = stats.Duration
 		}
-		out = append(out, SkewedJoinPoint{Engine: eng.name, Zipf: f.Zipf, Time: stats.Duration, Bytes: stats.BytesSent})
-		tab.Add(eng.name, Dur(stats.Duration), MB(stats.BytesSent),
+		out = append(out, SkewedJoinPoint{Engine: eng.name, Zipf: f.Zipf, Time: stats.Duration, Bytes: stats.WireBytes()})
+		tab.Add(eng.name, Dur(stats.Duration), MB(stats.WireBytes()),
 			F2(staticTime.Seconds()/stats.Duration.Seconds())+"x")
 	}
 	tab.Fprint(w)
@@ -266,8 +271,8 @@ func (f SkewSweep) Run(w io.Writer) ([]SkewedJoinPoint, error) {
 				return nil, err
 			}
 			times[eng.name] = stats.Duration
-			bytes[eng.name] = stats.BytesSent
-			out = append(out, SkewedJoinPoint{Engine: eng.name, Zipf: z, Time: stats.Duration, Bytes: stats.BytesSent})
+			bytes[eng.name] = stats.WireBytes()
+			out = append(out, SkewedJoinPoint{Engine: eng.name, Zipf: z, Time: stats.Duration, Bytes: stats.WireBytes()})
 		}
 		saved := "-"
 		if bytes["static"] > bytes["adaptive"] {

@@ -7,6 +7,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hsqp/internal/cluster"
@@ -101,6 +102,11 @@ type ThroughputResult struct {
 	SerialP99      time.Duration
 	ConcurrentP50  time.Duration
 	ConcurrentP99  time.Duration
+	// SerialWireBytes/ConcurrentWireBytes sum each mode's per-query exact
+	// wire bytes (from the queries' own exchange sends), so the byte
+	// accounting stays exact even while queries share the cluster.
+	SerialWireBytes     uint64
+	ConcurrentWireBytes uint64
 	// Results holds one canonical per-query result encoding per batch
 	// entry, serial mode first — the conformance hook for tests.
 	SerialResults     [][]byte
@@ -186,11 +192,12 @@ func (f Throughput) Run(w io.Writer) (ThroughputResult, error) {
 			return res, err
 		}
 		t0 := time.Now()
-		out, _, err := c.Run(q)
+		out, stats, err := c.Run(q)
 		if err != nil {
 			return res, fmt.Errorf("bench: serial q%d: %w", qn(i), err)
 		}
 		serialLat[i] = time.Since(t0)
+		res.SerialWireBytes += stats.WireBytes()
 		res.SerialResults[i] = CanonicalRows(out)
 	}
 	res.SerialWall = time.Since(serialStart)
@@ -218,12 +225,13 @@ func (f Throughput) Run(w io.Writer) (ThroughputResult, error) {
 					return
 				}
 				t0 := time.Now()
-				out, _, err := sess.Run(q)
+				out, stats, err := sess.Run(q)
 				if err != nil {
 					errs[s] = fmt.Errorf("bench: stream %d q%d: %w", s, qn(i), err)
 					return
 				}
 				concLat[i] = time.Since(t0)
+				atomic.AddUint64(&res.ConcurrentWireBytes, stats.WireBytes())
 				res.ConcurrentResults[i] = CanonicalRows(out)
 			}
 		}(s)
@@ -250,12 +258,12 @@ func (f Throughput) Run(w io.Writer) (ThroughputResult, error) {
 		tab := &Table{
 			Title: fmt.Sprintf("Multi-query throughput — %d×q%v streams, %d servers, %v, SF %g",
 				f.Streams, f.Queries, f.Servers, f.Transport, f.SF),
-			Header: []string{"mode", "queries", "wall", "qps", "p50", "p99"},
+			Header: []string{"mode", "queries", "wall", "qps", "p50", "p99", "wire"},
 		}
 		tab.Add("serial", fmt.Sprintf("%d", total), Dur(res.SerialWall),
-			F2(res.SerialQPS), Dur(res.SerialP50), Dur(res.SerialP99))
+			F2(res.SerialQPS), Dur(res.SerialP50), Dur(res.SerialP99), MB(res.SerialWireBytes))
 		tab.Add("concurrent", fmt.Sprintf("%d", total), Dur(res.ConcurrentWall),
-			F2(res.ConcurrentQPS), Dur(res.ConcurrentP50), Dur(res.ConcurrentP99))
+			F2(res.ConcurrentQPS), Dur(res.ConcurrentP50), Dur(res.ConcurrentP99), MB(res.ConcurrentWireBytes))
 		tab.Fprint(w)
 		fmt.Fprintf(w, "throughput speedup: %.2fx\n", res.Speedup)
 	}

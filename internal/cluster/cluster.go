@@ -84,8 +84,14 @@ type Config struct {
 	Serial bool
 	// DisablePreAgg turns off pre-aggregation (ablation).
 	DisablePreAgg bool
-	MorselSize    int
-	MessageSize   int
+	// NoFuse disables operator fusion: filters, maps and projections run
+	// as separate batch-at-a-time operators (ablation for the fused path).
+	NoFuse bool
+	// NoPushdown disables column pruning below exchange sends (ablation
+	// for the wire-byte reduction).
+	NoPushdown  bool
+	MorselSize  int
+	MessageSize int
 	// AfterScan/AfterExchange insert extra operators into every compiled
 	// plan (competitor engine styles; see internal/competitors).
 	AfterScan     func(schema *storage.Schema) []engine.Op
@@ -285,7 +291,9 @@ func (c *Cluster) LoadTPCH(db *tpch.Database, partitioned bool) {
 // The network counters (BytesSent, MessagesSent, …) are cluster-wide
 // deltas over the query's wall interval: when other queries execute
 // concurrently their traffic is included, so treat them as exact only for
-// queries run alone.
+// queries run alone. WireBytes is per-query exact (summed from the
+// query's own exchange sends) and should be preferred for byte-savings
+// claims.
 type QueryStats struct {
 	Duration     time.Duration
 	BytesSent    uint64 // wire bytes between servers
@@ -299,6 +307,21 @@ type QueryStats struct {
 	// during which at least two pipelines executed concurrently
 	// (compute/communication overlap; 0 under strictly serial execution).
 	ServerOverlap []float64
+}
+
+// WireBytes sums the exact wire bytes of this query's own exchange sends
+// across all servers (headers + payload + Last markers, broadcast buffers
+// counted once per destination). Unlike BytesSent it is sourced from the
+// per-pipeline sink stats, so it stays exact when other queries share the
+// cluster.
+func (s *QueryStats) WireBytes() uint64 {
+	var total uint64
+	for _, server := range s.PipelineStats {
+		for _, p := range server {
+			total += p.SinkBytes
+		}
+	}
+	return total
 }
 
 // MaxOverlap returns the highest per-server overlap ratio of the run.
@@ -391,6 +414,8 @@ func (c *Cluster) RunWithCancel(q *plan.Query, userCancel <-chan struct{}) (*sto
 			Skew:             c.cfg.Skew,
 			Cancel:           cancel,
 			DisablePreAgg:    c.cfg.DisablePreAgg,
+			NoFuse:           c.cfg.NoFuse,
+			NoPushdown:       c.cfg.NoPushdown,
 			MorselSize:       c.cfg.MorselSize,
 			AfterScan:        c.cfg.AfterScan,
 			AfterExchange:    c.cfg.AfterExchange,

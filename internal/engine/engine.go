@@ -104,6 +104,27 @@ type Op interface {
 	Process(w *Worker, b *storage.Batch) *storage.Batch
 }
 
+// NamedOp lets an operator or sink pick its display name in explain
+// analyze output; the default is the lower-cased Go type name.
+type NamedOp interface {
+	OpName() string
+}
+
+// AllocCounter is implemented by operators that track their own batch
+// materializations (scratch-pooling operators report only true
+// allocations). Without it, the scheduler counts every returned batch
+// that is not the input batch as one materialization.
+type AllocCounter interface {
+	BatchAllocs() uint64
+}
+
+// SinkStats is implemented by sinks that can report what they absorbed:
+// total rows and, for exchange sends, the exact bytes they put on the
+// wire. The scheduler surfaces both in PipelineStat.
+type SinkStats interface {
+	SinkStats() (rows, bytes uint64)
+}
+
 // Sink is a pipeline breaker: it consumes the final batches of a pipeline
 // and materializes state (hash table, aggregate table, sort run, outgoing
 // exchange messages). Consume is called concurrently; Finalize exactly
@@ -345,7 +366,7 @@ func (e *Engine) workerLoop(w *Worker) {
 				i, b, progress := s.tryMorsel(w)
 				if b != nil {
 					t0 := time.Now()
-					err := s.process(w, s.nodes[i].p, b)
+					err := s.process(w, i, b)
 					s.finishMorsel(i, time.Since(t0), err, w)
 					// Morsel boundaries are the engine's cooperative
 					// scheduling points: without this, one worker can drain

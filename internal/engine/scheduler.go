@@ -2,7 +2,9 @@ package engine
 
 import (
 	"fmt"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hsqp/internal/storage"
@@ -35,6 +37,17 @@ type pipeNode struct {
 	endT    time.Duration
 	busy    time.Duration
 	morsels int
+	ops     []opCounter // per-operator counters, parallel to p.Ops
+}
+
+// opCounter accumulates one operator's execution profile. Workers update
+// it outside the scheduler lock, so all fields are atomics.
+type opCounter struct {
+	rowsIn  atomic.Int64
+	rowsOut atomic.Int64
+	batches atomic.Int64
+	allocs  atomic.Int64 // batches returned that were not the input batch
+	nanos   atomic.Int64
 }
 
 // scheduler tracks pipeline readiness by in-degree counting and hands
@@ -79,6 +92,7 @@ func newScheduler(g *Graph, isCoordinator bool, notify func(all bool)) *schedule
 	for i, p := range g.Pipelines {
 		n := &s.nodes[i]
 		n.p = p
+		n.ops = make([]opCounter, len(p.Ops))
 		n.deps = len(g.deps(i))
 		n.skipped = p.CoordinatorOnly && !isCoordinator
 		n.poll, _ = p.Source.(PollSource)
@@ -236,17 +250,32 @@ func (s *scheduler) pull(n *pipeNode, w *Worker) (*storage.Batch, bool) {
 }
 
 // process pushes one morsel through the pipeline, converting panics into
-// errors so a bad operator cannot kill the whole cluster simulation.
-func (s *scheduler) process(w *Worker, p *Pipeline, b *storage.Batch) (err error) {
+// errors so a bad operator cannot kill the whole cluster simulation. Each
+// operator call is bracketed with row/time counters (atomics, no lock) —
+// the raw material of explain analyze.
+func (s *scheduler) process(w *Worker, node int, b *storage.Batch) (err error) {
+	n := &s.nodes[node]
+	p := n.p
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("pipeline %q worker panicked: %v", p.Name, r)
 		}
 	}()
-	for _, op := range p.Ops {
+	for oi, op := range p.Ops {
+		c := &n.ops[oi]
+		in := b
+		rowsIn := int64(b.Rows())
+		t0 := time.Now()
 		b = op.Process(w, b)
+		c.nanos.Add(int64(time.Since(t0)))
+		c.batches.Add(1)
+		c.rowsIn.Add(rowsIn)
 		if b == nil || b.Rows() == 0 {
 			return nil
+		}
+		c.rowsOut.Add(int64(b.Rows()))
+		if b != in {
+			c.allocs.Add(1)
 		}
 	}
 	p.Sink.Consume(w, b)
@@ -371,9 +400,47 @@ func (s *scheduler) results() ([]PipelineStat, error) {
 			Busy:    n.busy,
 			Morsels: n.morsels,
 		}
+		if len(n.p.Ops) > 0 {
+			ops := make([]OpStat, len(n.p.Ops))
+			for oi, op := range n.p.Ops {
+				c := &n.ops[oi]
+				allocs := c.allocs.Load()
+				if ac, ok := op.(AllocCounter); ok {
+					allocs = int64(ac.BatchAllocs())
+				}
+				ops[oi] = OpStat{
+					Name:    displayName(op),
+					RowsIn:  c.rowsIn.Load(),
+					RowsOut: c.rowsOut.Load(),
+					Batches: c.batches.Load(),
+					Allocs:  allocs,
+					Time:    time.Duration(c.nanos.Load()),
+				}
+			}
+			stats[i].Ops = ops
+		}
+		if !n.skipped {
+			stats[i].SinkName = displayName(n.p.Sink)
+			if ss, ok := n.p.Sink.(SinkStats); ok {
+				stats[i].SinkRows, stats[i].SinkBytes = ss.SinkStats()
+			}
+		}
 	}
 	if s.err != nil {
 		return stats, fmt.Errorf("engine: %w", s.err)
 	}
 	return stats, nil
+}
+
+// displayName resolves an operator/sink label: NamedOp if implemented,
+// otherwise the lower-cased Go type name without package or pointer.
+func displayName(x any) string {
+	if n, ok := x.(NamedOp); ok {
+		return n.OpName()
+	}
+	name := strings.TrimPrefix(fmt.Sprintf("%T", x), "*")
+	if i := strings.LastIndexByte(name, '.'); i >= 0 {
+		name = name[i+1:]
+	}
+	return strings.ToLower(name)
 }

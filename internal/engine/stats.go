@@ -18,6 +18,27 @@ type PipelineStat struct {
 	End     time.Duration
 	Busy    time.Duration
 	Morsels int
+	// Ops reports per-operator execution counters in pipeline order
+	// (explain analyze).
+	Ops []OpStat
+	// SinkName/SinkRows/SinkBytes describe the pipeline breaker when it
+	// implements SinkStats (exchange sends report exact wire bytes).
+	SinkName  string
+	SinkRows  uint64
+	SinkBytes uint64
+}
+
+// OpStat is the execution profile of one operator inside a pipeline:
+// rows entering and leaving, summed worker wall time, and how many fresh
+// batch materializations it performed (operators that pool their scratch
+// buffers report their own count through AllocCounter).
+type OpStat struct {
+	Name    string
+	RowsIn  int64
+	RowsOut int64
+	Batches int64
+	Allocs  int64
+	Time    time.Duration
 }
 
 // sweepEvent is one endpoint of a pipeline's wall interval.

@@ -131,6 +131,7 @@ type Send struct {
 	lastNode   atomic.Int32 // node of the most recent consuming worker
 	tuplesSent atomic.Uint64
 	hotTuples  atomic.Uint64 // tuples routed via the hot-key path
+	bytesSent  atomic.Uint64 // wire bytes (header + payload) handed to the mux
 }
 
 type workerSendState struct {
@@ -176,6 +177,21 @@ func (s *Send) TuplesSent() uint64 { return s.tuplesSent.Load() }
 // HotTuples reports how many tuples took the hot-key route (stayed local
 // on the probe side, selective-broadcast on the build side).
 func (s *Send) HotTuples() uint64 { return s.hotTuples.Load() }
+
+// BytesSent reports the exact wire bytes (headers + payload, including
+// loopback partitions to this server and Last markers) this exchange put
+// on the multiplexer. Broadcast buffers count once per destination.
+func (s *Send) BytesSent() uint64 { return s.bytesSent.Load() }
+
+// SinkStats implements engine.SinkStats: the per-pipeline stats expose
+// tuples and exact wire bytes, so per-query byte accounting no longer
+// depends on cluster-wide mux deltas.
+func (s *Send) SinkStats() (rows, bytes uint64) {
+	return s.tuplesSent.Load(), s.bytesSent.Load()
+}
+
+// OpName implements engine.NamedOp.
+func (s *Send) OpName() string { return "send(" + s.cfg.Mode.String() + ")" }
 
 // Consume implements engine.Sink: partition/serialize (step 2 of
 // Figure 7) and pass full messages to the multiplexer (step 3).
@@ -288,6 +304,7 @@ func (s *Send) newMessage(node numa.Node) *memory.Message {
 // the message to the multiplexer. Allocation and enqueue happen under the
 // destination's mutex so its stream stays strictly increasing.
 func (s *Send) sendStamped(dst int, msg *memory.Message) {
+	s.bytesSent.Add(uint64(msg.WireSize()))
 	s.destMu[dst].Lock()
 	msg.Seq = s.destSeq[dst]
 	s.destSeq[dst]++
@@ -302,6 +319,7 @@ func (s *Send) sendStamped(dst int, msg *memory.Message) {
 // per-destination counters and advances them all past it — destination
 // streams may skip values but never regress.
 func (s *Send) broadcastStamped(msg *memory.Message) {
+	s.bytesSent.Add(uint64(msg.WireSize()) * uint64(s.cfg.Servers))
 	for d := range s.destMu {
 		s.destMu[d].Lock()
 	}

@@ -80,17 +80,80 @@ type aggState struct {
 	set bool
 }
 
+// aggChain is a pre-sizable chained hash index over group ids: heads is a
+// power-of-two bucket array, next/hashes are indexed by group id. It
+// replaces the old map[uint32][]int32, which allocated one slice per
+// distinct hash and rehashed as the table grew; sized from the planner's
+// cardinality estimate, a build inserts without ever rehashing.
+type aggChain struct {
+	mask   uint32
+	heads  []int32
+	next   []int32
+	hashes []uint32 // full hash per group: cheap equality pre-check + rehash
+}
+
+func newAggChain(hint int) aggChain {
+	buckets := nextPow2(hint)
+	c := aggChain{heads: make([]int32, buckets), mask: uint32(buckets - 1)}
+	for i := range c.heads {
+		c.heads[i] = -1
+	}
+	return c
+}
+
+// add registers the next group id under hash h, doubling the bucket array
+// when the load factor reaches 1.
+func (c *aggChain) add(h uint32) int32 {
+	if len(c.next) >= len(c.heads) {
+		c.grow()
+	}
+	id := int32(len(c.next))
+	b := h & c.mask
+	c.next = append(c.next, c.heads[b])
+	c.hashes = append(c.hashes, h)
+	c.heads[b] = id
+	return id
+}
+
+func (c *aggChain) grow() {
+	buckets := len(c.heads) * 2
+	c.heads = make([]int32, buckets)
+	c.mask = uint32(buckets - 1)
+	for i := range c.heads {
+		c.heads[i] = -1
+	}
+	for id, h := range c.hashes {
+		b := h & c.mask
+		c.next[id] = c.heads[b]
+		c.heads[b] = int32(id)
+	}
+}
+
 // aggTable is one worker's (or the merged) grouping hash table.
 type aggTable struct {
 	keys   *storage.Batch // one row per group: the key columns
-	m      map[uint32][]int32
+	idx    aggChain
 	states [][]aggState // [group][agg]
 }
 
-func newAggTable(keySchema *storage.Schema) *aggTable {
+// aggTable sizing bounds: hints are estimates (often row counts, an upper
+// bound on groups), so cap the per-worker bucket allocation; the merged
+// table is sized exactly and gets a higher ceiling.
+const (
+	minAggHint      = 64
+	maxAggHint      = 1 << 14
+	maxMergedHint   = 1 << 20
+	maxAggKeysAlloc = 4096
+)
+
+func newAggTable(keySchema *storage.Schema, hint int) *aggTable {
+	keysCap := hint
+	if keysCap > maxAggKeysAlloc {
+		keysCap = maxAggKeysAlloc
+	}
 	return &aggTable{
-		keys: storage.NewBatch(keySchema, 64),
-		m:    make(map[uint32][]int32),
+		keys: storage.NewBatch(keySchema, keysCap),
+		idx:  newAggChain(hint),
 	}
 }
 
@@ -103,17 +166,16 @@ func (t *aggTable) groupFor(b *storage.Batch, keyCols []int, i int, nAggs int) i
 		return 0
 	}
 	h := storage.HashRow(b, keyCols, i)
-	for _, g := range t.m[h] {
-		if keysEqual(t.keys, int(g), b, keyCols, i) {
+	for g := t.idx.heads[h&t.idx.mask]; g >= 0; g = t.idx.next[g] {
+		if t.idx.hashes[g] == h && keysEqual(t.keys, int(g), b, keyCols, i) {
 			return g
 		}
 	}
-	g := int32(len(t.states))
+	g := t.idx.add(h)
 	for k, kc := range keyCols {
 		t.keys.Cols[k].AppendFrom(b.Cols[kc], i)
 	}
 	t.states = append(t.states, make([]aggState, nAggs))
-	t.m[h] = append(t.m[h], g)
 	return g
 }
 
@@ -166,7 +228,29 @@ func NewGroupBy(in *storage.Schema, keys []int, aggs []AggSpec, numWorkers int) 
 	g := &GroupBy{Keys: keys, Aggs: aggs, InSchema: in, keySchema: ks}
 	g.tables = make([]*aggTable, numWorkers)
 	for i := range g.tables {
-		g.tables[i] = newAggTable(ks)
+		g.tables[i] = newAggTable(ks, minAggHint)
+	}
+	return g
+}
+
+// WithHint pre-sizes the per-worker tables for an expected input
+// cardinality (rows across all workers, an upper bound on groups) and
+// returns g. Must be called before any Consume. The hint is clamped —
+// low-cardinality aggregations (Q1: 4 groups from 6M rows) must not pay
+// for row-count-sized bucket arrays.
+func (g *GroupBy) WithHint(rows int) *GroupBy {
+	if rows <= 0 {
+		return g
+	}
+	hint := rows / len(g.tables)
+	if hint < minAggHint {
+		hint = minAggHint
+	}
+	if hint > maxAggHint {
+		hint = maxAggHint
+	}
+	for i := range g.tables {
+		g.tables[i] = newAggTable(g.keySchema, hint)
 	}
 	return g
 }
@@ -255,9 +339,21 @@ func (g *GroupBy) update(st *aggState, spec *AggSpec, b *storage.Batch, i int) {
 // I64 is a tiny accessor keeping update readable.
 func (s *aggState) I64() int64 { return s.i }
 
-// Finalize merges the thread-local tables.
+// Finalize merges the thread-local tables. The merged table is pre-sized
+// exactly from the per-worker group counts (their sum bounds the merged
+// cardinality), so the merge never rehashes.
 func (g *GroupBy) Finalize() error {
-	merged := newAggTable(g.keySchema)
+	total := 0
+	for _, t := range g.tables {
+		total += len(t.states)
+	}
+	if total < minAggHint {
+		total = minAggHint
+	}
+	if total > maxMergedHint {
+		total = maxMergedHint
+	}
+	merged := newAggTable(g.keySchema, total)
 	for _, t := range g.tables {
 		for grp := range t.states {
 			mg := merged.groupFor(t.keys, identityCols(len(g.Keys)), grp, len(g.Aggs))

@@ -73,7 +73,7 @@ func (p *GroupJoinProbe) Consume(_ *engine.Worker, b *storage.Batch) {
 	ht := g.jb.Table()
 	for i := 0; i < b.Rows(); i++ {
 		h := storage.HashRow(b, p.ProbeKeys, i)
-		for _, bi := range ht.Lookup(h) {
+		for bi := ht.First(h); bi >= 0; bi = ht.Next(bi) {
 			if !ht.KeyEq(bi, b, p.ProbeKeys, i) {
 				continue
 			}

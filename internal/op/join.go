@@ -3,6 +3,7 @@ package op
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"hsqp/internal/engine"
 	"hsqp/internal/storage"
@@ -42,15 +43,25 @@ func (t JoinType) String() string {
 // (probe row, build row) pair.
 type ResidualPred func(probe *storage.Batch, pi int, build *storage.Batch, bi int) bool
 
-// HashTable is the shared build-side state of a hash join.
+// HashTable is the shared build-side state of a hash join: a chained
+// index over the consolidated build batch. heads is a power-of-two bucket
+// array sized once from the exact build cardinality (no rehash, no
+// per-bucket slice allocations — the old map[uint32][]int32 paid both);
+// next chains build rows within a bucket in ascending row order.
 type HashTable struct {
 	Build *storage.Batch
 	Keys  []int
-	m     map[uint32][]int32
+	mask  uint32
+	heads []int32 // bucket → first build row, -1 = empty
+	next  []int32 // build row → next row in its bucket, -1 = end
 }
 
-// Lookup returns the candidate build rows for a hash.
-func (h *HashTable) Lookup(hash uint32) []int32 { return h.m[hash] }
+// First returns the first candidate build row for a hash (-1 if none).
+// Buckets may mix different key hashes; KeyEq filters false candidates.
+func (h *HashTable) First(hash uint32) int32 { return h.heads[hash&h.mask] }
+
+// Next returns the next candidate after build row i (-1 at chain end).
+func (h *HashTable) Next(i int32) int32 { return h.next[i] }
 
 // KeyEq checks key equality between build row bi and probe row pi.
 func (h *HashTable) KeyEq(bi int32, probe *storage.Batch, probeKeys []int, pi int) bool {
@@ -122,6 +133,19 @@ func NewJoinBuild(schema *storage.Schema, keys []int) *JoinBuild {
 	return &JoinBuild{Keys: keys, Schema: schema}
 }
 
+// ExpectRows pre-sizes the per-shard batch lists from the planner's input
+// cardinality estimate (exact for local builds, an upper bound across an
+// exchange). morsel is the engine's morsel size. Call before Consume.
+func (jb *JoinBuild) ExpectRows(rows, morsel int) {
+	if rows <= 0 || morsel <= 0 {
+		return
+	}
+	perShard := rows/morsel/joinBuildShards + 1
+	for i := range jb.shards {
+		jb.shards[i].batches = make([]*storage.Batch, 0, perShard)
+	}
+}
+
 // Consume implements engine.Sink.
 func (jb *JoinBuild) Consume(w *engine.Worker, b *storage.Batch) {
 	idx := 0
@@ -161,13 +185,34 @@ func (jb *JoinBuild) Finalize() error {
 		}
 		sh.batches = nil
 	}
-	m := make(map[uint32][]int32, build.Rows())
-	for i := 0; i < build.Rows(); i++ {
-		h := storage.HashRow(build, jb.Keys, i)
-		m[h] = append(m[h], int32(i))
+	// The index is built once here from the exact observed cardinality —
+	// there is no rehash-during-build to kill. Rows are inserted in
+	// descending order (push-front), so chains iterate ascending, matching
+	// the append order of the old map-based table.
+	rows := build.Rows()
+	buckets := nextPow2(rows)
+	heads := make([]int32, buckets)
+	for i := range heads {
+		heads[i] = -1
 	}
-	jb.ht = &HashTable{Build: build, Keys: jb.Keys, m: m}
+	next := make([]int32, rows)
+	mask := uint32(buckets - 1)
+	for i := rows - 1; i >= 0; i-- {
+		h := storage.HashRow(build, jb.Keys, i) & mask
+		next[i] = heads[h]
+		heads[h] = int32(i)
+	}
+	jb.ht = &HashTable{Build: build, Keys: jb.Keys, mask: mask, heads: heads, next: next}
 	return nil
+}
+
+// nextPow2 returns the smallest power of two ≥ n (min 1).
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
 }
 
 // Table returns the built hash table (after Finalize).
@@ -190,6 +235,12 @@ type JoinProbe struct {
 	ProbeCols []int
 	BuildCols []int
 	Schema    *storage.Schema
+
+	// rowsIn/rowsOut feed the running match-rate estimate that pre-sizes
+	// the output batch: expanding joins stop regrowing mid-morsel,
+	// selective joins stop over-allocating the full b.Rows() guess.
+	rowsIn  atomic.Uint64
+	rowsOut atomic.Uint64
 }
 
 // NewJoinProbe constructs the probe operator. probeSchema is the schema of
@@ -228,13 +279,16 @@ func NewJoinProbe(build *JoinBuild, typ JoinType, probeSchema *storage.Schema,
 	}
 }
 
+// OpName implements engine.NamedOp.
+func (jp *JoinProbe) OpName() string { return "probe(" + jp.Type.String() + ")" }
+
 // Process implements engine.Op.
 func (jp *JoinProbe) Process(_ *engine.Worker, b *storage.Batch) *storage.Batch {
 	ht := jp.Build.Table()
-	out := storage.NewBatch(jp.Schema, b.Rows())
+	out := storage.NewBatch(jp.Schema, jp.outCap(b.Rows()))
 	for i := 0; i < b.Rows(); i++ {
 		matched := false
-		for _, bi := range ht.Lookup(storage.HashRow(b, jp.ProbeKeys, i)) {
+		for bi := ht.First(storage.HashRow(b, jp.ProbeKeys, i)); bi >= 0; bi = ht.Next(bi) {
 			if !ht.KeyEq(bi, b, jp.ProbeKeys, i) {
 				continue
 			}
@@ -269,10 +323,27 @@ func (jp *JoinProbe) Process(_ *engine.Worker, b *storage.Batch) *storage.Batch 
 			}
 		}
 	}
+	jp.rowsIn.Add(uint64(b.Rows()))
+	jp.rowsOut.Add(uint64(out.Rows()))
 	if out.Rows() == 0 {
 		return nil
 	}
 	return out
+}
+
+// outCap estimates the output size of a morsel with n probe rows from the
+// observed match rate, with ~12% headroom; the first morsel falls back to
+// the neutral n guess.
+func (jp *JoinProbe) outCap(n int) int {
+	in := jp.rowsIn.Load()
+	if in == 0 {
+		return n
+	}
+	est := int(float64(jp.rowsOut.Load())/float64(in)*float64(n)) + n/8 + 8
+	if est < 1 {
+		est = 1
+	}
+	return est
 }
 
 func (jp *JoinProbe) emit(out, probe *storage.Batch, pi int, build *storage.Batch, bi int) {

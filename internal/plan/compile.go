@@ -50,6 +50,13 @@ type Env struct {
 	// DisablePreAgg turns off pre-aggregation before group-by exchanges
 	// (ablation).
 	DisablePreAgg bool
+	// NoFuse compiles filters/maps/projections as separate batch-at-a-time
+	// operators instead of fusing adjacent runs into op.FusedStage
+	// (ablation for the single-pass hot path).
+	NoFuse bool
+	// NoPushdown disables join-input column pruning below exchange sends
+	// (ablation for the wire-byte reduction).
+	NoPushdown bool
 	// Lookup resolves a table name.
 	Lookup func(name string) (TableInfo, error)
 	// NextExID allocates globally consistent exchange ids; every server
@@ -84,6 +91,10 @@ type stream struct {
 	// carry no deps — they poll the multiplexer and become runnable as
 	// soon as the first message lands.
 	deps []int
+	// rows is a rough upper-bound cardinality estimate (exact at the scan,
+	// carried through filters unreduced, multiplied by sender count across
+	// exchanges). Pre-sizes hash tables; 0 = unknown.
+	rows int
 }
 
 // Compiled is the result of compiling a query for one server: a pipeline
@@ -143,10 +154,72 @@ func Compile(q *Query, env *Env) (*Compiled, error) {
 }
 
 // add appends a pipeline with its dependency edges and returns its index.
+// Every pipeline passes through the fusion pass here, so fused execution
+// applies uniformly — scans, exchange receives and materialized
+// intermediates alike.
 func (c *compiler) add(p *engine.Pipeline, deps []int) int {
+	if !c.env.NoFuse {
+		p.Ops = fuseOps(p.Ops, p.Sink, c.env.Engine.Workers())
+	}
 	c.pipe = append(c.pipe, p)
 	c.deps = append(c.deps, deps)
 	return len(c.pipe) - 1
+}
+
+// fuseOps collapses every maximal run of Filter/MapOp/Project operators
+// into one op.FusedStage (single-pass evaluation over a selection vector).
+// Even single-operator runs are wrapped: the fused path routes its scratch
+// through per-worker buffers instead of fresh storage.NewBatch allocations
+// per morsel.
+func fuseOps(ops []engine.Op, sink engine.Sink, workers int) []engine.Op {
+	out := make([]engine.Op, 0, len(ops))
+	for i := 0; i < len(ops); {
+		if !fusible(ops[i]) {
+			out = append(out, ops[i])
+			i++
+			continue
+		}
+		j := i
+		for j < len(ops) && fusible(ops[j]) {
+			j++
+		}
+		out = append(out, op.NewFused(ops[i:j], workers, scratchSafe(ops[j:], sink)))
+		i = j
+	}
+	return out
+}
+
+func fusible(o engine.Op) bool {
+	switch o.(type) {
+	case *op.Filter, *op.MapOp, *op.Project:
+		return true
+	}
+	return false
+}
+
+// scratchSafe decides whether a fused stage may reuse its scratch buffers
+// across morsels: sound only when no downstream operator or sink retains
+// the batch beyond its synchronous call. A JoinProbe downstream always
+// re-materializes its output; the whitelisted sinks consume without
+// retaining. Anything unknown (including retaining sinks like JoinBuild
+// and Collector) forces fresh allocations.
+func scratchSafe(rest []engine.Op, sink engine.Sink) bool {
+	for _, o := range rest {
+		switch o.(type) {
+		case *op.JoinProbe:
+			return true
+		case *op.Filter, *op.MapOp, *op.Project:
+			// Pass-through-ish: may forward the batch unchanged; keep
+			// scanning toward the sink.
+		default:
+			return false
+		}
+	}
+	switch sink.(type) {
+	case *exchange.Send, *op.GroupBy, *op.TopK, *op.GroupJoinProbe:
+		return true
+	}
+	return false
 }
 
 // withDep returns a fresh dependency list extending deps with d.
@@ -212,6 +285,7 @@ func (c *compiler) buildScan(n *Node) (*stream, error) {
 		schema:     n.schema,
 		part:       info.PartCols,
 		replicated: info.Replicated,
+		rows:       info.Table.Rows(),
 	}
 	if c.env.AfterScan != nil {
 		out.ops = append(out.ops, c.env.AfterScan(n.schema)...)
@@ -285,6 +359,10 @@ func (c *compiler) exchangeStreamSkew(name string, in *stream, mode exchange.Mod
 	}
 	out := &stream{
 		schema: in.schema,
+		// Receive-side estimate: every sender contributes up to its local
+		// cardinality (exact for broadcast/gather, an upper bound for hash
+		// partitioning, where rows spread over the receivers).
+		rows: in.rows * senders,
 	}
 	if recv != nil {
 		out.source = &exchange.Source{
@@ -330,17 +408,59 @@ func (c *compiler) buildJoin(n *Node) (*stream, error) {
 	}
 	strat := c.decideJoin(n, bs, ps)
 
+	// Local copies of the join metadata: column pruning rewrites them into
+	// the pruned column space, and n is shared by every server's compile —
+	// Node fields must never be mutated.
+	buildKeys, probeKeys := n.BuildKeys, n.ProbeKeys
+	buildOut, probeOut := n.BuildOut, n.ProbeOut
+
+	// Pushdown below exchanges: a side that is about to be serialized onto
+	// the wire is narrowed to the columns the join actually consumes (its
+	// keys plus its output columns), so dropped columns never reach the
+	// codec. Residual predicates capture original column indexes of both
+	// sides, so they disable pruning.
+	if !c.env.NoPushdown && n.Residual == nil {
+		pruneBuild, pruneProbe := false, false
+		switch strat {
+		case BroadcastBuild:
+			pruneBuild = !bs.replicated
+		case PartitionBoth:
+			pruneBuild = !aligned(bs.part, buildKeys)
+			pruneProbe = !aligned(ps.part, probeKeys)
+		case SkewAdaptive:
+			pruneBuild, pruneProbe = true, true
+		}
+		if pruneBuild {
+			if keep, ok := pruneCols(bs.schema.Len(), buildKeys, buildOut); ok {
+				bs.ops = append(bs.ops, op.NewProject(bs.schema, keep))
+				bs.schema = bs.schema.Project(keep)
+				bs.part = remap(bs.part, keep)
+				buildKeys = remap(buildKeys, keep)
+				buildOut = remap(buildOut, keep)
+			}
+		}
+		if pruneProbe {
+			if keep, ok := pruneCols(ps.schema.Len(), probeKeys, probeOut); ok {
+				ps.ops = append(ps.ops, op.NewProject(ps.schema, keep))
+				ps.schema = ps.schema.Project(keep)
+				ps.part = remap(ps.part, keep)
+				probeKeys = remap(probeKeys, keep)
+				probeOut = remap(probeOut, keep)
+			}
+		}
+	}
+
 	switch strat {
 	case BroadcastBuild:
 		if !bs.replicated {
 			bs = c.exchangeStream(joinName(n, "broadcast"), bs, exchange.ModeBroadcast, nil)
 		}
 	case PartitionBoth:
-		if !aligned(bs.part, n.BuildKeys) {
-			bs = c.exchangeStream(joinName(n, "shuffle-build"), bs, exchange.ModePartition, n.BuildKeys)
+		if !aligned(bs.part, buildKeys) {
+			bs = c.exchangeStream(joinName(n, "shuffle-build"), bs, exchange.ModePartition, buildKeys)
 		}
-		if !aligned(ps.part, n.ProbeKeys) {
-			ps = c.exchangeStream(joinName(n, "shuffle-probe"), ps, exchange.ModePartition, n.ProbeKeys)
+		if !aligned(ps.part, probeKeys) {
+			ps = c.exchangeStream(joinName(n, "shuffle-probe"), ps, exchange.ModePartition, probeKeys)
 		}
 	case SkewAdaptive:
 		// One coordinator per join per server; its control exchange id is
@@ -355,8 +475,8 @@ func (c *compiler) buildJoin(n *Node) (*stream, error) {
 			Config:  c.env.Skew,
 			Cancel:  c.env.Cancel,
 		})
-		ps = c.exchangeStreamSkew(joinName(n, "skew-shuffle-probe"), ps, exchange.ModeSkewProbe, n.ProbeKeys, coord)
-		bs = c.exchangeStreamSkew(joinName(n, "skew-shuffle-build"), bs, exchange.ModeSkewBuild, n.BuildKeys, coord)
+		ps = c.exchangeStreamSkew(joinName(n, "skew-shuffle-probe"), ps, exchange.ModeSkewProbe, probeKeys, coord)
+		bs = c.exchangeStreamSkew(joinName(n, "skew-shuffle-build"), bs, exchange.ModeSkewBuild, buildKeys, coord)
 	case LocalJoin:
 		// Nothing to move.
 	}
@@ -366,7 +486,8 @@ func (c *compiler) buildJoin(n *Node) (*stream, error) {
 		bs = c.exchangeStream(joinName(n, "scalar-broadcast"), bs, exchange.ModeBroadcast, nil)
 	}
 
-	jb := op.NewJoinBuild(n.Build.Schema(), n.BuildKeys)
+	jb := op.NewJoinBuild(bs.schema, buildKeys)
+	jb.ExpectRows(bs.rows, c.env.MorselSize)
 	build := c.add(&engine.Pipeline{
 		Name:            joinName(n, "build"),
 		Source:          bs.source,
@@ -374,7 +495,7 @@ func (c *compiler) buildJoin(n *Node) (*stream, error) {
 		Sink:            jb,
 		CoordinatorOnly: bs.coordOnly,
 	}, bs.deps)
-	probe := op.NewJoinProbe(jb, n.JoinType, n.Probe.Schema(), n.ProbeKeys, n.ProbeOut, n.BuildOut, n.Residual)
+	probe := op.NewJoinProbe(jb, n.JoinType, ps.schema, probeKeys, probeOut, buildOut, n.Residual)
 	ps.ops = append(ps.ops, probe)
 	// Build-before-probe: whichever pipeline ends up running the probe
 	// operator must wait for the hash table to finalize.
@@ -384,7 +505,7 @@ func (c *compiler) buildJoin(n *Node) (*stream, error) {
 	// emitted probe columns.
 	switch strat {
 	case PartitionBoth:
-		ps.part = remap(n.ProbeKeys, n.ProbeOut)
+		ps.part = remap(probeKeys, probeOut)
 	case SkewAdaptive:
 		// Hot probe tuples stayed on their origin server, so the output is
 		// NOT partitioned on the join keys: a downstream group-by must
@@ -392,10 +513,32 @@ func (c *compiler) buildJoin(n *Node) (*stream, error) {
 		// servers (double counting).
 		ps.part = nil
 	default:
-		ps.part = remap(ps.part, n.ProbeOut)
+		ps.part = remap(ps.part, probeOut)
 	}
 	ps.replicated = ps.replicated && bs.replicated
 	return ps, nil
+}
+
+// pruneCols computes the columns (ascending) of a width-column schema that
+// a join side must keep: its keys and output columns. ok is false when
+// nothing can be pruned.
+func pruneCols(width int, keys, out []int) (keep []int, ok bool) {
+	need := make([]bool, width)
+	for _, c := range keys {
+		need[c] = true
+	}
+	for _, c := range out {
+		need[c] = true
+	}
+	for i, b := range need {
+		if b {
+			keep = append(keep, i)
+		}
+	}
+	if len(keep) == width {
+		return nil, false
+	}
+	return keep, true
 }
 
 func (c *compiler) decideJoin(n *Node, bs, ps *stream) JoinStrategy {
@@ -485,7 +628,7 @@ func (c *compiler) buildGroupBy(n *Node) (*stream, error) {
 		(len(n.Keys) > 0 && aligned(in.part, n.Keys))
 
 	if local {
-		gb := op.NewGroupBy(in.schema, n.Keys, n.Aggs, workers)
+		gb := op.NewGroupBy(in.schema, n.Keys, n.Aggs, workers).WithHint(in.rows)
 		agg := c.add(&engine.Pipeline{
 			Name:            gbName(n, "agg"),
 			Source:          in.source,
@@ -504,7 +647,7 @@ func (c *compiler) buildGroupBy(n *Node) (*stream, error) {
 
 	if len(n.Keys) == 0 {
 		// Scalar aggregate: local partial → gather → merge on coordinator.
-		partial := op.NewGroupBy(in.schema, nil, n.Aggs, workers)
+		partial := op.NewGroupBy(in.schema, nil, n.Aggs, workers).WithHint(in.rows)
 		pa := c.add(&engine.Pipeline{
 			Name:   gbName(n, "partial"),
 			Source: in.source,
@@ -537,7 +680,7 @@ func (c *compiler) buildGroupBy(n *Node) (*stream, error) {
 	if env.DisablePreAgg {
 		// Ablation: shuffle raw rows, aggregate once after the exchange.
 		shuffled := c.exchangeStream(gbName(n, "shuffle-raw"), in, exchange.ModePartition, n.Keys)
-		gb := op.NewGroupBy(shuffled.schema, n.Keys, n.Aggs, workers)
+		gb := op.NewGroupBy(shuffled.schema, n.Keys, n.Aggs, workers).WithHint(shuffled.rows)
 		agg := c.add(&engine.Pipeline{
 			Name:   gbName(n, "agg"),
 			Source: shuffled.source,
@@ -554,7 +697,7 @@ func (c *compiler) buildGroupBy(n *Node) (*stream, error) {
 
 	// Pre-aggregate locally (Figure 6(c)), shuffle partials on the group
 	// keys, merge.
-	partial := op.NewGroupBy(in.schema, n.Keys, n.Aggs, workers)
+	partial := op.NewGroupBy(in.schema, n.Keys, n.Aggs, workers).WithHint(in.rows)
 	pa := c.add(&engine.Pipeline{
 		Name:   gbName(n, "preagg"),
 		Source: in.source,
@@ -566,9 +709,10 @@ func (c *compiler) buildGroupBy(n *Node) (*stream, error) {
 		source: &op.LazySource{Fn: partial.PartialBatches, Morsel: env.MorselSize},
 		schema: ps,
 		deps:   []int{pa},
+		rows:   in.rows, // partial groups are bounded by the input rows
 	}
 	mid = c.exchangeStream(gbName(n, "shuffle"), mid, exchange.ModePartition, identity(len(n.Keys)))
-	merge := op.NewGroupBy(ps, identity(len(n.Keys)), op.MergeSpecs(n.Aggs, len(n.Keys)), workers)
+	merge := op.NewGroupBy(ps, identity(len(n.Keys)), op.MergeSpecs(n.Aggs, len(n.Keys)), workers).WithHint(mid.rows)
 	mg := c.add(&engine.Pipeline{
 		Name:   gbName(n, "merge"),
 		Source: mid.source,

@@ -3,6 +3,9 @@ package plan
 import (
 	"fmt"
 	"strings"
+	"time"
+
+	"hsqp/internal/engine"
 )
 
 // Explain renders the logical plan tree (Figure 6 style): one operator per
@@ -67,6 +70,48 @@ func explainNode(sb *strings.Builder, n *Node, depth int) {
 		explainNode(sb, n.In, depth+1)
 	}
 }
+
+// ExplainAnalyze renders the logical plan followed by the measured
+// physical execution: per server, per pipeline, the morsel count and
+// wall/busy times, then one line per operator with rows in/out, summed
+// worker time and fresh-batch materializations, and the sink's rows (and
+// exact wire bytes for exchange sends). stats is
+// cluster.QueryStats.PipelineStats — one slice per server.
+func ExplainAnalyze(q *Query, stats [][]engine.PipelineStat) string {
+	var sb strings.Builder
+	sb.WriteString(Explain(q))
+	for sid, server := range stats {
+		fmt.Fprintf(&sb, "\nserver %d:\n", sid)
+		for _, p := range server {
+			if p.Skipped {
+				fmt.Fprintf(&sb, "  pipeline %s [skipped: coordinator-only]\n", p.Name)
+				continue
+			}
+			fmt.Fprintf(&sb, "  pipeline %s: %d morsels, busy %v, wall %v..%v\n",
+				p.Name, p.Morsels, round(p.Busy), round(p.Start), round(p.End))
+			for _, o := range p.Ops {
+				fmt.Fprintf(&sb, "    op %s: rows in=%d out=%d, batches=%d, time=%v, allocs=%d\n",
+					o.Name, o.RowsIn, o.RowsOut, o.Batches, round(o.Time), o.Allocs)
+			}
+			switch {
+			case p.SinkName == "":
+			case p.SinkRows == 0 && p.SinkBytes == 0:
+				// Sink does not report counters (only exchange sends do).
+				fmt.Fprintf(&sb, "    sink %s\n", p.SinkName)
+			default:
+				fmt.Fprintf(&sb, "    sink %s: rows=%d", p.SinkName, p.SinkRows)
+				if p.SinkBytes > 0 {
+					fmt.Fprintf(&sb, ", wire bytes=%d", p.SinkBytes)
+				}
+				sb.WriteString("\n")
+			}
+		}
+	}
+	return sb.String()
+}
+
+// round trims durations to microseconds so analyze output stays readable.
+func round(d time.Duration) time.Duration { return d.Round(time.Microsecond) }
 
 func colNames(n *Node) []string {
 	out := make([]string, n.schema.Len())
