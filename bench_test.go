@@ -462,6 +462,36 @@ func BenchmarkFusedHotPath(b *testing.B) {
 	}
 }
 
+// BenchmarkServing measures the serving tier's three latency paths over a
+// loopback socket — cold (plan build + per-server prepare + execute),
+// plan-cache hit (execute on a cached plan) and result-cache hit (encoded
+// bytes, no execution) — plus the weighted-fair fairness phase. CI tracks
+// the reported metrics in BENCH_7.json; the acceptance bar is
+// planhit-speedup > 1 (a plan-cache hit is measurably cheaper than cold
+// compile+run) and resulthit-speedup well above it.
+func BenchmarkServing(b *testing.B) {
+	bench.Warmup()
+	var buf bytes.Buffer
+	var last bench.ServingResult
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		res, err := bench.Serving{}.Run(&buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	logTable(b, &buf)
+	b.ReportMetric(float64(last.ColdP50.Microseconds())/1000, "cold-ms")
+	b.ReportMetric(float64(last.PlanHitP50.Microseconds())/1000, "planhit-ms")
+	b.ReportMetric(float64(last.ResultHitP50.Microseconds())/1000, "resulthit-ms")
+	b.ReportMetric(last.PlanSpeedup, "planhit-speedup")
+	b.ReportMetric(last.ResultSpeedup, "resulthit-speedup")
+	for _, ts := range last.Tenants {
+		b.ReportMetric(float64(ts.QueueP99.Microseconds())/1000, ts.Tenant+"-queue-p99-ms")
+	}
+}
+
 // BenchmarkThroughputMixed runs the Q1/Q12 mixed-stream variant.
 func BenchmarkThroughputMixed(b *testing.B) {
 	bench.Warmup()

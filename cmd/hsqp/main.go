@@ -16,11 +16,14 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 
 	"hsqp/internal/bench"
 	"hsqp/internal/cluster"
 	"hsqp/internal/plan"
 	"hsqp/internal/queries"
+	"hsqp/internal/ref"
+	"hsqp/internal/serve"
 	"hsqp/internal/storage"
 	"hsqp/internal/tpch"
 )
@@ -38,6 +41,8 @@ func main() {
 		err = cmdRun(os.Args[2:])
 	case "explain":
 		err = cmdExplain(os.Args[2:])
+	case "client":
+		err = cmdClient(os.Args[2:])
 	case "experiment":
 		err = cmdExperiment(os.Args[2:])
 	default:
@@ -57,7 +62,9 @@ func usage() {
                   [-sched] [-partitioned] [-classic] [-timescale X] [-rows N]
                   [-nofuse] [-nopushdown] [-analyze]
   hsqp explain    -q <1-22>
-  hsqp experiment -id table1|fig2|fig3|fig4|fig5|fig9|fig10b|fig10c|fig11|fig12a|fig12b|table2|sched|sf|skew|skewjoin|skewsweep|throughput|all
+  hsqp client     -addr host:port [-tenant name] [-q q1] [-n N] [-prepare]
+                  [-bypass] [-rows N] [-stats] [-verify] [-shutdown]
+  hsqp experiment -id table1|fig2|fig3|fig4|fig5|fig9|fig10b|fig10c|fig11|fig12a|fig12b|table2|sched|sf|skew|skewjoin|skewsweep|throughput|serving|all
                   [-sf S] [-servers N] [-concurrency N] [-full]`)
 }
 
@@ -153,6 +160,8 @@ func cmdRun(args []string) error {
 	fmt.Printf("pipeline DAG: overlap ratio %.2f, peak %d concurrent pipelines/server\n",
 		stats.MaxOverlap(), stats.PeakConcurrentPipelines())
 	if *analyze {
+		fmt.Printf("timing: compile %s + execute %s (scheduler delay %s)\n",
+			stats.Compile, stats.Exec, stats.SchedulerDelay())
 		fmt.Printf("\n%s", plan.ExplainAnalyze(qp, stats.PipelineStats))
 	}
 	return nil
@@ -200,6 +209,141 @@ func cmdExplain(args []string) error {
 		return err
 	}
 	fmt.Print(plan.Explain(qp))
+	return nil
+}
+
+func cmdClient(args []string) error {
+	fs := flag.NewFlagSet("client", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:7483", "hsqpd address")
+	tenant := fs.String("tenant", "default", "tenant name (selects the admission queue)")
+	stmts := fs.String("q", "q1", "statement(s), comma-separated, e.g. q1,q5,q12")
+	n := fs.Int("n", 1, "repetitions per statement")
+	prepare := fs.Bool("prepare", false, "register a prepared-statement handle and execute through it")
+	bypass := fs.Bool("bypass", false, "bypass the server's result cache")
+	rows := fs.Int("rows", 0, "result rows to print (0 = none)")
+	showStats := fs.Bool("stats", false, "print per-request serving stats")
+	verify := fs.Bool("verify", false, "check results against the reference engine (regenerates the database from the advertised sf/seed)")
+	shutdown := fs.Bool("shutdown", false, "ask the server to drain and exit (after any queries)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cl, err := serve.Dial(*addr, *tenant)
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	fmt.Printf("connected to %s as %q (sf %g, seed %d, weight %d)\n",
+		*addr, *tenant, cl.Info.SF, cl.Info.Seed, cl.Info.Weight)
+
+	var db *tpch.Database
+	if *verify {
+		db = tpch.Generate(cl.Info.SF, cl.Info.Seed)
+	}
+	opts := serve.ExecOpts{BypassResultCache: *bypass}
+
+	for _, stmt := range strings.Split(*stmts, ",") {
+		stmt = strings.TrimSpace(stmt)
+		if stmt == "" {
+			continue
+		}
+		exec := func() (*storage.Batch, serve.ExecStats, error) {
+			return cl.ExecWithOpts(stmt, opts)
+		}
+		var ps *serve.Stmt
+		if *prepare {
+			if ps, err = cl.Prepare(stmt); err != nil {
+				return fmt.Errorf("prepare %s: %w", stmt, err)
+			}
+			exec = func() (*storage.Batch, serve.ExecStats, error) { return ps.ExecOpts(opts) }
+		}
+		var last *storage.Batch
+		for i := 0; i < *n; i++ {
+			res, st, err := exec()
+			if err != nil {
+				return fmt.Errorf("%s: %w", stmt, err)
+			}
+			last = res
+			path := "executed"
+			switch {
+			case st.Shared:
+				path = "shared"
+			case st.ResultHit:
+				path = "result-cache hit"
+			case st.PlanHit:
+				path = "plan-cache hit"
+			}
+			fmt.Printf("%-4s %6d rows  %10s  %s\n", stmt, st.Rows, st.Wall, path)
+			if *showStats {
+				fmt.Printf("     queue %s  compile %s  execute %s  server total %s\n",
+					st.QueueWait, st.Compile, st.Exec, st.Total)
+			}
+		}
+		if ps != nil {
+			if err := ps.Close(); err != nil {
+				return fmt.Errorf("close %s: %w", stmt, err)
+			}
+		}
+		if *rows > 0 && last != nil {
+			printBatch(last, *rows)
+		}
+		if *verify {
+			qn, err := serve.ParseStatement(stmt)
+			if err != nil {
+				return err
+			}
+			want, err := ref.Run(qn, db, cl.Info.SF)
+			if err != nil {
+				return fmt.Errorf("reference %s: %w", stmt, err)
+			}
+			if err := verifyBatch(last, want); err != nil {
+				return fmt.Errorf("%s: VERIFICATION FAILED: %w", stmt, err)
+			}
+			fmt.Printf("     verified against reference engine (%d rows)\n", last.Rows())
+		}
+	}
+
+	if *shutdown {
+		if err := cl.Shutdown(); err != nil {
+			return err
+		}
+		fmt.Println("server draining")
+	}
+	return nil
+}
+
+// verifyBatch compares a served result against the reference rows as a
+// multiset of formatted rows (row order is scheduling-dependent).
+func verifyBatch(got *storage.Batch, want *ref.Result) error {
+	if got.Rows() != len(want.Rows) {
+		return fmt.Errorf("%d rows, reference has %d", got.Rows(), len(want.Rows))
+	}
+	format := func(vals []any) string {
+		parts := make([]string, len(vals))
+		for i, v := range vals {
+			if v == nil {
+				parts[i] = "∅"
+			} else {
+				parts[i] = fmt.Sprintf("%v", v)
+			}
+		}
+		return strings.Join(parts, "|")
+	}
+	g := make([]string, got.Rows())
+	for i := range g {
+		g[i] = format(got.Row(i))
+	}
+	w := make([]string, len(want.Rows))
+	for i := range w {
+		w[i] = format(want.Rows[i])
+	}
+	sort.Strings(g)
+	sort.Strings(w)
+	for i := range g {
+		if g[i] != w[i] {
+			return fmt.Errorf("row %d (canonical order) differs\n  got:  %s\n  want: %s", i, g[i], w[i])
+		}
+	}
 	return nil
 }
 
@@ -293,6 +437,15 @@ func cmdExperiment(args []string) error {
 			_, err := run.Run(w)
 			return err
 		},
+		"serving": func() error {
+			run := bench.Serving{Servers: *servers}
+			if *full {
+				run.Iters = 10
+				run.FairRequests = 20
+			}
+			_, err := run.Run(w)
+			return err
+		},
 		"skewsweep": func() error {
 			run := bench.SkewSweep{SkewedJoin: bench.SkewedJoin{
 				Servers: *servers, Transport: cluster.TCPGbE, Rows: 200_000}}
@@ -306,7 +459,7 @@ func cmdExperiment(args []string) error {
 	if *id == "all" {
 		order := []string{"table1", "fig2", "fig3", "fig4", "fig5", "fig9", "fig10b",
 			"fig10c", "fig11", "fig12a", "fig12b", "table2", "sched", "sf", "skew",
-			"skewjoin", "skewsweep", "throughput"}
+			"skewjoin", "skewsweep", "throughput", "serving"}
 		for _, name := range order {
 			if err := run(name, all[name]); err != nil {
 				return err

@@ -1,0 +1,103 @@
+// Serving over the network: stand up the hsqpd serving tier on a loopback
+// socket in-process, then walk one statement through its three latency
+// paths — cold (plan build + per-server compile + execution), plan-cache
+// hit (execution on a cached prepared plan) and result-cache hit (encoded
+// bytes, no execution at all) — plus a prepared-statement round trip and
+// the per-tenant QoS snapshot.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"time"
+
+	"hsqp"
+)
+
+func main() {
+	c, err := hsqp.NewCluster(hsqp.ClusterConfig{
+		Servers:          3,
+		WorkersPerServer: 4,
+		Transport:        hsqp.RDMA,
+		Scheduling:       true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+
+	const sf = 0.01
+	fmt.Printf("loading TPC-H SF %g over 3 servers…\n", sf)
+	c.LoadTPCH(hsqp.GenerateTPCH(sf, 42), false)
+
+	// The serving tier wraps the cluster: wire protocol, compiled-plan
+	// cache, single-flight result cache and weighted-fair admission.
+	srv := hsqp.NewServer(hsqp.ServeConfig{
+		Cluster: c,
+		SF:      sf,
+		Seed:    42,
+		Tenants: map[string]int{"analytics": 4, "adhoc": 1},
+		Slots:   2,
+	})
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go srv.Serve(lis)
+	defer srv.Shutdown()
+
+	cl, err := hsqp.DialServer(lis.Addr().String(), "analytics")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cl.Close()
+
+	run := func(label string, opts hsqp.ExecOpts) {
+		t0 := time.Now()
+		res, st, err := cl.ExecWithOpts("q12", opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		path := "executed"
+		switch {
+		case st.ResultHit:
+			path = "result-cache hit"
+		case st.PlanHit:
+			path = "plan-cache hit"
+		}
+		fmt.Printf("  %-22s %3d rows in %8s  (%s)\n", label, res.Rows(),
+			time.Since(t0).Round(time.Microsecond), path)
+	}
+
+	bypass := hsqp.ExecOpts{BypassResultCache: true}
+	fmt.Println("\nq12 three ways:")
+	run("cold", bypass)                   // builds + prepares + executes
+	run("warm plan", bypass)              // cached plan, full execution
+	cl.Exec("q12")                        // prime the result cache
+	run("cached result", hsqp.ExecOpts{}) // encoded bytes only
+
+	// Prepared statements skip statement parsing and pin the plan handle.
+	stmt, err := cl.Prepare("q5")
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, st, err := stmt.Exec()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nprepared q5: %d rows, %d result fields, queue %s + compile %s + execute %s\n",
+		res.Rows(), len(stmt.Schema().Fields),
+		st.QueueWait.Round(time.Microsecond), st.Compile.Round(time.Microsecond),
+		st.Exec.Round(time.Microsecond))
+	stmt.Close()
+
+	fmt.Println("\nper-tenant QoS snapshot:")
+	for _, ts := range srv.TenantStats() {
+		fmt.Printf("  %-10s weight %d  served %3d  queue p99 %s\n",
+			ts.Tenant, ts.Weight, ts.Served, ts.QueueP99.Round(time.Microsecond))
+	}
+	pc, rc := srv.PlanCacheStats(), srv.ResultCacheStats()
+	fmt.Printf("plan cache: %d hit / %d miss   result cache: %d hit / %d miss (%d B)\n",
+		pc.Hits, pc.Misses, rc.Hits, rc.Misses, rc.Bytes)
+}

@@ -45,6 +45,7 @@ import (
 	"hsqp/internal/numa"
 	"hsqp/internal/plan"
 	"hsqp/internal/queries"
+	"hsqp/internal/serve"
 	"hsqp/internal/storage"
 	"hsqp/internal/tpch"
 )
@@ -106,6 +107,45 @@ type QueryOutcome = cluster.QueryOutcome
 // ErrOverloaded is returned by Session.Run when the admission queue is
 // full.
 var ErrOverloaded = cluster.ErrOverloaded
+
+// ErrSessionClosed is returned by Session.Run after Close, and by queries
+// still queued when Close drains the session.
+var ErrSessionClosed = cluster.ErrSessionClosed
+
+// Prepared is a prepared statement on a cluster: compiled and validated on
+// every server once, then executed repeatedly (cluster.Prepare).
+type Prepared = cluster.Prepared
+
+// --- serving tier (cmd/hsqpd): network protocol, caches, QoS ---
+
+// ServeConfig configures the network serving tier over a cluster: wire
+// protocol endpoint, compiled-plan cache, single-flight result cache and
+// per-tenant weighted-fair admission (see serve.Config).
+type ServeConfig = serve.Config
+
+// Server is the serving tier's front door (serve.Server).
+type Server = serve.Server
+
+// Client is one tenant connection to a Server (serve.Client).
+type Client = serve.Client
+
+// ExecStats reports one served request: rows, cache path (plan hit /
+// result hit / shared), and the queue/compile/execute latency split.
+type ExecStats = serve.ExecStats
+
+// ExecOpts tunes one served request (e.g. BypassResultCache).
+type ExecOpts = serve.ExecOpts
+
+// TenantStats is one tenant's serving-path SLO snapshot (served count and
+// queue/total p50/p99).
+type TenantStats = serve.TenantStats
+
+// NewServer creates a serving tier over a cluster; drive it with
+// Server.Serve on a net.Listener and stop it with Server.Shutdown.
+func NewServer(cfg ServeConfig) *Server { return serve.New(cfg) }
+
+// DialServer connects to a serving tier as the given tenant.
+func DialServer(addr, tenant string) (*Client, error) { return serve.Dial(addr, tenant) }
 
 // Query is a compiled logical plan.
 type Query = plan.Query
@@ -187,5 +227,13 @@ func ExperimentFigure12a(w io.Writer, wl Workload) error {
 // back-to-back, reporting qps and p50/p99 latency for both modes.
 func ExperimentThroughput(w io.Writer, streams int) error {
 	_, err := bench.Throughput{Streams: streams}.Run(w)
+	return err
+}
+
+// ExperimentServing measures the serving tier's latency paths over a
+// loopback socket — cold statement, plan-cache hit, result-cache hit —
+// plus per-tenant latency under weighted-fair admission.
+func ExperimentServing(w io.Writer) error {
+	_, err := bench.Serving{}.Run(w)
 	return err
 }

@@ -128,6 +128,10 @@ type Cluster struct {
 
 	nextQueryID atomic.Int32
 	closed      atomic.Bool
+	// epoch counts table (re)loads; plan and result caches key on it so a
+	// reload invalidates every cached artifact compiled against the old
+	// placement.
+	epoch atomic.Uint64
 }
 
 // New builds and starts a cluster.
@@ -240,8 +244,14 @@ func (c *Cluster) Close() {
 	c.fab.Stop()
 }
 
+// Epoch identifies the current table-placement generation: it advances on
+// every LoadTable, so prepared plans and cached results carry the epoch
+// they were built against and can be discarded when the data changes.
+func (c *Cluster) Epoch() uint64 { return c.epoch.Load() }
+
 // LoadTable distributes one relation over the cluster.
 func (c *Cluster) LoadTable(name string, b *storage.Batch, placement storage.Placement, partCol int) {
+	c.epoch.Add(1)
 	n := c.cfg.Servers
 	var parts []*storage.Batch
 	var info func(id int) plan.TableInfo
@@ -295,7 +305,18 @@ func (c *Cluster) LoadTPCH(db *tpch.Database, partitioned bool) {
 // query's own exchange sends) and should be preferred for byte-savings
 // claims.
 type QueryStats struct {
-	Duration     time.Duration
+	// Duration is the query's end-to-end latency inside the cluster:
+	// Compile + Exec. It excludes any admission queueing (QueueWait).
+	Duration time.Duration
+	// QueueWait is how long the query waited for an execution slot before
+	// compilation started. Zero for direct Cluster.Run calls; populated by
+	// Session (and the serving tier's weighted-fair admission).
+	QueueWait time.Duration
+	// Compile is the plan-compilation time summed over the per-server
+	// compile loop (the cost a plan cache amortizes away).
+	Compile time.Duration
+	// Exec is the wall time of the distributed pipeline-DAG execution.
+	Exec         time.Duration
 	BytesSent    uint64 // wire bytes between servers
 	MessagesSent uint64
 	StolenMsgs   uint64
@@ -378,7 +399,6 @@ func (c *Cluster) RunWithCancel(q *plan.Query, userCancel <-chan struct{}) (*sto
 	// start at zero — concurrent queries reuse the same exchange ids
 	// without colliding.
 	qid := c.nextQueryID.Add(1)
-	compiled := make([]*plan.Compiled, c.cfg.Servers)
 	// The cancel channel exists before compilation: skew-adaptive plans
 	// capture it so an aborted query unblocks send finalizes waiting for
 	// remote sketches.
@@ -396,46 +416,12 @@ func (c *Cluster) RunWithCancel(q *plan.Query, userCancel <-chan struct{}) (*sto
 			}
 		}()
 	}
-	// All servers must compile the identical plan with the identical
-	// exchange-id sequence.
-	for id, node := range c.Nodes {
-		var next int32
-		env := &plan.Env{
-			QueryID:          qid,
-			ServerID:         id,
-			Servers:          c.cfg.Servers,
-			WorkersPerServer: node.Engine.Workers(),
-			Engine:           node.Engine,
-			Mux:              node.Mux,
-			Pool:             node.Pool,
-			Topo:             node.Topo,
-			Scale:            c.cfg.TimeScale,
-			Classic:          c.cfg.Classic,
-			Skew:             c.cfg.Skew,
-			Cancel:           cancel,
-			DisablePreAgg:    c.cfg.DisablePreAgg,
-			NoFuse:           c.cfg.NoFuse,
-			NoPushdown:       c.cfg.NoPushdown,
-			MorselSize:       c.cfg.MorselSize,
-			AfterScan:        c.cfg.AfterScan,
-			AfterExchange:    c.cfg.AfterExchange,
-			Lookup:           node.lookup,
-			NextExID: func() int32 {
-				next++
-				return next - 1
-			},
-		}
-		cp, err := plan.Compile(q, env)
-		if err != nil {
-			// Earlier servers may already have opened exchanges for this
-			// query; release that state before bailing out.
-			for _, n := range c.Nodes {
-				n.Mux.CloseQuery(qid)
-			}
-			return nil, QueryStats{}, err
-		}
-		compiled[id] = cp
+	compileStart := time.Now()
+	compiled, err := c.compileAll(q, qid, cancel)
+	if err != nil {
+		return nil, QueryStats{}, err
 	}
+	compileDur := time.Since(compileStart)
 	defer func() {
 		// Forget this query's exchanges and drop any stragglers so the
 		// multiplexer maps don't grow across queries.
@@ -491,7 +477,12 @@ func (c *Cluster) RunWithCancel(q *plan.Query, userCancel <-chan struct{}) (*sto
 		return nil, QueryStats{}, firstErr
 	}
 
-	stats := QueryStats{Duration: dur, PipelineStats: pstats}
+	stats := QueryStats{
+		Duration:      compileDur + dur,
+		Compile:       compileDur,
+		Exec:          dur,
+		PipelineStats: pstats,
+	}
 	for _, st := range pstats {
 		stats.ServerOverlap = append(stats.ServerOverlap, engine.OverlapRatio(st))
 	}
@@ -504,6 +495,64 @@ func (c *Cluster) RunWithCancel(q *plan.Query, userCancel <-chan struct{}) (*sto
 	}
 	result := compiled[0].Result.Flatten(compiled[0].Schema)
 	return result, stats, nil
+}
+
+// compileAll lowers the query on every server with the shared query id and
+// the identical exchange-id sequence. On error the exchange state already
+// opened by earlier servers is released.
+func (c *Cluster) compileAll(q *plan.Query, qid int32, cancel <-chan struct{}) ([]*plan.Compiled, error) {
+	compiled := make([]*plan.Compiled, c.cfg.Servers)
+	for id, node := range c.Nodes {
+		var next int32
+		env := &plan.Env{
+			QueryID:          qid,
+			ServerID:         id,
+			Servers:          c.cfg.Servers,
+			WorkersPerServer: node.Engine.Workers(),
+			Engine:           node.Engine,
+			Mux:              node.Mux,
+			Pool:             node.Pool,
+			Topo:             node.Topo,
+			Scale:            c.cfg.TimeScale,
+			Classic:          c.cfg.Classic,
+			Skew:             c.cfg.Skew,
+			Cancel:           cancel,
+			DisablePreAgg:    c.cfg.DisablePreAgg,
+			NoFuse:           c.cfg.NoFuse,
+			NoPushdown:       c.cfg.NoPushdown,
+			MorselSize:       c.cfg.MorselSize,
+			AfterScan:        c.cfg.AfterScan,
+			AfterExchange:    c.cfg.AfterExchange,
+			Lookup:           node.lookup,
+			NextExID: func() int32 {
+				next++
+				return next - 1
+			},
+		}
+		cp, err := plan.Compile(q, env)
+		if err != nil {
+			for _, n := range c.Nodes {
+				n.Mux.CloseQuery(qid)
+			}
+			return nil, err
+		}
+		compiled[id] = cp
+	}
+	return compiled, nil
+}
+
+// SchedulerDelay reports the worst per-server delay between run start and
+// the first morsel dispatched for this query — the engine-level queueing a
+// query experiences when many runs share the worker pools (an SLO
+// component distinct from admission QueueWait).
+func (s *QueryStats) SchedulerDelay() time.Duration {
+	var worst time.Duration
+	for _, st := range s.PipelineStats {
+		if d := engine.FirstDispatch(st); d > worst {
+			worst = d
+		}
+	}
+	return worst
 }
 
 func (n *Node) lookup(name string) (plan.TableInfo, error) {

@@ -1,0 +1,86 @@
+package cluster
+
+import (
+	"testing"
+
+	"hsqp/internal/storage"
+)
+
+// TestPreparedStatement: a prepared query runs repeatedly with results
+// identical to ad-hoc execution, and reloading a table bumps the cluster
+// epoch so the handle reports itself stale.
+func TestPreparedStatement(t *testing.T) {
+	orders := testOrders(500)
+	c := newTestCluster(t, 3, RDMA, true)
+	c.LoadTable("orders", orders, storage.PlacementChunked, 0)
+
+	q := groupByQueryPlan()
+	direct, _, err := c.Run(q)
+	if err != nil {
+		t.Fatalf("direct run: %v", err)
+	}
+	want := rowSet(direct)
+
+	p, err := c.Prepare(groupByQueryPlan())
+	if err != nil {
+		t.Fatalf("prepare: %v", err)
+	}
+	if p.Schema() == nil {
+		t.Fatal("prepared statement has no schema")
+	}
+	if p.Epoch() != c.Epoch() {
+		t.Fatalf("prepared at epoch %d, cluster at %d", p.Epoch(), c.Epoch())
+	}
+	for i := 0; i < 3; i++ {
+		res, _, err := p.Run()
+		if err != nil {
+			t.Fatalf("prepared run %d: %v", i, err)
+		}
+		got := rowSet(res)
+		if len(got) != len(want) {
+			t.Fatalf("prepared run %d: %d rows, want %d", i, len(got), len(want))
+		}
+		for r := range got {
+			if got[r] != want[r] {
+				t.Fatalf("prepared run %d row %d: %q != %q", i, r, got[r], want[r])
+			}
+		}
+		if p.Stale() {
+			t.Fatalf("prepared statement stale after run %d without reload", i)
+		}
+	}
+
+	// A prepare must not leak per-query routing state (it compiles then
+	// immediately closes the query id on every server).
+	for _, n := range c.Nodes {
+		ex, pend := n.Mux.TableSizes()
+		if ex != 0 || pend != 0 {
+			t.Fatalf("server %d holds %d exchanges, %d pending after prepared runs; want 0/0", n.ID, ex, pend)
+		}
+	}
+
+	// Reloading data invalidates: epoch moves, handle turns stale.
+	before := c.Epoch()
+	c.LoadTable("orders", testOrders(600), storage.PlacementChunked, 0)
+	if c.Epoch() == before {
+		t.Fatal("LoadTable did not bump the cluster epoch")
+	}
+	if !p.Stale() {
+		t.Fatal("prepared statement not stale after table reload")
+	}
+}
+
+// TestPrepareUnknownTable: prepare surfaces compile errors up front without
+// leaking query state.
+func TestPrepareUnknownTable(t *testing.T) {
+	c := newTestCluster(t, 2, RDMA, true)
+	if _, err := c.Prepare(groupByQueryPlan()); err == nil {
+		t.Fatal("prepare against missing table succeeded, want error")
+	}
+	for _, n := range c.Nodes {
+		ex, pend := n.Mux.TableSizes()
+		if ex != 0 || pend != 0 {
+			t.Fatalf("server %d holds %d exchanges, %d pending after failed prepare; want 0/0", n.ID, ex, pend)
+		}
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"hsqp/internal/engine"
 	"hsqp/internal/plan"
@@ -15,8 +17,20 @@ import (
 // retry instead of piling more work onto a saturated cluster.
 var ErrOverloaded = errors.New("cluster: session overloaded: admission queue full")
 
-// ErrSessionClosed is returned by Session.Run after Close.
+// ErrSessionClosed is returned by Session.Run after Close, and by queries
+// still queued when Close is called: a draining session fails its queue
+// fast instead of starting new work.
 var ErrSessionClosed = errors.New("cluster: session closed")
+
+// Admission orders queued queries for execution slots, replacing the
+// session's flat FIFO handout. Implementations decide which waiting query
+// runs next (e.g. the serving tier's per-tenant weighted-fair scheduler).
+type Admission interface {
+	// Acquire blocks until the query may execute and returns a release
+	// function for its slot. Closing cancel abandons the wait; the
+	// returned error is surfaced to the caller.
+	Acquire(tenant string, cancel <-chan struct{}) (release func(), err error)
+}
 
 // SessionConfig tunes a Session's admission control.
 type SessionConfig struct {
@@ -28,6 +42,11 @@ type SessionConfig struct {
 	// waiting fails fast with ErrOverloaded. Zero means 4×MaxConcurrent;
 	// negative means no queue (immediate rejection when slots are busy).
 	MaxQueued int
+	// Admission, when set, replaces the FIFO slot handout: every query
+	// passes through Admission.Acquire (with its RunTenant tenant label,
+	// "" for plain Run) instead of the built-in slot channel. MaxConcurrent
+	// and MaxQueued are ignored; the controller owns both bounds.
+	Admission Admission
 }
 
 // DefaultMaxConcurrent is the default number of in-flight queries per
@@ -63,9 +82,18 @@ type Session struct {
 	tickets chan struct{}
 	slots   chan struct{}
 
+	// closing is closed by Close so queries still waiting for a slot fail
+	// fast with ErrSessionClosed while in-flight queries run to completion.
+	closing chan struct{}
+
 	mu     sync.Mutex
 	closed bool
 	wg     sync.WaitGroup
+
+	// Observability counters for the serving tier: queries waiting for a
+	// slot and queries currently executing.
+	queued  atomic.Int32
+	running atomic.Int32
 }
 
 // NewSession creates a session on the cluster.
@@ -76,63 +104,152 @@ func (c *Cluster) NewSession(cfg SessionConfig) *Session {
 		cfg:     cfg,
 		tickets: make(chan struct{}, cfg.MaxConcurrent+cfg.MaxQueued),
 		slots:   make(chan struct{}, cfg.MaxConcurrent),
+		closing: make(chan struct{}),
 	}
 }
 
 // Config returns the session's effective (defaulted) configuration.
 func (s *Session) Config() SessionConfig { return s.cfg }
 
+// Queued reports how many queries are waiting for an execution slot.
+func (s *Session) Queued() int { return int(s.queued.Load()) }
+
+// Running reports how many queries hold an execution slot right now.
+func (s *Session) Running() int { return int(s.running.Load()) }
+
 // Run executes one query through the session's admission control. It
 // blocks while the query is queued or running and returns the
 // coordinator's result rows; ErrOverloaded is returned immediately when
 // the admission queue is full.
 func (s *Session) Run(q *plan.Query) (*storage.Batch, QueryStats, error) {
-	return s.RunWithCancel(q, nil)
+	return s.RunTenant("", q, nil)
 }
 
 // RunWithCancel is Run with a per-query cancellation channel: closing it
 // aborts this query only (whether still queued or already executing).
 func (s *Session) RunWithCancel(q *plan.Query, cancel <-chan struct{}) (*storage.Batch, QueryStats, error) {
+	return s.RunTenant("", q, cancel)
+}
+
+// RunTenant is RunWithCancel with a tenant label: when the session has an
+// Admission controller the label selects whose queue the query waits in
+// (weighted-fair scheduling across tenants); without one the label is
+// ignored and the flat FIFO applies. The returned QueryStats records the
+// admission wait in QueueWait.
+func (s *Session) RunTenant(tenant string, q *plan.Query, cancel <-chan struct{}) (*storage.Batch, QueryStats, error) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		return nil, QueryStats{}, ErrSessionClosed
 	}
-	select {
-	case s.tickets <- struct{}{}:
-		s.wg.Add(1)
-	default:
-		s.mu.Unlock()
-		return nil, QueryStats{}, ErrOverloaded
+	s.wg.Add(1)
+	ticketed := false
+	if s.cfg.Admission == nil {
+		select {
+		case s.tickets <- struct{}{}:
+			ticketed = true
+		default:
+			s.wg.Done()
+			s.mu.Unlock()
+			return nil, QueryStats{}, ErrOverloaded
+		}
 	}
 	s.mu.Unlock()
 	defer func() {
-		<-s.tickets
+		if ticketed {
+			<-s.tickets
+		}
 		s.wg.Done()
 	}()
 
-	// Admitted: wait (bounded by the ticket count) for an execution slot.
-	// A cancel while queued surfaces the same sentinel as a cancel during
-	// execution, so errors.Is(err, engine.ErrCancelled) works regardless
-	// of which phase the cancellation raced with.
-	if cancel != nil {
-		select {
-		case s.slots <- struct{}{}:
-		case <-cancel:
-			return nil, QueryStats{}, fmt.Errorf("cluster: query cancelled while queued: %w", engine.ErrCancelled)
-		}
-	} else {
-		s.slots <- struct{}{}
+	queued := time.Now()
+	release, err := s.acquire(tenant, cancel)
+	if err != nil {
+		return nil, QueryStats{}, err
 	}
-	defer func() { <-s.slots }()
-	return s.c.RunWithCancel(q, cancel)
+	defer release()
+	wait := time.Since(queued)
+
+	res, stats, err := s.c.RunWithCancel(q, cancel)
+	stats.QueueWait = wait
+	return res, stats, err
 }
 
-// Close marks the session closed and waits for in-flight (queued and
-// executing) queries to drain. The underlying cluster stays open.
+// acquire waits for an execution slot: through the Admission controller
+// when configured, otherwise on the built-in slot channel. A close of the
+// session fails queued waiters fast; a query cancel while queued surfaces
+// the same sentinel as a cancel during execution, so
+// errors.Is(err, engine.ErrCancelled) works regardless of which phase the
+// cancellation raced with.
+func (s *Session) acquire(tenant string, cancel <-chan struct{}) (func(), error) {
+	s.queued.Add(1)
+	defer s.queued.Add(-1)
+	granted := func(release func()) func() {
+		s.running.Add(1)
+		return func() {
+			s.running.Add(-1)
+			release()
+		}
+	}
+	if adm := s.cfg.Admission; adm != nil {
+		// Merge query cancel and session close into the one channel the
+		// controller watches.
+		stop := make(chan struct{})
+		var stopOnce sync.Once
+		closeStop := func() { stopOnce.Do(func() { close(stop) }) }
+		defer closeStop()
+		done := make(chan struct{})
+		defer close(done)
+		go func() {
+			select {
+			case <-cancel:
+			case <-s.closing:
+			case <-done:
+			}
+			closeStop()
+		}()
+		release, err := adm.Acquire(tenant, stop)
+		if err == nil {
+			return granted(release), nil
+		}
+		select {
+		case <-s.closing:
+			return nil, ErrSessionClosed
+		default:
+		}
+		select {
+		case <-cancel:
+			return nil, fmt.Errorf("cluster: query cancelled while queued: %w", engine.ErrCancelled)
+		default:
+		}
+		return nil, err
+	}
+
+	// Admitted (ticket held by the caller for the query's whole lifetime):
+	// wait, bounded by the ticket count, for an execution slot. A nil
+	// cancel channel blocks forever in the select, which is exactly the
+	// uncancellable case.
+	select {
+	case s.slots <- struct{}{}:
+		return granted(func() { <-s.slots }), nil
+	case <-s.closing:
+		return nil, ErrSessionClosed
+	case <-cancel:
+		return nil, fmt.Errorf("cluster: query cancelled while queued: %w", engine.ErrCancelled)
+	}
+}
+
+// Close marks the session closed and drains it: queries already holding an
+// execution slot run to completion, queries still waiting in the admission
+// queue fail fast with ErrSessionClosed, and new Run calls are rejected.
+// Close returns once every outstanding call has finished. The underlying
+// cluster stays open.
 func (s *Session) Close() {
 	s.mu.Lock()
-	s.closed = true
+	if !s.closed {
+		s.closed = true
+		close(s.closing)
+	}
 	s.mu.Unlock()
 	s.wg.Wait()
 }
@@ -142,6 +259,13 @@ type QueryOutcome struct {
 	Result *storage.Batch
 	Stats  QueryStats
 	Err    error
+	// QueueWait, Compile and Execute split the query's latency into its
+	// serving-path phases: admission-queue wait, per-server plan
+	// compilation, and distributed execution. (End-to-end latency as seen
+	// by the caller is the sum of the three.)
+	QueueWait time.Duration
+	Compile   time.Duration
+	Execute   time.Duration
 }
 
 // RunConcurrent executes the queries concurrently over the cluster —
@@ -161,7 +285,14 @@ func (c *Cluster) RunConcurrent(qs []*plan.Query, maxConcurrent int) []QueryOutc
 		go func(i int, q *plan.Query) {
 			defer wg.Done()
 			res, stats, err := s.Run(q)
-			out[i] = QueryOutcome{Result: res, Stats: stats, Err: err}
+			out[i] = QueryOutcome{
+				Result:    res,
+				Stats:     stats,
+				Err:       err,
+				QueueWait: stats.QueueWait,
+				Compile:   stats.Compile,
+				Execute:   stats.Exec,
+			}
 		}(i, q)
 	}
 	wg.Wait()

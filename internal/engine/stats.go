@@ -112,3 +112,23 @@ func OverlapRatio(stats []PipelineStat) float64 {
 	}
 	return float64(overlapT) / float64(anyT)
 }
+
+// FirstDispatch returns the delay between the run's submission and the
+// moment the shared worker pool dispatched its first morsel for it — the
+// engine-level queue wait a query experiences when many runs compete for
+// the pool. Zero when the run was picked up immediately (or did no work).
+func FirstDispatch(stats []PipelineStat) time.Duration {
+	first := time.Duration(-1)
+	for _, st := range stats {
+		if st.Skipped || st.Morsels == 0 {
+			continue
+		}
+		if first < 0 || st.Start < first {
+			first = st.Start
+		}
+	}
+	if first < 0 {
+		return 0
+	}
+	return first
+}

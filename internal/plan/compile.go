@@ -310,7 +310,10 @@ func (c *compiler) exchangeStreamSkew(name string, in *stream, mode exchange.Mod
 		mode = exchange.ModeClassicPartition
 	}
 	exID := env.NextExID()
-	codec := ser.NewCodec(in.schema)
+	// ser.For reuses the schema's specialized codec across compiles: a
+	// cached/prepared plan keeps its schema pointers, so re-executions skip
+	// codec construction entirely.
+	codec := ser.For(in.schema)
 	senders := env.Servers
 	if in.coordOnly {
 		senders = 1

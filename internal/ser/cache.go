@@ -1,0 +1,49 @@
+package ser
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"hsqp/internal/storage"
+)
+
+// The codec cache amortizes NewCodec across executions of the same plan,
+// the serving-tier analogue of the message-pool registration reuse of
+// §2.2.2: a prepared statement's schema pointers are stable across runs,
+// so every execution after the first reuses the specialized
+// encoder/decoder closures instead of rebuilding them. A Codec is
+// stateless after construction (the closures write only into
+// caller-supplied buffers), so one cached instance may serve many
+// concurrent exchanges.
+var (
+	codecCache     sync.Map // *storage.Schema → *Codec
+	codecCacheSize atomic.Int64
+)
+
+// maxCachedCodecs bounds the cache: ad-hoc plans create fresh schema
+// pointers, and without a bound the map would grow with every one-shot
+// query. Crossing the bound drops the whole cache (entries still in use
+// stay alive through their holders' references).
+const maxCachedCodecs = 4096
+
+// For returns a codec for the schema, reusing the cached one when this
+// exact *Schema has been seen before. Plans compiled repeatedly (prepared
+// statements, cached query templates) hit the cache on every compile after
+// the first; a fresh schema costs one NewCodec, same as before.
+func For(schema *storage.Schema) *Codec {
+	if c, ok := codecCache.Load(schema); ok {
+		return c.(*Codec)
+	}
+	c := NewCodec(schema)
+	if actual, loaded := codecCache.LoadOrStore(schema, c); loaded {
+		return actual.(*Codec)
+	}
+	if codecCacheSize.Add(1) > maxCachedCodecs {
+		codecCache.Range(func(k, _ any) bool {
+			codecCache.Delete(k)
+			return true
+		})
+		codecCacheSize.Store(0)
+	}
+	return c
+}

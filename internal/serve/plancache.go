@@ -1,0 +1,142 @@
+package serve
+
+import (
+	"container/list"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+
+	"hsqp/internal/cluster"
+	"hsqp/internal/queries"
+)
+
+// ParseStatement resolves a statement text to a TPC-H query number.
+// Accepted forms: "q12", "Q12", "12".
+func ParseStatement(stmt string) (int, error) {
+	s := strings.TrimSpace(strings.ToLower(stmt))
+	s = strings.TrimPrefix(s, "q")
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 1 || n > 22 {
+		return 0, fmt.Errorf("serve: unknown statement %q (want q1..q22)", stmt)
+	}
+	return n, nil
+}
+
+// PlanCache caches prepared statements cluster-wide: the first request for
+// a statement pays plan construction plus the full per-server validation
+// compile (cluster.Prepare); every later request — from any tenant, on any
+// connection — reuses the handle. Entries are keyed on
+// (statement, cluster epoch), so a table reload naturally invalidates, and
+// evicted LRU beyond MaxEntries. Concurrent first requests for the same
+// statement are deduplicated: exactly one caller prepares, the rest wait.
+type PlanCache struct {
+	c   *cluster.Cluster
+	sf  float64
+	max int
+
+	mu      sync.Mutex
+	entries map[string]*planEntry
+	lru     *list.List // front = most recent; values are keys
+
+	hits, misses uint64
+}
+
+type planEntry struct {
+	key      string
+	ready    chan struct{} // closed when prepared (or failed)
+	prepared *cluster.Prepared
+	err      error
+	lruEl    *list.Element
+}
+
+// NewPlanCache creates a plan cache over the cluster. maxEntries <= 0
+// means DefaultPlanCacheEntries.
+func NewPlanCache(c *cluster.Cluster, sf float64, maxEntries int) *PlanCache {
+	if maxEntries <= 0 {
+		maxEntries = DefaultPlanCacheEntries
+	}
+	return &PlanCache{
+		c:       c,
+		sf:      sf,
+		max:     maxEntries,
+		entries: map[string]*planEntry{},
+		lru:     list.New(),
+	}
+}
+
+// DefaultPlanCacheEntries holds every TPC-H template with room to spare.
+const DefaultPlanCacheEntries = 64
+
+// Get returns the prepared statement for the text, preparing it on first
+// use. hit reports whether the plan came from the cache (no compile).
+func (pc *PlanCache) Get(stmt string) (p *cluster.Prepared, hit bool, err error) {
+	key := fmt.Sprintf("%s|e%d", stmt, pc.c.Epoch())
+
+	pc.mu.Lock()
+	if e, ok := pc.entries[key]; ok {
+		pc.lru.MoveToFront(e.lruEl)
+		pc.hits++
+		pc.mu.Unlock()
+		<-e.ready
+		if e.err != nil {
+			return nil, false, e.err
+		}
+		// A waiter that piggybacked on an in-flight prepare still avoided
+		// the compile, which is what "hit" means to the caller.
+		return e.prepared, true, nil
+	}
+	e := &planEntry{key: key, ready: make(chan struct{})}
+	e.lruEl = pc.lru.PushFront(key)
+	pc.entries[key] = e
+	pc.misses++
+	for pc.lru.Len() > pc.max {
+		oldest := pc.lru.Back()
+		pc.lru.Remove(oldest)
+		delete(pc.entries, oldest.Value.(string))
+	}
+	pc.mu.Unlock()
+
+	// Prepare outside the lock: building and validating the plan compiles
+	// it on every server.
+	p, err = pc.prepare(stmt)
+	e.prepared, e.err = p, err
+	close(e.ready)
+	if err != nil {
+		// Do not cache failures.
+		pc.mu.Lock()
+		if cur, ok := pc.entries[key]; ok && cur == e {
+			pc.lru.Remove(e.lruEl)
+			delete(pc.entries, key)
+		}
+		pc.mu.Unlock()
+		return nil, false, err
+	}
+	return p, false, nil
+}
+
+func (pc *PlanCache) prepare(stmt string) (*cluster.Prepared, error) {
+	n, err := ParseStatement(stmt)
+	if err != nil {
+		return nil, err
+	}
+	q, err := queries.Build(n, queries.Params{SF: pc.sf})
+	if err != nil {
+		return nil, err
+	}
+	return pc.c.Prepare(q)
+}
+
+// PlanCacheStats is a point-in-time counters snapshot.
+type PlanCacheStats struct {
+	Entries int
+	Hits    uint64
+	Misses  uint64
+}
+
+// Stats snapshots the cache counters.
+func (pc *PlanCache) Stats() PlanCacheStats {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return PlanCacheStats{Entries: len(pc.entries), Hits: pc.hits, Misses: pc.misses}
+}

@@ -1,0 +1,209 @@
+// Package serve is the network-facing serving tier: a TCP server speaking
+// a small length-prefixed request/response protocol, a compiled-plan cache
+// (prepare once, plan compilation amortized across users — the serving-
+// path analogue of the message-buffer registration reuse of §2.2.2), a
+// result cache with single-flight deduplication for identical read-only
+// queries, and per-tenant weighted-fair admission with latency accounting
+// layered on cluster.Session. It is where the engine meets untrusted,
+// concurrent, heterogeneous traffic.
+//
+// # Wire protocol
+//
+// Every frame is
+//
+//	uint32 little-endian length (of what follows) | uint8 type | payload
+//
+// Strings are uvarint length + bytes; integers are little-endian. A
+// connection opens with Hello/HelloOK, then carries one request/response
+// exchange at a time:
+//
+//	Hello     c→s  version u8, tenant string
+//	HelloOK   s→c  version u8, sf f64bits, seed u64, weight u32
+//	Prepare   c→s  statement string                ("q1".."q22")
+//	Prepared  s→c  handle u32, result schema
+//	Exec      c→s  flags u8 (1 = bypass result cache), handle u32
+//	               (NoHandle = by text), statement string
+//	Schema    s→c  result schema (first frame of a result stream)
+//	Batch     s→c  row count u32, tuples in the ser wire format
+//	Done      s→c  rows u64, flags u8 (plan hit | result hit | shared),
+//	               queue-wait, compile, exec, total (u64 nanoseconds each)
+//	Error     s→c  message string
+//	CloseStmt c→s  handle u32  → OK
+//	Shutdown  c→s  → OK, then the server drains and exits
+//	OK        s→c  empty
+//
+// Result rows ride the same densely-packed tuple format the exchanges use
+// (internal/ser), so a served result is byte-compatible with an engine
+// shuffle of the same schema.
+package serve
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"hsqp/internal/storage"
+)
+
+// ProtoVersion is the protocol revision spoken by this package.
+const ProtoVersion = 1
+
+// Frame types.
+const (
+	frameHello     = 0x01
+	frameHelloOK   = 0x02
+	framePrepare   = 0x03
+	framePrepared  = 0x04
+	frameExec      = 0x05
+	frameSchema    = 0x06
+	frameBatch     = 0x07
+	frameDone      = 0x08
+	frameError     = 0x09
+	frameCloseStmt = 0x0a
+	frameShutdown  = 0x0b
+	frameOK        = 0x0c
+)
+
+// Exec flags (request).
+const (
+	// execBypassResultCache forces execution even when a cached result
+	// exists (benchmark ablation; also the escape hatch for callers that
+	// must not observe caching).
+	execBypassResultCache = 1 << 0
+)
+
+// Done flags (response).
+const (
+	donePlanHit   = 1 << 0 // compiled-plan cache hit (no prepare/compile)
+	doneResultHit = 1 << 1 // result cache hit (no execution at all)
+	doneShared    = 1 << 2 // single-flight: rode another request's run
+)
+
+// NoHandle in an Exec frame means "execute the statement text".
+const NoHandle = ^uint32(0)
+
+// maxFrame bounds a single frame; larger results stream as many Batch
+// frames, so this is per-frame, not per-result.
+const maxFrame = 64 << 20
+
+var errFrameTooLarge = fmt.Errorf("serve: frame exceeds %d bytes", maxFrame)
+
+// writeFrame emits one frame. The caller flushes.
+func writeFrame(w *bufio.Writer, typ byte, payload []byte) error {
+	if len(payload)+1 > maxFrame {
+		return errFrameTooLarge
+	}
+	var hdr [5]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(payload)+1))
+	hdr[4] = typ
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame reads one frame, rejecting oversized or truncated input.
+func readFrame(r *bufio.Reader) (typ byte, payload []byte, err error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n == 0 {
+		return 0, nil, errors.New("serve: zero-length frame")
+	}
+	if n > maxFrame {
+		return 0, nil, errFrameTooLarge
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return 0, nil, fmt.Errorf("serve: truncated frame: %w", err)
+	}
+	return buf[0], buf[1:], nil
+}
+
+// --- payload primitives ---
+
+func putString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func getString(b []byte) (string, []byte, error) {
+	n, sz := binary.Uvarint(b)
+	if sz <= 0 || n > uint64(len(b)-sz) {
+		return "", nil, errors.New("serve: corrupt string")
+	}
+	return string(b[sz : sz+int(n)]), b[sz+int(n):], nil
+}
+
+func putU32(b []byte, v uint32) []byte { return binary.LittleEndian.AppendUint32(b, v) }
+func putU64(b []byte, v uint64) []byte { return binary.LittleEndian.AppendUint64(b, v) }
+
+func getU32(b []byte) (uint32, []byte, error) {
+	if len(b) < 4 {
+		return 0, nil, errors.New("serve: corrupt u32")
+	}
+	return binary.LittleEndian.Uint32(b), b[4:], nil
+}
+
+func getU64(b []byte) (uint64, []byte, error) {
+	if len(b) < 8 {
+		return 0, nil, errors.New("serve: corrupt u64")
+	}
+	return binary.LittleEndian.Uint64(b), b[8:], nil
+}
+
+// putSchema encodes a result schema: field count, then per field the
+// name, type byte and nullable byte.
+func putSchema(b []byte, s *storage.Schema) []byte {
+	b = binary.AppendUvarint(b, uint64(s.Len()))
+	for _, f := range s.Fields {
+		b = putString(b, f.Name)
+		b = append(b, byte(f.Type))
+		if f.Nullable {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+		}
+	}
+	return b
+}
+
+func getSchema(b []byte) (*storage.Schema, []byte, error) {
+	n, sz := binary.Uvarint(b)
+	if sz <= 0 || n > 1<<16 {
+		return nil, nil, errors.New("serve: corrupt schema")
+	}
+	b = b[sz:]
+	fields := make([]storage.Field, 0, n)
+	for i := uint64(0); i < n; i++ {
+		name, rest, err := getString(b)
+		if err != nil {
+			return nil, nil, err
+		}
+		if len(rest) < 2 {
+			return nil, nil, errors.New("serve: corrupt schema field")
+		}
+		typ := storage.Type(rest[0])
+		if typ > storage.TString {
+			return nil, nil, fmt.Errorf("serve: unknown column type %d", rest[0])
+		}
+		fields = append(fields, storage.Field{Name: name, Type: typ, Nullable: rest[1] == 1})
+		b = rest[2:]
+	}
+	return storage.NewSchema(fields...), b, nil
+}
+
+func putF64(b []byte, v float64) []byte {
+	return putU64(b, math.Float64bits(v))
+}
+
+func getF64(b []byte) (float64, []byte, error) {
+	u, rest, err := getU64(b)
+	return math.Float64frombits(u), rest, err
+}

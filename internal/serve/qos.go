@@ -1,0 +1,294 @@
+package serve
+
+import (
+	"errors"
+	"sort"
+	"sync"
+	"time"
+)
+
+// ErrDraining is returned to queued requests when the server drains:
+// in-flight queries complete, waiting ones fail fast.
+var ErrDraining = errors.New("serve: server draining")
+
+// ErrQueueFull is returned when a tenant's admission queue is at capacity.
+var ErrQueueFull = errors.New("serve: tenant admission queue full")
+
+// QoS is a weighted-fair admission controller: a fixed number of
+// execution slots is handed out across tenants by stride scheduling. Every
+// tenant carries a virtual-time pass; dispatching a tenant's request
+// advances its pass by strideScale/weight, and the next free slot goes to
+// the queued tenant with the smallest pass. A weight-4 tenant therefore
+// receives 4× the dispatch share of a weight-1 tenant while both queue,
+// and an idle tenant re-joins at the current virtual time instead of
+// cashing in its idle period as a burst. Within one tenant, requests
+// dispatch FIFO. It implements cluster.Admission.
+type QoS struct {
+	mu      sync.Mutex
+	free    int
+	maxQ    int
+	tenants map[string]*tenantState
+	vtime   uint64
+	closed  bool
+}
+
+const strideScale = 1 << 20
+
+// latWindow is how many recent requests per tenant feed the latency
+// percentiles.
+const latWindow = 1024
+
+type tenantState struct {
+	name   string
+	weight int
+	stride uint64
+	pass   uint64
+	queue  []*qosWaiter
+
+	// Latency accounting (SLO stats): a ring of the most recent
+	// queue-wait and total latencies.
+	served     uint64
+	queueWaits []time.Duration
+	totals     []time.Duration
+	ring       int
+}
+
+type qosWaiter struct {
+	ready     chan error
+	abandoned bool
+}
+
+// NewQoS creates a controller with the given concurrent-execution slots
+// (minimum 1), per-tenant weights (tenants absent from the map get weight
+// 1 on first use) and per-tenant queue bound (<=0 = DefaultMaxQueued).
+func NewQoS(slots int, weights map[string]int, maxQueued int) *QoS {
+	if slots < 1 {
+		slots = 1
+	}
+	if maxQueued <= 0 {
+		maxQueued = DefaultMaxQueued
+	}
+	q := &QoS{free: slots, maxQ: maxQueued, tenants: map[string]*tenantState{}}
+	for name, w := range weights {
+		q.tenant(name, w)
+	}
+	return q
+}
+
+// DefaultMaxQueued bounds each tenant's admission queue.
+const DefaultMaxQueued = 256
+
+func (q *QoS) tenant(name string, weight int) *tenantState {
+	if t, ok := q.tenants[name]; ok {
+		return t
+	}
+	if weight < 1 {
+		weight = 1
+	}
+	t := &tenantState{
+		name:       name,
+		weight:     weight,
+		stride:     strideScale / uint64(weight),
+		pass:       q.vtime,
+		queueWaits: make([]time.Duration, 0, latWindow),
+		totals:     make([]time.Duration, 0, latWindow),
+	}
+	q.tenants[name] = t
+	return t
+}
+
+// Acquire implements cluster.Admission: it blocks until the tenant is
+// dispatched an execution slot, the cancel channel closes, or the
+// controller drains. The release function must be called exactly once.
+func (q *QoS) Acquire(tenant string, cancel <-chan struct{}) (func(), error) {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return nil, ErrDraining
+	}
+	t := q.tenant(tenant, 1)
+	if q.free > 0 && !q.anyQueuedLocked() {
+		// Uncontended: take a slot directly, charging the tenant's pass so
+		// the share accounting stays truthful when contention starts.
+		q.free--
+		q.chargeLocked(t)
+		q.mu.Unlock()
+		return q.releaseFunc(), nil
+	}
+	if len(t.queue) >= q.maxQ {
+		q.mu.Unlock()
+		return nil, ErrQueueFull
+	}
+	// Joining the queue from idle resets the pass to the current virtual
+	// time (no bursting on stale credit).
+	if len(t.queue) == 0 && t.pass < q.vtime {
+		t.pass = q.vtime
+	}
+	w := &qosWaiter{ready: make(chan error, 1)}
+	t.queue = append(t.queue, w)
+	q.mu.Unlock()
+
+	select {
+	case err := <-w.ready:
+		if err != nil {
+			return nil, err
+		}
+		return q.releaseFunc(), nil
+	case <-cancel:
+		q.mu.Lock()
+		w.abandoned = true
+		q.mu.Unlock()
+		// The dispatcher may have raced us: if a grant is already in the
+		// buffered channel, pass the slot on instead of leaking it.
+		select {
+		case err := <-w.ready:
+			if err == nil {
+				q.mu.Lock()
+				q.dispatchLocked()
+				q.mu.Unlock()
+			}
+		default:
+		}
+		return nil, errors.New("serve: request cancelled while queued")
+	}
+}
+
+func (q *QoS) releaseFunc() func() {
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			q.mu.Lock()
+			q.dispatchLocked()
+			q.mu.Unlock()
+		})
+	}
+}
+
+// dispatchLocked hands the freed slot to the queued tenant with the
+// smallest pass (ties broken by name for determinism), or banks it.
+func (q *QoS) dispatchLocked() {
+	for {
+		var best *tenantState
+		for _, t := range q.tenants {
+			if len(t.queue) == 0 {
+				continue
+			}
+			if best == nil || t.pass < best.pass || (t.pass == best.pass && t.name < best.name) {
+				best = t
+			}
+		}
+		if best == nil {
+			q.free++
+			return
+		}
+		w := best.queue[0]
+		best.queue = best.queue[1:]
+		if w.abandoned {
+			continue // slot stays in hand; pick the next waiter
+		}
+		q.chargeLocked(best)
+		w.ready <- nil
+		return
+	}
+}
+
+func (q *QoS) chargeLocked(t *tenantState) {
+	t.pass += t.stride
+	q.vtime = t.pass
+}
+
+func (q *QoS) anyQueuedLocked() bool {
+	for _, t := range q.tenants {
+		if len(t.queue) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Close drains the controller: every queued waiter fails fast with
+// ErrDraining and later Acquires are rejected. Slots already granted
+// finish normally (their release is a no-op beyond bookkeeping).
+func (q *QoS) Close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return
+	}
+	q.closed = true
+	for _, t := range q.tenants {
+		for _, w := range t.queue {
+			if !w.abandoned {
+				w.ready <- ErrDraining
+			}
+		}
+		t.queue = nil
+	}
+}
+
+// Observe records one completed request's queue wait and total latency
+// for the tenant's SLO stats.
+func (q *QoS) Observe(tenant string, queueWait, total time.Duration) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	t := q.tenant(tenant, 1)
+	t.served++
+	if len(t.totals) < latWindow {
+		t.queueWaits = append(t.queueWaits, queueWait)
+		t.totals = append(t.totals, total)
+	} else {
+		t.queueWaits[t.ring] = queueWait
+		t.totals[t.ring] = total
+		t.ring = (t.ring + 1) % latWindow
+	}
+}
+
+// TenantStats is one tenant's serving-path SLO snapshot.
+type TenantStats struct {
+	Tenant   string
+	Weight   int
+	Served   uint64
+	Queued   int
+	QueueP50 time.Duration
+	QueueP99 time.Duration
+	TotalP50 time.Duration
+	TotalP99 time.Duration
+}
+
+// Snapshot returns per-tenant stats sorted by tenant name.
+func (q *QoS) Snapshot() []TenantStats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([]TenantStats, 0, len(q.tenants))
+	for _, t := range q.tenants {
+		out = append(out, TenantStats{
+			Tenant:   t.name,
+			Weight:   t.weight,
+			Served:   t.served,
+			Queued:   len(t.queue),
+			QueueP50: quantile(t.queueWaits, 0.50),
+			QueueP99: quantile(t.queueWaits, 0.99),
+			TotalP50: quantile(t.totals, 0.50),
+			TotalP99: quantile(t.totals, 0.99),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Tenant < out[j].Tenant })
+	return out
+}
+
+// quantile is the nearest-rank percentile over an unsorted sample window.
+func quantile(d []time.Duration, p float64) time.Duration {
+	if len(d) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), d...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	idx := int(p*float64(len(s))+0.999999) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx]
+}

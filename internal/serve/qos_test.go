@@ -1,0 +1,223 @@
+package serve
+
+import (
+	"errors"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func queuedTotal(q *QoS) int {
+	n := 0
+	for _, t := range q.Snapshot() {
+		n += t.Queued
+	}
+	return n
+}
+
+func waitQueued(t *testing.T, q *QoS, want int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for queuedTotal(q) < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out: %d queued, want %d", queuedTotal(q), want)
+		}
+		runtime.Gosched()
+	}
+}
+
+// TestQoSWeightedDispatch pins the stride schedule exactly: with one slot
+// held, 8 queued "heavy" (weight 4) and 2 queued "light" (weight 1)
+// requests drain in the deterministic order h l h h h h l h h h — the
+// weight-4 tenant gets 4× the dispatch share while both queue.
+func TestQoSWeightedDispatch(t *testing.T) {
+	q := NewQoS(1, map[string]int{"heavy": 4, "light": 1, "hold": 1}, 0)
+
+	holdRelease, err := q.Acquire("hold", nil)
+	if err != nil {
+		t.Fatalf("hold acquire: %v", err)
+	}
+
+	var mu sync.Mutex
+	var order []string
+	var wg sync.WaitGroup
+	enqueue := func(tenant string, n int) {
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				release, err := q.Acquire(tenant, nil)
+				if err != nil {
+					t.Errorf("%s acquire: %v", tenant, err)
+					return
+				}
+				mu.Lock()
+				order = append(order, tenant[:1])
+				mu.Unlock()
+				release()
+			}()
+		}
+	}
+	enqueue("heavy", 8)
+	waitQueued(t, q, 8)
+	enqueue("light", 2)
+	waitQueued(t, q, 10)
+
+	holdRelease()
+	wg.Wait()
+
+	got := strings.Join(order, " ")
+	want := "h l h h h h l h h h"
+	if got != want {
+		t.Fatalf("dispatch order %q, want %q", got, want)
+	}
+
+	snap := q.Snapshot()
+	byName := map[string]TenantStats{}
+	for _, s := range snap {
+		byName[s.Tenant] = s
+	}
+	if byName["heavy"].Weight != 4 || byName["light"].Weight != 1 {
+		t.Fatalf("weights drifted: %+v", snap)
+	}
+}
+
+// TestQoSDirectGrantWhenUncontended: with free slots and nobody queued,
+// Acquire returns immediately without blocking.
+func TestQoSDirectGrantWhenUncontended(t *testing.T) {
+	q := NewQoS(2, nil, 0)
+	r1, err := q.Acquire("a", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := q.Acquire("b", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1()
+	r2()
+	// Released slots are reusable.
+	r3, err := q.Acquire("c", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3()
+}
+
+// TestQoSQueueBound: a tenant whose queue is full is rejected with
+// ErrQueueFull without blocking; other tenants are unaffected.
+func TestQoSQueueBound(t *testing.T) {
+	q := NewQoS(1, nil, 2)
+	hold, err := q.Acquire("hold", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if release, err := q.Acquire("a", nil); err == nil {
+				release()
+			}
+		}()
+	}
+	waitQueued(t, q, 2)
+	if _, err := q.Acquire("a", closedChan()); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("full tenant queue returned %v, want ErrQueueFull", err)
+	}
+	hold()
+	wg.Wait()
+}
+
+func closedChan() chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}
+
+// TestQoSCancelWhileQueued: closing the cancel channel abandons the wait
+// without leaking the slot.
+func TestQoSCancelWhileQueued(t *testing.T) {
+	q := NewQoS(1, nil, 0)
+	hold, err := q.Acquire("hold", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel := make(chan struct{})
+	got := make(chan error, 1)
+	go func() {
+		_, err := q.Acquire("a", cancel)
+		got <- err
+	}()
+	waitQueued(t, q, 1)
+	close(cancel)
+	if err := <-got; err == nil {
+		t.Fatal("cancelled Acquire returned nil error")
+	}
+	hold()
+	// The slot must be free again despite the abandoned waiter.
+	release, err := q.Acquire("b", nil)
+	if err != nil {
+		t.Fatalf("slot leaked after cancelled waiter: %v", err)
+	}
+	release()
+}
+
+// TestQoSCloseDrains: Close fails every queued waiter fast with ErrDraining
+// and rejects later Acquires.
+func TestQoSCloseDrains(t *testing.T) {
+	q := NewQoS(1, nil, 0)
+	hold, err := q.Acquire("hold", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs := make(chan error, 3)
+	for i := 0; i < 3; i++ {
+		go func() {
+			_, err := q.Acquire("a", nil)
+			errs <- err
+		}()
+	}
+	waitQueued(t, q, 3)
+	q.Close()
+	for i := 0; i < 3; i++ {
+		select {
+		case err := <-errs:
+			if !errors.Is(err, ErrDraining) {
+				t.Fatalf("queued waiter got %v, want ErrDraining", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("queued waiter did not fail fast on Close")
+		}
+	}
+	if _, err := q.Acquire("a", nil); !errors.Is(err, ErrDraining) {
+		t.Fatalf("Acquire after Close returned %v, want ErrDraining", err)
+	}
+	hold() // release after close must not panic
+}
+
+// TestQoSObserveQuantiles: latency accounting reports nearest-rank p50/p99
+// per tenant.
+func TestQoSObserveQuantiles(t *testing.T) {
+	q := NewQoS(1, map[string]int{"a": 2}, 0)
+	for i := 1; i <= 100; i++ {
+		q.Observe("a", time.Duration(i)*time.Millisecond, time.Duration(2*i)*time.Millisecond)
+	}
+	snap := q.Snapshot()
+	if len(snap) != 1 || snap[0].Tenant != "a" {
+		t.Fatalf("snapshot: %+v", snap)
+	}
+	s := snap[0]
+	if s.Served != 100 {
+		t.Fatalf("served=%d, want 100", s.Served)
+	}
+	if s.QueueP50 != 50*time.Millisecond || s.QueueP99 != 99*time.Millisecond {
+		t.Fatalf("queue p50=%v p99=%v, want 50ms/99ms", s.QueueP50, s.QueueP99)
+	}
+	if s.TotalP50 != 100*time.Millisecond || s.TotalP99 != 198*time.Millisecond {
+		t.Fatalf("total p50=%v p99=%v, want 100ms/198ms", s.TotalP50, s.TotalP99)
+	}
+}

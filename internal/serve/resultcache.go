@@ -1,0 +1,191 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// ResultEntry is one cached query result in wire form: the Schema frame
+// payload plus the Batch frame payloads exactly as they stream to a
+// client. Caching the encoded frames (not the row values) makes a hit a
+// pure memcpy onto the connection and guarantees cached responses are
+// byte-identical to the fresh one they were captured from.
+type ResultEntry struct {
+	SchemaPayload []byte
+	Batches       [][]byte
+	Rows          uint64
+	size          int64
+}
+
+// Size is the entry's byte footprint charged against the cache budget.
+func (e *ResultEntry) Size() int64 {
+	if e.size == 0 {
+		s := int64(len(e.SchemaPayload))
+		for _, b := range e.Batches {
+			s += int64(len(b))
+		}
+		e.size = s + 64 // bookkeeping overhead
+	}
+	return e.size
+}
+
+// ResultSource says how a request's result was obtained.
+type ResultSource int
+
+const (
+	// ResultExecuted: this request ran the query (cache miss).
+	ResultExecuted ResultSource = iota
+	// ResultShared: an identical concurrent request was already executing;
+	// this one waited and shares its result (single-flight).
+	ResultShared
+	// ResultCached: served from the cache, no execution at all.
+	ResultCached
+)
+
+// ResultCache is a byte-budgeted LRU of encoded query results with
+// single-flight admission: N concurrent identical requests trigger exactly
+// one execution — one caller fills, the others block on the in-flight
+// entry and share its bytes. All queries in this system are read-only, so
+// a cached result stays valid until the keyed cluster epoch changes
+// (reload), budget pressure evicts it, or the server drops it.
+type ResultCache struct {
+	maxBytes int64
+
+	mu      sync.Mutex
+	entries map[string]*rcEntry
+	lru     *list.List // completed entries only; front = most recent
+	total   int64
+
+	hits, misses, shared, evictions uint64
+}
+
+type rcEntry struct {
+	key   string
+	ready chan struct{} // closed once res/err is set
+	res   *ResultEntry
+	err   error
+	lruEl *list.Element // nil while in flight or after eviction
+}
+
+// DefaultResultCacheBytes is the default budget (64 MiB).
+const DefaultResultCacheBytes = 64 << 20
+
+// NewResultCache creates a cache with the byte budget (<= 0 selects
+// DefaultResultCacheBytes).
+func NewResultCache(maxBytes int64) *ResultCache {
+	if maxBytes <= 0 {
+		maxBytes = DefaultResultCacheBytes
+	}
+	return &ResultCache{
+		maxBytes: maxBytes,
+		entries:  map[string]*rcEntry{},
+		lru:      list.New(),
+	}
+}
+
+// Do returns the result for key, calling fill at most once across all
+// concurrent callers with the same key. Errors are not cached: the failed
+// flight is forgotten so the next request retries.
+func (rc *ResultCache) Do(key string, fill func() (*ResultEntry, error)) (*ResultEntry, ResultSource, error) {
+	rc.mu.Lock()
+	if e, ok := rc.entries[key]; ok {
+		inFlight := e.lruEl == nil
+		if !inFlight {
+			rc.lru.MoveToFront(e.lruEl)
+			rc.hits++
+		} else {
+			rc.shared++
+		}
+		rc.mu.Unlock()
+		<-e.ready
+		if e.err != nil {
+			return nil, ResultShared, e.err
+		}
+		if inFlight {
+			return e.res, ResultShared, nil
+		}
+		return e.res, ResultCached, nil
+	}
+	e := &rcEntry{key: key, ready: make(chan struct{})}
+	rc.entries[key] = e
+	rc.misses++
+	rc.mu.Unlock()
+
+	res, err := fill()
+	e.res, e.err = res, err
+	rc.mu.Lock()
+	if err != nil {
+		if cur, ok := rc.entries[key]; ok && cur == e {
+			delete(rc.entries, key)
+		}
+	} else if cur, ok := rc.entries[key]; ok && cur == e {
+		e.lruEl = rc.lru.PushFront(key)
+		rc.total += res.Size()
+		rc.evictLocked(e)
+	}
+	rc.mu.Unlock()
+	close(e.ready)
+	if err != nil {
+		return nil, ResultExecuted, err
+	}
+	return res, ResultExecuted, nil
+}
+
+// evictLocked drops least-recently-used completed entries until the cache
+// fits the budget. keep (the entry just inserted) is exempt while other
+// entries remain, but is itself dropped when it alone exceeds the budget —
+// the response still streams to its waiters, it just isn't retained.
+func (rc *ResultCache) evictLocked(keep *rcEntry) {
+	for rc.total > rc.maxBytes {
+		el := rc.lru.Back()
+		if el == nil {
+			return
+		}
+		key := el.Value.(string)
+		e := rc.entries[key]
+		if e == keep && rc.lru.Len() == 1 {
+			rc.removeLocked(e)
+			return
+		}
+		if e == keep {
+			// Skip the fresh entry while older ones can go first.
+			rc.lru.MoveToFront(el)
+			continue
+		}
+		rc.removeLocked(e)
+	}
+}
+
+func (rc *ResultCache) removeLocked(e *rcEntry) {
+	rc.lru.Remove(e.lruEl)
+	e.lruEl = nil
+	delete(rc.entries, e.key)
+	rc.total -= e.res.Size()
+	rc.evictions++
+}
+
+// ResultCacheStats is a point-in-time counters snapshot.
+type ResultCacheStats struct {
+	Entries   int
+	Bytes     int64
+	MaxBytes  int64
+	Hits      uint64
+	Misses    uint64
+	Shared    uint64 // single-flight followers served without execution
+	Evictions uint64
+}
+
+// Stats snapshots the cache counters.
+func (rc *ResultCache) Stats() ResultCacheStats {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return ResultCacheStats{
+		Entries:   rc.lru.Len(),
+		Bytes:     rc.total,
+		MaxBytes:  rc.maxBytes,
+		Hits:      rc.hits,
+		Misses:    rc.misses,
+		Shared:    rc.shared,
+		Evictions: rc.evictions,
+	}
+}

@@ -1,0 +1,171 @@
+package serve
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func entryOfSize(n int) *ResultEntry {
+	return &ResultEntry{
+		SchemaPayload: bytes.Repeat([]byte{0x01}, 16),
+		Batches:       [][]byte{bytes.Repeat([]byte{0x02}, n-16)},
+		Rows:          1,
+	}
+}
+
+// TestResultCacheSingleFlight: N concurrent identical requests trigger
+// exactly one execution; the rest share its bytes.
+func TestResultCacheSingleFlight(t *testing.T) {
+	rc := NewResultCache(1 << 20)
+	const n = 16
+	var fills atomic.Int32
+	block := make(chan struct{})
+
+	var wg sync.WaitGroup
+	results := make([]*ResultEntry, n)
+	sources := make([]ResultSource, n)
+	started := make(chan struct{}, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			started <- struct{}{}
+			res, src, err := rc.Do("q1|e1", func() (*ResultEntry, error) {
+				fills.Add(1)
+				<-block // hold the flight open so followers pile up
+				return entryOfSize(1000), nil
+			})
+			if err != nil {
+				t.Errorf("Do: %v", err)
+				return
+			}
+			results[i], sources[i] = res, src
+		}(i)
+	}
+	for i := 0; i < n; i++ {
+		<-started
+	}
+	close(block)
+	wg.Wait()
+
+	if got := fills.Load(); got != 1 {
+		t.Fatalf("fill ran %d times for %d concurrent identical requests, want exactly 1", got, n)
+	}
+	var executed, followers int
+	for i, src := range sources {
+		switch src {
+		case ResultExecuted:
+			executed++
+		case ResultShared, ResultCached:
+			followers++
+		}
+		if !bytes.Equal(results[i].Batches[0], results[0].Batches[0]) {
+			t.Fatalf("request %d got different bytes", i)
+		}
+	}
+	if executed != 1 || followers != n-1 {
+		t.Fatalf("executed=%d followers=%d, want 1/%d", executed, followers, n-1)
+	}
+	st := rc.Stats()
+	if st.Misses != 1 {
+		t.Fatalf("misses=%d, want 1", st.Misses)
+	}
+	if st.Hits+st.Shared != n-1 {
+		t.Fatalf("hits=%d shared=%d, want sum %d", st.Hits, st.Shared, n-1)
+	}
+}
+
+// TestResultCacheHitIsByteIdentical: a cached response returns the very
+// same encoded frames the fresh execution produced.
+func TestResultCacheHitIsByteIdentical(t *testing.T) {
+	rc := NewResultCache(1 << 20)
+	fill := func() (*ResultEntry, error) {
+		return &ResultEntry{
+			SchemaPayload: []byte{1, 2, 3},
+			Batches:       [][]byte{{4, 5}, {6, 7, 8}},
+			Rows:          5,
+		}, nil
+	}
+	fresh, src, err := rc.Do("k", fill)
+	if err != nil || src != ResultExecuted {
+		t.Fatalf("fresh: src=%v err=%v", src, err)
+	}
+	cached, src, err := rc.Do("k", func() (*ResultEntry, error) {
+		t.Fatal("cache hit must not execute")
+		return nil, nil
+	})
+	if err != nil || src != ResultCached {
+		t.Fatalf("cached: src=%v err=%v", src, err)
+	}
+	if !bytes.Equal(cached.SchemaPayload, fresh.SchemaPayload) || len(cached.Batches) != len(fresh.Batches) {
+		t.Fatal("cached entry differs from fresh")
+	}
+	for i := range fresh.Batches {
+		if !bytes.Equal(cached.Batches[i], fresh.Batches[i]) {
+			t.Fatalf("batch %d differs", i)
+		}
+	}
+	if cached.Rows != fresh.Rows {
+		t.Fatalf("rows %d != %d", cached.Rows, fresh.Rows)
+	}
+}
+
+// TestResultCacheEviction: the byte budget evicts least-recently-used
+// entries, and an entry larger than the whole budget is served but not
+// retained.
+func TestResultCacheEviction(t *testing.T) {
+	rc := NewResultCache(1500) // fits one 600-byte entry (+64 overhead), not three
+	mustFill := func(key string, size int) {
+		t.Helper()
+		if _, _, err := rc.Do(key, func() (*ResultEntry, error) { return entryOfSize(size), nil }); err != nil {
+			t.Fatalf("fill %s: %v", key, err)
+		}
+	}
+	mustFill("a", 600)
+	mustFill("b", 600)
+	mustFill("c", 600) // budget now exceeded: "a" (LRU) must go
+	st := rc.Stats()
+	if st.Evictions == 0 || st.Bytes > st.MaxBytes {
+		t.Fatalf("evictions=%d bytes=%d/%d: budget not enforced", st.Evictions, st.Bytes, st.MaxBytes)
+	}
+	refilled := false
+	rc.Do("a", func() (*ResultEntry, error) { refilled = true; return entryOfSize(600), nil })
+	if !refilled {
+		t.Fatal("evicted entry still served from cache")
+	}
+
+	// Touching "c" promotes it, so the next insert evicts "a" again, not "c".
+	rc.Do("c", func() (*ResultEntry, error) { t.Fatal("c evicted prematurely"); return nil, nil })
+	mustFill("d", 600)
+	rc.Do("c", func() (*ResultEntry, error) { t.Fatal("LRU order ignored: recently-used c evicted"); return nil, nil })
+
+	// A single entry above the whole budget streams to its waiter but is
+	// not retained.
+	huge := NewResultCache(100)
+	if _, src, err := huge.Do("big", func() (*ResultEntry, error) { return entryOfSize(5000), nil }); err != nil || src != ResultExecuted {
+		t.Fatalf("oversized fill: src=%v err=%v", src, err)
+	}
+	if st := huge.Stats(); st.Entries != 0 || st.Bytes != 0 {
+		t.Fatalf("oversized entry retained: %+v", st)
+	}
+}
+
+// TestResultCacheErrorsNotCached: a failed flight is forgotten so the next
+// identical request retries.
+func TestResultCacheErrorsNotCached(t *testing.T) {
+	rc := NewResultCache(1 << 20)
+	boom := errors.New("boom")
+	if _, _, err := rc.Do("k", func() (*ResultEntry, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err=%v, want boom", err)
+	}
+	retried := false
+	if _, _, err := rc.Do("k", func() (*ResultEntry, error) { retried = true; return entryOfSize(100), nil }); err != nil {
+		t.Fatalf("retry: %v", err)
+	}
+	if !retried {
+		t.Fatal("error was cached; retry did not execute")
+	}
+}

@@ -1,0 +1,302 @@
+// Integration tests for the serving tier: a real Server on a loopback
+// listener over a real cluster, driven through the wire protocol by Client.
+// They pin the acceptance contract: served results — fresh, plan-cache hit,
+// result-cache hit, prepared, single-flight shared — are byte-identical to
+// a direct cluster.Run of the same query.
+package serve_test
+
+import (
+	"bytes"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"hsqp/internal/bench"
+	"hsqp/internal/cluster"
+	"hsqp/internal/queries"
+	"hsqp/internal/serve"
+	"hsqp/internal/tpch"
+)
+
+const (
+	testSF   = 0.01
+	testSeed = 42
+)
+
+var (
+	dbOnce sync.Once
+	testDB *tpch.Database
+)
+
+func getDB() *tpch.Database {
+	dbOnce.Do(func() { testDB = tpch.Generate(testSF, testSeed) })
+	return testDB
+}
+
+func newServedCluster(t testing.TB) *cluster.Cluster {
+	t.Helper()
+	c, err := cluster.New(cluster.Config{
+		Servers:          3,
+		WorkersPerServer: 4,
+		Transport:        cluster.RDMA,
+		Scheduling:       true,
+		TimeScale:        0.005,
+		MorselSize:       4096,
+		MessageSize:      64 * 1024,
+	})
+	if err != nil {
+		t.Fatalf("cluster.New: %v", err)
+	}
+	t.Cleanup(c.Close)
+	c.LoadTPCH(getDB(), false)
+	return c
+}
+
+// startServer runs a serving tier over a fresh cluster on a loopback
+// listener and returns its address plus the underlying pieces.
+func startServer(t testing.TB, mod func(*serve.Config)) (addr string, srv *serve.Server, c *cluster.Cluster) {
+	t.Helper()
+	c = newServedCluster(t)
+	cfg := serve.Config{Cluster: c, SF: testSF, Seed: testSeed}
+	if mod != nil {
+		mod(&cfg)
+	}
+	srv = serve.New(cfg)
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	go srv.Serve(lis)
+	t.Cleanup(srv.Shutdown)
+	return lis.Addr().String(), srv, c
+}
+
+// TestServedResultsMatchDirect is the conformance acceptance test: for
+// Q1/Q5/Q12, the result served over the wire — fresh, from the result
+// cache, cache-bypassed, and via a prepared statement — is byte-identical
+// (canonical row encoding) to a direct cluster.Run.
+func TestServedResultsMatchDirect(t *testing.T) {
+	addr, _, c := startServer(t, nil)
+	cl, err := serve.Dial(addr, "conformance")
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer cl.Close()
+
+	for _, qn := range []int{1, 5, 12} {
+		stmt := map[int]string{1: "q1", 5: "q5", 12: "q12"}[qn]
+		direct, _, err := c.Run(queries.MustBuild(qn, queries.Params{SF: testSF}))
+		if err != nil {
+			t.Fatalf("direct %s: %v", stmt, err)
+		}
+		want := bench.CanonicalRows(direct)
+
+		fresh, stats, err := cl.Exec(stmt)
+		if err != nil {
+			t.Fatalf("served %s: %v", stmt, err)
+		}
+		if stats.ResultHit {
+			t.Fatalf("%s: first execution reported a result-cache hit", stmt)
+		}
+		if got := bench.CanonicalRows(fresh); !bytes.Equal(got, want) {
+			t.Fatalf("%s: served result differs from direct run (%d vs %d rows)", stmt, fresh.Rows(), direct.Rows())
+		}
+
+		cached, stats, err := cl.Exec(stmt)
+		if err != nil {
+			t.Fatalf("cached %s: %v", stmt, err)
+		}
+		if !stats.ResultHit {
+			t.Fatalf("%s: repeat execution missed the result cache", stmt)
+		}
+		if got := bench.CanonicalRows(cached); !bytes.Equal(got, want) {
+			t.Fatalf("%s: cached result differs from direct run", stmt)
+		}
+
+		bypassed, stats, err := cl.ExecWithOpts(stmt, serve.ExecOpts{BypassResultCache: true})
+		if err != nil {
+			t.Fatalf("bypass %s: %v", stmt, err)
+		}
+		if stats.ResultHit {
+			t.Fatalf("%s: bypassed execution reported a result-cache hit", stmt)
+		}
+		if got := bench.CanonicalRows(bypassed); !bytes.Equal(got, want) {
+			t.Fatalf("%s: bypassed result differs from direct run", stmt)
+		}
+
+		st, err := cl.Prepare(stmt)
+		if err != nil {
+			t.Fatalf("prepare %s: %v", stmt, err)
+		}
+		if st.Schema().Len() != direct.Schema.Len() {
+			t.Fatalf("%s: prepared schema has %d fields, want %d", stmt, st.Schema().Len(), direct.Schema.Len())
+		}
+		prepped, _, err := st.Exec()
+		if err != nil {
+			t.Fatalf("prepared exec %s: %v", stmt, err)
+		}
+		if got := bench.CanonicalRows(prepped); !bytes.Equal(got, want) {
+			t.Fatalf("%s: prepared result differs from direct run", stmt)
+		}
+		if err := st.Close(); err != nil {
+			t.Fatalf("close stmt %s: %v", stmt, err)
+		}
+	}
+}
+
+// TestServingPlanCacheHit: the second execution of a statement (result
+// cache bypassed) reuses the compiled plan — PlanHit reported on the wire,
+// one miss and the rest hits in the server counters.
+func TestServingPlanCacheHit(t *testing.T) {
+	addr, srv, _ := startServer(t, nil)
+	cl, err := serve.Dial(addr, "t")
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer cl.Close()
+
+	_, stats, err := cl.ExecWithOpts("q1", serve.ExecOpts{BypassResultCache: true})
+	if err != nil {
+		t.Fatalf("cold exec: %v", err)
+	}
+	if stats.PlanHit {
+		t.Fatal("cold execution reported a plan-cache hit")
+	}
+	for i := 0; i < 3; i++ {
+		_, stats, err = cl.ExecWithOpts("q1", serve.ExecOpts{BypassResultCache: true})
+		if err != nil {
+			t.Fatalf("warm exec %d: %v", i, err)
+		}
+		if !stats.PlanHit {
+			t.Fatalf("warm execution %d missed the plan cache", i)
+		}
+		if stats.ResultHit {
+			t.Fatalf("bypassed execution %d reported a result hit", i)
+		}
+	}
+	pcs := srv.PlanCacheStats()
+	if pcs.Misses != 1 || pcs.Hits < 3 {
+		t.Fatalf("plan cache stats %+v, want 1 miss and >=3 hits", pcs)
+	}
+}
+
+// TestServingSingleFlight: N concurrent identical requests over separate
+// connections execute exactly once; every response is byte-identical.
+func TestServingSingleFlight(t *testing.T) {
+	addr, srv, _ := startServer(t, nil)
+	const n = 8
+	var wg sync.WaitGroup
+	canon := make([][]byte, n)
+	hits := make([]bool, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cl, err := serve.Dial(addr, "t")
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer cl.Close()
+			res, stats, err := cl.Exec("q5")
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			canon[i] = bench.CanonicalRows(res)
+			hits[i] = stats.ResultHit
+		}(i)
+	}
+	wg.Wait()
+	executed := 0
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("client %d: %v", i, errs[i])
+		}
+		if !hits[i] {
+			executed++
+		}
+		if !bytes.Equal(canon[i], canon[0]) {
+			t.Fatalf("client %d received different bytes", i)
+		}
+	}
+	if executed != 1 {
+		t.Fatalf("%d of %d concurrent identical requests executed, want exactly 1", executed, n)
+	}
+	if st := srv.ResultCacheStats(); st.Misses != 1 {
+		t.Fatalf("result cache misses=%d, want 1", st.Misses)
+	}
+}
+
+// TestServingErrorKeepsConnection: a bad statement returns an Error frame
+// and the connection stays usable.
+func TestServingErrorKeepsConnection(t *testing.T) {
+	addr, _, _ := startServer(t, nil)
+	cl, err := serve.Dial(addr, "t")
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer cl.Close()
+
+	if _, _, err := cl.Exec("q99"); err == nil || !strings.Contains(err.Error(), "statement") {
+		t.Fatalf("bad statement returned %v, want statement error", err)
+	}
+	if _, err := cl.Prepare("nope"); err == nil {
+		t.Fatal("bad prepare succeeded")
+	}
+	if _, _, err := cl.Exec("q1"); err != nil {
+		t.Fatalf("connection dead after error: %v", err)
+	}
+}
+
+// TestServingHandshake: the server advertises SF, seed and the tenant's
+// configured weight; a version-mismatched client is rejected.
+func TestServingHandshake(t *testing.T) {
+	addr, _, _ := startServer(t, func(cfg *serve.Config) {
+		cfg.Tenants = map[string]int{"heavy": 4}
+	})
+	cl, err := serve.Dial(addr, "heavy")
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer cl.Close()
+	if cl.Info.SF != testSF || cl.Info.Seed != testSeed || cl.Info.Weight != 4 {
+		t.Fatalf("HelloOK advertised %+v, want sf=%v seed=%d weight=4", cl.Info, testSF, testSeed)
+	}
+	cl2, err := serve.Dial(addr, "unknown-tenant")
+	if err != nil {
+		t.Fatalf("dial unknown tenant: %v", err)
+	}
+	defer cl2.Close()
+	if cl2.Info.Weight != 1 {
+		t.Fatalf("unknown tenant weight %d, want 1", cl2.Info.Weight)
+	}
+}
+
+// TestServerShutdownDrain: a client-initiated Shutdown completes in-flight
+// work, closes Done, and later connections are refused.
+func TestServerShutdownDrain(t *testing.T) {
+	addr, srv, _ := startServer(t, nil)
+	cl, err := serve.Dial(addr, "t")
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer cl.Close()
+	if _, _, err := cl.Exec("q12"); err != nil {
+		t.Fatalf("exec: %v", err)
+	}
+	if err := cl.Shutdown(); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	select {
+	case <-srv.Done():
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not finish draining")
+	}
+	if _, err := serve.Dial(addr, "t"); err == nil {
+		t.Fatal("dial succeeded after shutdown")
+	}
+}

@@ -1,0 +1,437 @@
+package serve
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"hsqp/internal/cluster"
+	"hsqp/internal/ser"
+	"hsqp/internal/storage"
+)
+
+// Config configures a serving tier over one cluster.
+type Config struct {
+	// Cluster executes the queries; the caller keeps ownership (the server
+	// never closes it).
+	Cluster *cluster.Cluster
+	// SF is the scale factor of the loaded database (statement parameters
+	// and the HelloOK advertisement).
+	SF float64
+	// Seed is the generator seed of the loaded database, advertised to
+	// clients so they can regenerate it for verification.
+	Seed uint64
+	// Tenants maps tenant name → weight for weighted-fair admission.
+	// Unknown tenants are admitted with weight 1.
+	Tenants map[string]int
+	// Slots is how many queries may execute concurrently (default
+	// cluster.DefaultMaxConcurrent).
+	Slots int
+	// MaxQueuedPerTenant bounds each tenant's admission queue (default
+	// DefaultMaxQueued).
+	MaxQueuedPerTenant int
+	// PlanCacheEntries bounds the compiled-plan cache (default
+	// DefaultPlanCacheEntries).
+	PlanCacheEntries int
+	// ResultCacheBytes is the result cache budget (default
+	// DefaultResultCacheBytes); DisableResultCache turns the cache off
+	// entirely (every request executes).
+	ResultCacheBytes   int64
+	DisableResultCache bool
+}
+
+// Server is the network front door: it owns the listener, the caches, the
+// admission controller and a cluster.Session, and serves any number of
+// concurrent client connections.
+type Server struct {
+	cfg     Config
+	qos     *QoS
+	session *cluster.Session
+	plans   *PlanCache
+	results *ResultCache
+
+	mu       sync.Mutex
+	lis      net.Listener
+	conns    map[net.Conn]struct{}
+	draining bool
+
+	reqWG  sync.WaitGroup // in-flight requests (queued or executing)
+	connWG sync.WaitGroup // live connection handlers
+	done   chan struct{}  // closed when Shutdown finishes
+	doneMu sync.Once
+}
+
+// New creates a server over the cluster.
+func New(cfg Config) *Server {
+	if cfg.Slots <= 0 {
+		cfg.Slots = cluster.DefaultMaxConcurrent
+	}
+	qos := NewQoS(cfg.Slots, cfg.Tenants, cfg.MaxQueuedPerTenant)
+	s := &Server{
+		cfg:     cfg,
+		qos:     qos,
+		session: cfg.Cluster.NewSession(cluster.SessionConfig{Admission: qos}),
+		plans:   NewPlanCache(cfg.Cluster, cfg.SF, cfg.PlanCacheEntries),
+		conns:   map[net.Conn]struct{}{},
+		done:    make(chan struct{}),
+	}
+	if !cfg.DisableResultCache {
+		s.results = NewResultCache(cfg.ResultCacheBytes)
+	}
+	return s
+}
+
+// Serve accepts connections on lis until Shutdown closes it. It always
+// returns a non-nil error (net.ErrClosed after a clean shutdown).
+func (s *Server) Serve(lis net.Listener) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		lis.Close()
+		return net.ErrClosed
+	}
+	s.lis = lis
+	s.mu.Unlock()
+	for {
+		conn, err := lis.Accept()
+		if err != nil {
+			return err
+		}
+		s.mu.Lock()
+		if s.draining {
+			s.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		s.conns[conn] = struct{}{}
+		s.connWG.Add(1)
+		s.mu.Unlock()
+		go s.handleConn(conn)
+	}
+}
+
+// Shutdown drains the server gracefully: stop accepting, fail queued
+// requests fast (ErrDraining), let in-flight queries complete and their
+// responses flush, then close every connection. Safe to call more than
+// once; Done is closed when the first call finishes.
+func (s *Server) Shutdown() {
+	s.mu.Lock()
+	already := s.draining
+	s.draining = true
+	lis := s.lis
+	s.mu.Unlock()
+	if already {
+		<-s.done
+		return
+	}
+	if lis != nil {
+		lis.Close()
+	}
+	s.qos.Close()     // queued admission waiters fail fast
+	s.reqWG.Wait()    // in-flight requests complete and responses flush
+	s.session.Close() // no stragglers: the session drains instantly now
+	s.mu.Lock()
+	for c := range s.conns {
+		c.Close() // unblock idle readers
+	}
+	s.mu.Unlock()
+	s.connWG.Wait()
+	s.doneMu.Do(func() { close(s.done) })
+}
+
+// Done is closed once a Shutdown completes.
+func (s *Server) Done() <-chan struct{} { return s.done }
+
+// TenantStats returns the per-tenant QoS/latency snapshot.
+func (s *Server) TenantStats() []TenantStats { return s.qos.Snapshot() }
+
+// PlanCacheStats snapshots the plan cache counters.
+func (s *Server) PlanCacheStats() PlanCacheStats { return s.plans.Stats() }
+
+// ResultCacheStats snapshots the result cache counters (zero value when
+// the cache is disabled).
+func (s *Server) ResultCacheStats() ResultCacheStats {
+	if s.results == nil {
+		return ResultCacheStats{}
+	}
+	return s.results.Stats()
+}
+
+func (s *Server) handleConn(conn net.Conn) {
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+		s.connWG.Done()
+	}()
+	br := bufio.NewReaderSize(conn, 64<<10)
+	bw := bufio.NewWriterSize(conn, 64<<10)
+
+	tenant, err := s.handshake(br, bw)
+	if err != nil {
+		return
+	}
+
+	handles := map[uint32]string{} // prepared-statement handle → statement
+	var nextHandle uint32
+
+	for {
+		typ, payload, err := readFrame(br)
+		if err != nil {
+			return
+		}
+		if !s.beginRequest() {
+			s.writeError(bw, ErrDraining)
+			return
+		}
+		switch typ {
+		case framePrepare:
+			stmt, _, perr := getString(payload)
+			if perr == nil {
+				var n int
+				if n, perr = ParseStatement(stmt); perr == nil {
+					stmt = fmt.Sprintf("q%d", n)
+				}
+			}
+			if perr == nil {
+				var p *cluster.Prepared
+				p, _, perr = s.plans.Get(stmt)
+				if perr == nil {
+					nextHandle++
+					handles[nextHandle] = stmt
+					out := putU32(nil, nextHandle)
+					out = putSchema(out, p.Schema())
+					perr = writeFrame(bw, framePrepared, out)
+				}
+			}
+			err = s.finishRequest(bw, perr)
+		case frameExec:
+			err = s.handleExec(bw, tenant, payload, handles)
+		case frameCloseStmt:
+			h, _, perr := getU32(payload)
+			if perr == nil {
+				delete(handles, h)
+				perr = writeFrame(bw, frameOK, nil)
+			}
+			err = s.finishRequest(bw, perr)
+		case frameShutdown:
+			writeFrame(bw, frameOK, nil)
+			bw.Flush()
+			s.reqWG.Done()
+			go s.Shutdown()
+			return
+		default:
+			err = s.finishRequest(bw, fmt.Errorf("serve: unknown frame type 0x%02x", typ))
+		}
+		if err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// beginRequest registers an in-flight request unless the server drains.
+func (s *Server) beginRequest() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return false
+	}
+	s.reqWG.Add(1)
+	return true
+}
+
+// finishRequest completes a request begun with beginRequest, converting a
+// handler error into an Error frame (connection-level write errors
+// propagate).
+func (s *Server) finishRequest(bw *bufio.Writer, err error) error {
+	defer s.reqWG.Done()
+	if err == nil {
+		return nil
+	}
+	return s.writeError(bw, err)
+}
+
+func (s *Server) writeError(bw *bufio.Writer, err error) error {
+	if werr := writeFrame(bw, frameError, putString(nil, err.Error())); werr != nil {
+		return werr
+	}
+	return bw.Flush()
+}
+
+func (s *Server) handshake(br *bufio.Reader, bw *bufio.Writer) (string, error) {
+	typ, payload, err := readFrame(br)
+	if err != nil {
+		return "", err
+	}
+	if typ != frameHello || len(payload) < 1 {
+		s.writeError(bw, errors.New("serve: expected Hello"))
+		return "", errors.New("bad hello")
+	}
+	if payload[0] != ProtoVersion {
+		s.writeError(bw, fmt.Errorf("serve: protocol version %d not supported (want %d)", payload[0], ProtoVersion))
+		return "", errors.New("version mismatch")
+	}
+	tenant, _, err := getString(payload[1:])
+	if err != nil {
+		return "", err
+	}
+	if tenant == "" {
+		tenant = "default"
+	}
+	weight := s.cfg.Tenants[tenant]
+	if weight < 1 {
+		weight = 1
+	}
+	out := []byte{ProtoVersion}
+	out = putF64(out, s.cfg.SF)
+	out = putU64(out, s.cfg.Seed)
+	out = putU32(out, uint32(weight))
+	if err := writeFrame(bw, frameHelloOK, out); err != nil {
+		return "", err
+	}
+	return tenant, bw.Flush()
+}
+
+// doneInfo is what a Done frame reports.
+type doneInfo struct {
+	rows      uint64
+	flags     byte
+	queueWait time.Duration
+	compile   time.Duration
+	exec      time.Duration
+	total     time.Duration
+}
+
+func (s *Server) handleExec(bw *bufio.Writer, tenant string, payload []byte, handles map[uint32]string) error {
+	start := time.Now()
+	if len(payload) < 1 {
+		return s.finishRequest(bw, errors.New("serve: corrupt Exec frame"))
+	}
+	flags := payload[0]
+	handle, rest, err := getU32(payload[1:])
+	if err != nil {
+		return s.finishRequest(bw, err)
+	}
+	stmt, _, err := getString(rest)
+	if err != nil {
+		return s.finishRequest(bw, err)
+	}
+	if handle != NoHandle {
+		ps, ok := handles[handle]
+		if !ok {
+			return s.finishRequest(bw, fmt.Errorf("serve: unknown prepared-statement handle %d", handle))
+		}
+		stmt = ps
+	}
+	n, err := ParseStatement(stmt)
+	if err != nil {
+		return s.finishRequest(bw, err)
+	}
+	norm := fmt.Sprintf("q%d", n)
+
+	entry, info, err := s.execStatement(tenant, norm, flags&execBypassResultCache != 0)
+	if err != nil {
+		return s.finishRequest(bw, err)
+	}
+	info.total = time.Since(start)
+	s.qos.Observe(tenant, info.queueWait, info.total)
+
+	// Stream: Schema, Batches, Done.
+	if err := writeFrame(bw, frameSchema, entry.SchemaPayload); err != nil {
+		return s.finishRequest(bw, err)
+	}
+	for _, b := range entry.Batches {
+		if err := writeFrame(bw, frameBatch, b); err != nil {
+			return s.finishRequest(bw, err)
+		}
+	}
+	out := putU64(nil, entry.Rows)
+	out = append(out, info.flags)
+	out = putU64(out, uint64(info.queueWait))
+	out = putU64(out, uint64(info.compile))
+	out = putU64(out, uint64(info.exec))
+	out = putU64(out, uint64(info.total))
+	return s.finishRequest(bw, writeFrame(bw, frameDone, out))
+}
+
+// execStatement resolves the statement through the result cache (unless
+// bypassed or disabled) and the plan cache.
+func (s *Server) execStatement(tenant, norm string, bypass bool) (*ResultEntry, doneInfo, error) {
+	if s.results == nil || bypass {
+		return s.runStatement(tenant, norm)
+	}
+	key := fmt.Sprintf("%s|e%d", norm, s.cfg.Cluster.Epoch())
+	var leader doneInfo
+	entry, src, err := s.results.Do(key, func() (*ResultEntry, error) {
+		e, info, err := s.runStatement(tenant, norm)
+		leader = info
+		return e, err
+	})
+	if err != nil {
+		return nil, doneInfo{}, err
+	}
+	switch src {
+	case ResultExecuted:
+		return entry, leader, nil
+	case ResultShared:
+		return entry, doneInfo{rows: entry.Rows, flags: doneResultHit | doneShared}, nil
+	default:
+		return entry, doneInfo{rows: entry.Rows, flags: doneResultHit}, nil
+	}
+}
+
+// runStatement executes the statement through the plan cache and the
+// weighted-fair session, returning the encoded result.
+func (s *Server) runStatement(tenant, norm string) (*ResultEntry, doneInfo, error) {
+	prepared, planHit, err := s.plans.Get(norm)
+	if err != nil {
+		return nil, doneInfo{}, err
+	}
+	res, stats, err := s.session.RunTenant(tenant, prepared.Query(), nil)
+	if err != nil {
+		return nil, doneInfo{}, err
+	}
+	entry := encodeResult(res)
+	info := doneInfo{
+		rows:      entry.Rows,
+		queueWait: stats.QueueWait,
+		compile:   stats.Compile,
+		exec:      stats.Exec,
+	}
+	if planHit {
+		info.flags |= donePlanHit
+	}
+	return entry, info, nil
+}
+
+// resultBatchRows caps rows per Batch frame so very large results stream
+// instead of building one giant frame.
+const resultBatchRows = 8192
+
+// encodeResult captures a result batch as wire frames (ser tuple format).
+func encodeResult(b *storage.Batch) *ResultEntry {
+	codec := ser.For(b.Schema)
+	e := &ResultEntry{
+		SchemaPayload: putSchema(nil, b.Schema),
+		Rows:          uint64(b.Rows()),
+	}
+	for start := 0; start < b.Rows(); start += resultBatchRows {
+		end := start + resultBatchRows
+		if end > b.Rows() {
+			end = b.Rows()
+		}
+		payload := putU32(nil, uint32(end-start))
+		for r := start; r < end; r++ {
+			payload = codec.EncodeRow(b, r, payload)
+		}
+		e.Batches = append(e.Batches, payload)
+	}
+	return e
+}
