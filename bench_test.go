@@ -9,10 +9,13 @@ package hsqp
 import (
 	"bytes"
 	"fmt"
+	"sort"
 	"testing"
+	"time"
 
 	"hsqp/internal/bench"
 	"hsqp/internal/cluster"
+	"hsqp/internal/obs"
 	"hsqp/internal/queries"
 	"hsqp/internal/ser"
 	"hsqp/internal/storage"
@@ -490,6 +493,72 @@ func BenchmarkServing(b *testing.B) {
 	for _, ts := range last.Tenants {
 		b.ReportMetric(float64(ts.QueueP99.Microseconds())/1000, ts.Tenant+"-queue-p99-ms")
 	}
+}
+
+// BenchmarkObsOverhead measures the cost of the always-on observability
+// instrumentation (metric updates on the morsel/exchange hot paths plus
+// trace assembly) by running the same distributed Q12 with instrumentation
+// enabled and disabled, interleaved to cancel thermal/GC drift. CI tracks
+// obs-overhead-ratio in BENCH_8.json; the acceptance bar is ≤ 1.02
+// (instrumented within 2% of the -noobs ablation).
+func BenchmarkObsOverhead(b *testing.B) {
+	bench.Warmup()
+	c, err := cluster.New(cluster.Config{
+		Servers:          3,
+		WorkersPerServer: 4,
+		Transport:        cluster.RDMA,
+		Scheduling:       true,
+		TimeScale:        cluster.DefaultTimeScale,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	c.LoadTPCH(bench.DB(0.05, 42), false)
+	q := queries.MustBuild(12, queries.Params{SF: 0.05})
+	defer obs.SetEnabled(true)
+
+	run := func(enabled bool) time.Duration {
+		obs.SetEnabled(enabled)
+		start := time.Now()
+		if _, _, err := c.Run(q); err != nil {
+			b.Fatal(err)
+		}
+		return time.Since(start)
+	}
+	// Warm both paths before timing.
+	run(true)
+	run(false)
+
+	// Interleaved samples compared at the 25th percentile: GC pauses and
+	// scheduler hiccups only ever add time, so the fast quartile is the
+	// cleanest view of the actual per-query cost in either mode.
+	const pairs = 24
+	b.ResetTimer()
+	var on, off []time.Duration
+	for i := 0; i < b.N; i++ {
+		for p := 0; p < pairs; p++ {
+			// Alternate which mode runs first so systematic drift within a
+			// pair (cache warmth, background work) cancels.
+			if p%2 == 0 {
+				on = append(on, run(true))
+				off = append(off, run(false))
+			} else {
+				off = append(off, run(false))
+				on = append(on, run(true))
+			}
+		}
+	}
+	onQ, offQ := benchQuartile(on), benchQuartile(off)
+	b.ReportMetric(onQ.Seconds()/offQ.Seconds(), "obs-overhead-ratio")
+	b.ReportMetric(onQ.Seconds()*1000, "instrumented-ms")
+	b.ReportMetric(offQ.Seconds()*1000, "noobs-ms")
+}
+
+func benchQuartile(d []time.Duration) time.Duration {
+	s := append([]time.Duration(nil), d...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s[len(s)/4]
 }
 
 // BenchmarkThroughputMixed runs the Q1/Q12 mixed-stream variant.

@@ -43,6 +43,8 @@ func main() {
 		err = cmdExplain(os.Args[2:])
 	case "client":
 		err = cmdClient(os.Args[2:])
+	case "top":
+		err = cmdTop(os.Args[2:])
 	case "experiment":
 		err = cmdExperiment(os.Args[2:])
 	default:
@@ -60,10 +62,11 @@ func usage() {
   hsqp dbgen      -sf <scale> [-seed N] [-o dir]
   hsqp run        -q <1-22> [-servers N] [-workers N] [-sf S] [-transport rdma|tcp|gbe]
                   [-sched] [-partitioned] [-classic] [-timescale X] [-rows N]
-                  [-nofuse] [-nopushdown] [-analyze]
+                  [-nofuse] [-nopushdown] [-analyze] [-trace out.json]
   hsqp explain    -q <1-22>
   hsqp client     -addr host:port [-tenant name] [-q q1] [-n N] [-prepare]
                   [-bypass] [-rows N] [-stats] [-verify] [-shutdown]
+  hsqp top        -addr host:port [-interval 2s] [-n N]
   hsqp experiment -id table1|fig2|fig3|fig4|fig5|fig9|fig10b|fig10c|fig11|fig12a|fig12b|table2|sched|sf|skew|skewjoin|skewsweep|throughput|serving|all
                   [-sf S] [-servers N] [-concurrency N] [-full]`)
 }
@@ -121,6 +124,7 @@ func cmdRun(args []string) error {
 	nofuse := fs.Bool("nofuse", false, "disable operator fusion (ablation)")
 	nopushdown := fs.Bool("nopushdown", false, "disable column pruning below exchanges (ablation)")
 	analyze := fs.Bool("analyze", false, "print explain analyze (per-operator rows/time/allocs) after the run")
+	tracePath := fs.String("trace", "", "write a Chrome trace_event JSON of the query to this file (load in chrome://tracing or Perfetto)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -149,7 +153,11 @@ func cmdRun(args []string) error {
 	if err != nil {
 		return err
 	}
-	res, stats, err := c.Run(qp)
+	// Run through a session so the trace timeline includes the admission
+	// phase (queue → compile → pipelines), exactly like the serving path.
+	sess := c.NewSession(cluster.SessionConfig{})
+	defer sess.Close()
+	res, stats, err := sess.Run(qp)
 	if err != nil {
 		return err
 	}
@@ -163,6 +171,24 @@ func cmdRun(args []string) error {
 		fmt.Printf("timing: compile %s + execute %s (scheduler delay %s)\n",
 			stats.Compile, stats.Exec, stats.SchedulerDelay())
 		fmt.Printf("\n%s", plan.ExplainAnalyze(qp, stats.PipelineStats))
+	}
+	if *tracePath != "" {
+		if stats.Trace == nil {
+			return fmt.Errorf("no trace collected (observability disabled?)")
+		}
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			return err
+		}
+		if err := stats.Trace.WriteChromeJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("trace: %d spans over %s written to %s (open in chrome://tracing or https://ui.perfetto.dev)\n",
+			len(stats.Trace.Spans), stats.Trace.End(), *tracePath)
 	}
 	return nil
 }
@@ -241,6 +267,8 @@ func cmdClient(args []string) error {
 		db = tpch.Generate(cl.Info.SF, cl.Info.Seed)
 	}
 	opts := serve.ExecOpts{BypassResultCache: *bypass}
+	pathTally := map[string]int{}
+	requests := 0
 
 	for _, stmt := range strings.Split(*stmts, ",") {
 		stmt = strings.TrimSpace(stmt)
@@ -273,6 +301,8 @@ func cmdClient(args []string) error {
 			case st.PlanHit:
 				path = "plan-cache hit"
 			}
+			pathTally[path]++
+			requests++
 			fmt.Printf("%-4s %6d rows  %10s  %s\n", stmt, st.Rows, st.Wall, path)
 			if *showStats {
 				fmt.Printf("     queue %s  compile %s  execute %s  server total %s\n",
@@ -301,6 +331,19 @@ func cmdClient(args []string) error {
 			}
 			fmt.Printf("     verified against reference engine (%d rows)\n", last.Rows())
 		}
+	}
+
+	if *showStats && requests > 1 {
+		paths := make([]string, 0, len(pathTally))
+		for p := range pathTally {
+			paths = append(paths, p)
+		}
+		sort.Strings(paths)
+		fmt.Printf("%d requests:", requests)
+		for _, p := range paths {
+			fmt.Printf("  %d %s", pathTally[p], p)
+		}
+		fmt.Println()
 	}
 
 	if *shutdown {

@@ -16,15 +16,20 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"hsqp/internal/bench"
 	"hsqp/internal/cluster"
+	"hsqp/internal/obs"
 	"hsqp/internal/serve"
 )
 
@@ -75,6 +80,21 @@ func parseTenants(s string) (map[string]int, error) {
 	return out, nil
 }
 
+// metricsMux serves the observability endpoints: Prometheus-text metrics
+// and the standard pprof handlers. Registered on a private mux, not
+// http.DefaultServeMux, so importing net/http/pprof elsewhere cannot
+// silently widen this surface.
+func metricsMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", obs.Handler(obs.Default()))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("hsqpd", flag.ExitOnError)
 	listen := fs.String("listen", "127.0.0.1:7483", "TCP listen address")
@@ -91,8 +111,15 @@ func run(args []string) error {
 	maxQueued := fs.Int("maxqueued", serve.DefaultMaxQueued, "admission queue bound per tenant")
 	planEntries := fs.Int("plancache", serve.DefaultPlanCacheEntries, "plan cache entries")
 	resultMB := fs.Int64("resultcache", serve.DefaultResultCacheBytes>>20, "result cache budget in MiB (0 disables)")
+	metricsAddr := fs.String("metrics-addr", "", "HTTP listen address for /metrics and /debug/pprof/ (empty disables)")
+	slowQuery := fs.Duration("slowquery", 0, "log requests slower than this threshold (0 disables)")
+	slowLogPath := fs.String("slowlog", "", "slow-query log file (default stderr)")
+	noObs := fs.Bool("noobs", false, "disable metrics and tracing instrumentation (overhead ablation)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *noObs {
+		obs.SetEnabled(false)
 	}
 	tk, err := parseTransport(*transport)
 	if err != nil {
@@ -120,6 +147,16 @@ func run(args []string) error {
 		*sf, *seed, map[bool]string{true: "partitioned", false: "chunked"}[*partitioned], *servers)
 	c.LoadTPCH(bench.DB(*sf, *seed), *partitioned)
 
+	var slowW io.Writer
+	if *slowLogPath != "" {
+		f, err := os.OpenFile(*slowLogPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("slowlog: %w", err)
+		}
+		defer f.Close()
+		slowW = f
+	}
+
 	srv := serve.New(serve.Config{
 		Cluster:            c,
 		SF:                 *sf,
@@ -130,6 +167,8 @@ func run(args []string) error {
 		PlanCacheEntries:   *planEntries,
 		ResultCacheBytes:   *resultMB << 20,
 		DisableResultCache: *resultMB == 0,
+		SlowQueryThreshold: *slowQuery,
+		SlowQueryLog:       slowW,
 	})
 
 	lis, err := net.Listen("tcp", *listen)
@@ -138,6 +177,17 @@ func run(args []string) error {
 	}
 	fmt.Printf("hsqpd: serving on %s (%d slots, result cache %d MiB)\n",
 		lis.Addr(), *slots, *resultMB)
+
+	if *metricsAddr != "" {
+		mlis, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			return fmt.Errorf("metrics listener: %w", err)
+		}
+		defer mlis.Close()
+		msrv := &http.Server{Handler: metricsMux(), ReadHeaderTimeout: 5 * time.Second}
+		go msrv.Serve(mlis)
+		fmt.Printf("hsqpd: metrics on http://%s/metrics (pprof at /debug/pprof/)\n", mlis.Addr())
+	}
 
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)

@@ -37,12 +37,14 @@ package hsqp
 
 import (
 	"io"
+	"net/http"
 
 	"hsqp/internal/bench"
 	"hsqp/internal/cluster"
 	"hsqp/internal/engine"
 	"hsqp/internal/fabric"
 	"hsqp/internal/numa"
+	"hsqp/internal/obs"
 	"hsqp/internal/plan"
 	"hsqp/internal/queries"
 	"hsqp/internal/serve"
@@ -146,6 +148,34 @@ func NewServer(cfg ServeConfig) *Server { return serve.New(cfg) }
 
 // DialServer connects to a serving tier as the given tenant.
 func DialServer(addr, tenant string) (*Client, error) { return serve.Dial(addr, tenant) }
+
+// --- observability: metrics registry, exposition, per-query tracing ---
+
+// QueryTrace is a per-query distributed trace: queue/compile spans on the
+// coordinator track plus every server's pipeline and exchange spans.
+// QueryStats.Trace and QueryOutcome.Trace carry one per run; render it
+// with its WriteChromeJSON (chrome://tracing / Perfetto format).
+type QueryTrace = obs.Trace
+
+// TraceSpan is one interval in a QueryTrace.
+type TraceSpan = obs.Span
+
+// SlowQuery is one slow-request record as logged by the serving tier.
+type SlowQuery = obs.SlowQuery
+
+// MetricsHandler serves the process-wide metrics registry — counters,
+// gauges and histograms from every layer (serve, cluster, engine,
+// exchange, mux) — in Prometheus text exposition format. Mount it on any
+// http.ServeMux; `hsqpd -metrics-addr` does exactly this.
+func MetricsHandler() http.Handler { return obs.Handler(obs.Default()) }
+
+// WriteMetrics writes the process-wide registry in Prometheus text format.
+func WriteMetrics(w io.Writer) error { return obs.Default().WriteText(w) }
+
+// SetObservability toggles all instrumentation (metric updates and trace
+// collection) at runtime. It defaults to on; `hsqpd -noobs` and the
+// overhead ablation benchmark turn it off.
+func SetObservability(on bool) { obs.SetEnabled(on) }
 
 // Query is a compiled logical plan.
 type Query = plan.Query

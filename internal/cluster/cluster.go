@@ -20,6 +20,7 @@ import (
 	"hsqp/internal/memory"
 	"hsqp/internal/mux"
 	"hsqp/internal/numa"
+	"hsqp/internal/obs"
 	"hsqp/internal/plan"
 	"hsqp/internal/rdma"
 	"hsqp/internal/spin"
@@ -251,7 +252,7 @@ func (c *Cluster) Epoch() uint64 { return c.epoch.Load() }
 
 // LoadTable distributes one relation over the cluster.
 func (c *Cluster) LoadTable(name string, b *storage.Batch, placement storage.Placement, partCol int) {
-	c.epoch.Add(1)
+	mEpoch.Set(float64(c.epoch.Add(1)))
 	n := c.cfg.Servers
 	var parts []*storage.Batch
 	var info func(id int) plan.TableInfo
@@ -328,6 +329,11 @@ type QueryStats struct {
 	// during which at least two pipelines executed concurrently
 	// (compute/communication overlap; 0 under strictly serial execution).
 	ServerOverlap []float64
+	// Trace is the query's merged distributed trace (queue/compile/
+	// per-pipeline/exchange spans across servers), built after execution
+	// from the pipeline stats. Nil when observability is disabled
+	// (obs.SetEnabled(false)). Render with Trace.WriteChromeJSON.
+	Trace *obs.Trace
 }
 
 // WireBytes sums the exact wire bytes of this query's own exchange sends
@@ -419,6 +425,7 @@ func (c *Cluster) RunWithCancel(q *plan.Query, userCancel <-chan struct{}) (*sto
 	compileStart := time.Now()
 	compiled, err := c.compileAll(q, qid, cancel)
 	if err != nil {
+		mQueryErrors.Inc()
 		return nil, QueryStats{}, err
 	}
 	compileDur := time.Since(compileStart)
@@ -474,14 +481,21 @@ func (c *Cluster) RunWithCancel(q *plan.Query, userCancel <-chan struct{}) (*sto
 		}
 	}
 	if firstErr != nil {
+		mQueryErrors.Inc()
 		return nil, QueryStats{}, firstErr
 	}
 
+	mQueries.Inc()
+	mCompileSeconds.ObserveDuration(compileDur)
+	mExecSeconds.ObserveDuration(dur)
 	stats := QueryStats{
 		Duration:      compileDur + dur,
 		Compile:       compileDur,
 		Exec:          dur,
 		PipelineStats: pstats,
+	}
+	if obs.Enabled() {
+		stats.Trace = buildTrace(qid, c.cfg.Servers, compileDur, pstats)
 	}
 	for _, st := range pstats {
 		stats.ServerOverlap = append(stats.ServerOverlap, engine.OverlapRatio(st))

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"hsqp/internal/engine"
+	"hsqp/internal/obs"
 	"hsqp/internal/plan"
 	"hsqp/internal/storage"
 )
@@ -169,9 +170,20 @@ func (s *Session) RunTenant(tenant string, q *plan.Query, cancel <-chan struct{}
 	}
 	defer release()
 	wait := time.Since(queued)
+	mQueueWaitSeconds.ObserveDuration(wait)
 
 	res, stats, err := s.c.RunWithCancel(q, cancel)
 	stats.QueueWait = wait
+	if stats.Trace != nil {
+		// Make room for the admission phase at the front of the timeline
+		// so the trace shows the full serving-path latency split.
+		stats.Trace.Shift(wait)
+		stats.Trace.Add(obs.Span{
+			Name: "queue", Cat: "queue",
+			PID: stats.Trace.ControlPID, TID: 0,
+			Start: 0, Dur: wait,
+		})
+	}
 	return res, stats, err
 }
 
@@ -183,11 +195,17 @@ func (s *Session) RunTenant(tenant string, q *plan.Query, cancel <-chan struct{}
 // cancellation raced with.
 func (s *Session) acquire(tenant string, cancel <-chan struct{}) (func(), error) {
 	s.queued.Add(1)
-	defer s.queued.Add(-1)
+	mSessionQueued.Add(1)
+	defer func() {
+		s.queued.Add(-1)
+		mSessionQueued.Add(-1)
+	}()
 	granted := func(release func()) func() {
 		s.running.Add(1)
+		mSessionRunning.Add(1)
 		return func() {
 			s.running.Add(-1)
+			mSessionRunning.Add(-1)
 			release()
 		}
 	}
@@ -266,6 +284,9 @@ type QueryOutcome struct {
 	QueueWait time.Duration
 	Compile   time.Duration
 	Execute   time.Duration
+	// Trace is the query's merged distributed trace (also available as
+	// Stats.Trace); nil when observability is disabled.
+	Trace *obs.Trace
 }
 
 // RunConcurrent executes the queries concurrently over the cluster —
@@ -292,6 +313,7 @@ func (c *Cluster) RunConcurrent(qs []*plan.Query, maxConcurrent int) []QueryOutc
 				QueueWait: stats.QueueWait,
 				Compile:   stats.Compile,
 				Execute:   stats.Exec,
+				Trace:     stats.Trace,
 			}
 		}(i, q)
 	}

@@ -281,6 +281,7 @@ func New(cfg Config) (*Engine, error) {
 		e.wg.Add(1)
 		go e.workerLoop(&e.workers[i])
 	}
+	mWorkers.Add(float64(n))
 	return e, nil
 }
 
@@ -299,6 +300,7 @@ func (e *Engine) Close() {
 	runs := append([]*scheduler(nil), e.runs...)
 	e.cond.Broadcast()
 	e.mu.Unlock()
+	mWorkers.Add(-float64(len(e.workers)))
 	e.wg.Wait()
 	// Workers have drained their in-flight morsels and exited, so each
 	// remaining run has inFlight == 0 and cancel completes it immediately,
@@ -434,6 +436,7 @@ func (e *Engine) RunGraph(g *Graph, opt RunOptions) ([]PipelineStat, error) {
 	e.wakeSeq++
 	e.cond.Broadcast()
 	e.mu.Unlock()
+	mActiveRuns.Add(1)
 
 	<-s.doneCh
 
@@ -445,6 +448,7 @@ func (e *Engine) RunGraph(g *Graph, opt RunOptions) ([]PipelineStat, error) {
 		}
 	}
 	e.mu.Unlock()
+	mActiveRuns.Add(-1)
 	return s.results()
 }
 

@@ -1,0 +1,21 @@
+package engine
+
+import "hsqp/internal/obs"
+
+// Pool-level metrics on the process-wide registry. One process hosts
+// every simulated server's engine, so these aggregate across the cluster
+// the same way a per-process exporter would.
+var (
+	mWorkers = obs.Default().Gauge("hsqp_engine_workers",
+		"Worker threads across all engine pools in the process.")
+	mActiveRuns = obs.Default().Gauge("hsqp_engine_active_runs",
+		"Graph runs (queries) currently registered on engine pools.")
+	mMorsels = obs.Default().Counter("hsqp_engine_morsels_total",
+		"Morsels dispatched to workers.")
+	mSteals = obs.Default().Counter("hsqp_engine_steals_total",
+		"Morsels obtained by stealing (non-NUMA-local pass).")
+	mBusyNanos = obs.Default().Counter("hsqp_engine_busy_nanoseconds_total",
+		"Summed worker time spent processing morsels, in nanoseconds.")
+	mFinalizeNanos = obs.Default().Counter("hsqp_engine_finalize_nanoseconds_total",
+		"Summed worker time spent in sink finalization, in nanoseconds.")
+)

@@ -32,12 +32,13 @@ type pipeNode struct {
 	srcDone bool // source reported exhaustion
 	skipped bool // coordinator-only pipeline on a non-coordinator
 
-	started bool
-	startT  time.Duration
-	endT    time.Duration
-	busy    time.Duration
-	morsels int
-	ops     []opCounter // per-operator counters, parallel to p.Ops
+	started  bool
+	startT   time.Duration
+	endT     time.Duration
+	busy     time.Duration
+	finalize time.Duration // wall time spent in the sink's Finalize
+	morsels  int
+	ops      []opCounter // per-operator counters, parallel to p.Ops
 }
 
 // opCounter accumulates one operator's execution profile. Workers update
@@ -211,6 +212,12 @@ func (s *scheduler) tryMorsel(w *Worker) (node int, b *storage.Batch, progress b
 				}
 				n.morsels++
 				s.mu.Unlock()
+				mMorsels.Inc()
+				if pass == 1 {
+					// Pass 1 only runs when w's socket was dry everywhere:
+					// this morsel was stolen across sockets or pipelines.
+					mSteals.Inc()
+				}
 				return i, mb, true
 			}
 			n.active--
@@ -289,6 +296,7 @@ func (s *scheduler) finishMorsel(i int, d time.Duration, err error, w *Worker) {
 	n.active--
 	s.inFlight--
 	n.busy += d
+	mBusyNanos.AddDuration(d)
 	if err != nil {
 		s.abortLocked(err)
 	}
@@ -330,8 +338,12 @@ func (s *scheduler) finalizeLocked(i int, w *Worker) {
 	// while a sink is still flushing messages.
 	s.inFlight++
 	s.mu.Unlock()
+	t0 := time.Now()
 	err := safeFinalize(n.p, w)
+	fin := time.Since(t0)
+	mFinalizeNanos.AddDuration(fin)
 	s.mu.Lock()
+	n.finalize = fin
 	s.inFlight--
 	s.completeLocked(i, err)
 }
@@ -393,12 +405,13 @@ func (s *scheduler) results() ([]PipelineStat, error) {
 	for i := range s.nodes {
 		n := &s.nodes[i]
 		stats[i] = PipelineStat{
-			Name:    n.p.Name,
-			Skipped: n.skipped,
-			Start:   n.startT,
-			End:     n.endT,
-			Busy:    n.busy,
-			Morsels: n.morsels,
+			Name:     n.p.Name,
+			Skipped:  n.skipped,
+			Start:    n.startT,
+			End:      n.endT,
+			Busy:     n.busy,
+			Finalize: n.finalize,
+			Morsels:  n.morsels,
 		}
 		if len(n.p.Ops) > 0 {
 			ops := make([]OpStat, len(n.p.Ops))

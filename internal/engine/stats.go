@@ -17,7 +17,10 @@ type PipelineStat struct {
 	Start   time.Duration
 	End     time.Duration
 	Busy    time.Duration
-	Morsels int
+	// Finalize is the wall time the sink's Finalize took (included in the
+	// Start..End interval; exchange sends flush their last buffers here).
+	Finalize time.Duration
+	Morsels  int
 	// Ops reports per-operator execution counters in pipeline order
 	// (explain analyze).
 	Ops []OpStat

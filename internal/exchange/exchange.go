@@ -305,6 +305,8 @@ func (s *Send) newMessage(node numa.Node) *memory.Message {
 // destination's mutex so its stream stays strictly increasing.
 func (s *Send) sendStamped(dst int, msg *memory.Message) {
 	s.bytesSent.Add(uint64(msg.WireSize()))
+	mWireBytes.Add(uint64(msg.WireSize()))
+	mMessages.Inc()
 	s.destMu[dst].Lock()
 	msg.Seq = s.destSeq[dst]
 	s.destSeq[dst]++
@@ -320,6 +322,8 @@ func (s *Send) sendStamped(dst int, msg *memory.Message) {
 // streams may skip values but never regress.
 func (s *Send) broadcastStamped(msg *memory.Message) {
 	s.bytesSent.Add(uint64(msg.WireSize()) * uint64(s.cfg.Servers))
+	mWireBytes.Add(uint64(msg.WireSize()) * uint64(s.cfg.Servers))
+	mMessages.Add(uint64(s.cfg.Servers))
 	for d := range s.destMu {
 		s.destMu[d].Lock()
 	}

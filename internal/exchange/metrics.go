@@ -1,0 +1,14 @@
+package exchange
+
+import "hsqp/internal/obs"
+
+// Wire-traffic metrics on the process-wide registry, aggregated across
+// every send-side exchange in the simulated cluster. Exact per-query
+// bytes remain available via QueryStats.WireBytes; these counters are the
+// live cluster-wide view an operator scrapes.
+var (
+	mWireBytes = obs.Default().Counter("hsqp_exchange_wire_bytes_total",
+		"Bytes handed to the multiplexer by send-side exchanges.")
+	mMessages = obs.Default().Counter("hsqp_exchange_messages_total",
+		"Messages handed to the multiplexer by send-side exchanges.")
+)

@@ -243,14 +243,25 @@ func (m *Mux) Send(dst int, msg *memory.Message) {
 		m.route(msg, true)
 		return
 	}
+	// Fast path: queue has room. Otherwise time the blocking wait — that
+	// stall is backpressure from the simulated link and one of the
+	// quantities the paper says dominates distributed runtime.
 	select {
 	case m.sendQ[dst] <- msg:
+	default:
+		t0 := time.Now()
 		select {
-		case m.wakeCh <- struct{}{}:
-		default:
+		case m.sendQ[dst] <- msg:
+			mSendStallNanos.AddDuration(time.Since(t0))
+		case <-m.stopCh:
+			mSendStallNanos.AddDuration(time.Since(t0))
+			msg.Release()
+			return
 		}
-	case <-m.stopCh:
-		msg.Release()
+	}
+	select {
+	case m.wakeCh <- struct{}{}:
+	default:
 	}
 }
 
@@ -266,6 +277,7 @@ func (m *Mux) route(msg *memory.Message, local bool) {
 		if _, dead := m.closed[msg.QueryID]; dead {
 			m.mu.Unlock()
 			m.droppedMsgs.Add(1)
+			mDroppedMsgs.Inc()
 			msg.Release()
 			return
 		}
@@ -329,6 +341,7 @@ func (m *Mux) CloseQuery(queryID int32) {
 	m.mu.Unlock()
 	for _, msg := range drop {
 		m.droppedMsgs.Add(1)
+		mDroppedMsgs.Inc()
 		msg.Release()
 	}
 }

@@ -3,6 +3,7 @@ package mux
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"hsqp/internal/memory"
 	"hsqp/internal/numa"
@@ -159,7 +160,9 @@ func (ex *ExchangeRecv) Recv(local numa.Node) *memory.Message {
 		if ex.mux.stopped.Load() {
 			return nil
 		}
+		t0 := time.Now()
 		ex.cond.Wait()
+		mRecvStallNanos.AddDuration(time.Since(t0))
 	}
 }
 
@@ -343,6 +346,8 @@ func (ex *ExchangeRecv) RecvWorker(worker int) *memory.Message {
 		if ex.mux.stopped.Load() {
 			return nil
 		}
+		t0 := time.Now()
 		ex.cond.Wait()
+		mRecvStallNanos.AddDuration(time.Since(t0))
 	}
 }

@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WriteText renders the registry in Prometheus text exposition format
+// (version 0.0.4): one `# HELP` / `# TYPE` pair per family, series sorted
+// by label values, histograms expanded into cumulative `_bucket{le=...}`
+// series plus `_sum` and `_count`. Collect hooks run first so snapshot
+// gauges are fresh.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.runHooks()
+	bw := bufio.NewWriter(w)
+	for _, f := range r.sortedFamilies() {
+		if err := f.writeText(bw); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func (f *family) writeText(w *bufio.Writer) error {
+	f.mu.Lock()
+	fn := f.fn
+	entries := make([]*seriesEntry, 0, len(f.series))
+	for _, e := range f.series {
+		entries = append(entries, e)
+	}
+	f.mu.Unlock()
+	if len(entries) == 0 && fn == nil {
+		return nil
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		return seriesKey(entries[i].labelValues) < seriesKey(entries[j].labelValues)
+	})
+
+	fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+	fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ)
+	if fn != nil {
+		fmt.Fprintf(w, "%s %s\n", f.name, formatFloat(fn()))
+		return nil
+	}
+	for _, e := range entries {
+		lbl := labelString(f.labels, e.labelValues, "", "")
+		switch f.typ {
+		case TypeCounter:
+			fmt.Fprintf(w, "%s%s %d\n", f.name, lbl, e.counter.Value())
+		case TypeGauge:
+			fmt.Fprintf(w, "%s%s %s\n", f.name, lbl, formatFloat(e.gauge.Value()))
+		case TypeHistogram:
+			h := e.hist
+			var cum uint64
+			for i, bound := range h.bounds {
+				cum += h.counts[i].Load()
+				fmt.Fprintf(w, "%s_bucket%s %d\n", f.name,
+					labelString(f.labels, e.labelValues, "le", formatFloat(bound)), cum)
+			}
+			cum += h.counts[len(h.bounds)].Load()
+			fmt.Fprintf(w, "%s_bucket%s %d\n", f.name,
+				labelString(f.labels, e.labelValues, "le", "+Inf"), cum)
+			fmt.Fprintf(w, "%s_sum%s %s\n", f.name, lbl, formatFloat(h.Sum()))
+			fmt.Fprintf(w, "%s_count%s %d\n", f.name, lbl, cum)
+		}
+	}
+	return w.Flush()
+}
+
+// labelString renders {k1="v1",...}, appending an extra pair (the
+// histogram `le` bound) when extraKey is non-empty. Returns "" for no
+// labels.
+func labelString(names, values []string, extraKey, extraVal string) string {
+	if len(names) == 0 && extraKey == "" {
+		return ""
+	}
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(n)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(values[i]))
+		sb.WriteByte('"')
+	}
+	if extraKey != "" {
+		if len(names) > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(extraKey)
+		sb.WriteString(`="`)
+		sb.WriteString(extraVal)
+		sb.WriteByte('"')
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// escapeLabel escapes a label value per the exposition format:
+// backslash, double-quote and newline.
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var sb strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			sb.WriteString(`\\`)
+		case '"':
+			sb.WriteString(`\"`)
+		case '\n':
+			sb.WriteString(`\n`)
+		default:
+			sb.WriteRune(r)
+		}
+	}
+	return sb.String()
+}
+
+// escapeHelp escapes a HELP string: backslash and newline only.
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// formatFloat renders a float the way Prometheus clients do: shortest
+// representation that round-trips, integers without a trailing ".0".
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Handler returns an http.Handler serving the registry as
+// text/plain exposition (mount at /metrics).
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := r.WriteText(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+}

@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite exposition golden files")
+
+// goldenRegistry builds a deterministic registry exercising every
+// exposition feature: unlabeled and labeled counters, gauges, a
+// GaugeFunc, label-value escaping, and a multi-bucket histogram.
+func goldenRegistry() *Registry {
+	r := NewRegistry()
+	c := r.Counter("hsqp_test_requests_total", "Requests served.")
+	c.Add(1234)
+
+	v := r.CounterVec("hsqp_test_tenant_requests_total", "Per-tenant requests.", "tenant")
+	v.With("heavy").Add(40)
+	v.With("light").Add(10)
+	v.With("we\"ird\\te\nnant").Add(1)
+
+	g := r.Gauge("hsqp_test_queue_depth", "Current queue depth.")
+	g.Set(3)
+	r.GaugeVec("hsqp_test_p99_seconds", "Tenant p99.", "tenant").With("heavy").Set(0.0125)
+	r.GaugeFunc("hsqp_test_workers", "Worker pool size.", func() float64 { return 12 })
+
+	h := r.Histogram("hsqp_test_latency_seconds", "Request latency.", []float64{0.001, 0.01, 0.1, 1})
+	for _, s := range []float64{0.0005, 0.004, 0.004, 0.05, 0.2, 3} {
+		h.Observe(s)
+	}
+	return r
+}
+
+func TestExpositionGolden(t *testing.T) {
+	var sb strings.Builder
+	if err := goldenRegistry().WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	path := filepath.Join("testdata", "exposition.golden")
+	if *updateGolden {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update-golden to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestExpositionInvariants checks the structural rules scrapers depend on,
+// independent of the golden bytes: HELP/TYPE precede every family, bucket
+// counts are cumulative and end at +Inf == _count.
+func TestExpositionInvariants(t *testing.T) {
+	var sb strings.Builder
+	if err := goldenRegistry().WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(sb.String(), "\n"), "\n")
+	seenHelp := map[string]bool{}
+	seenType := map[string]bool{}
+	for _, ln := range lines {
+		if rest, ok := strings.CutPrefix(ln, "# HELP "); ok {
+			seenHelp[strings.Fields(rest)[0]] = true
+			continue
+		}
+		if rest, ok := strings.CutPrefix(ln, "# TYPE "); ok {
+			seenType[strings.Fields(rest)[0]] = true
+			continue
+		}
+		name := ln
+		if i := strings.IndexAny(name, "{ "); i >= 0 {
+			name = name[:i]
+		}
+		base := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(name, "_bucket"), "_sum"), "_count")
+		if !seenHelp[base] || !seenType[base] {
+			t.Errorf("sample %q not preceded by HELP/TYPE for %q", ln, base)
+		}
+	}
+
+	samples, err := ParseText(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("rendered text does not parse: %v", err)
+	}
+	ss := NewSampleSet(samples)
+	// Histogram invariants: cumulative buckets, +Inf bucket == count.
+	var prev float64
+	for _, le := range []string{"0.001", "0.01", "0.1", "1", "+Inf"} {
+		v, ok := ss.Value("hsqp_test_latency_seconds_bucket", map[string]string{"le": le})
+		if !ok {
+			t.Fatalf("missing bucket le=%s", le)
+		}
+		if v < prev {
+			t.Fatalf("bucket le=%s = %v not cumulative (prev %v)", le, v, prev)
+		}
+		prev = v
+	}
+	count, _ := ss.Value("hsqp_test_latency_seconds_count", nil)
+	if count != 6 || prev != 6 {
+		t.Fatalf("count = %v, +Inf bucket = %v, want 6", count, prev)
+	}
+	sum, _ := ss.Value("hsqp_test_latency_seconds_sum", nil)
+	if want := 0.0005 + 0.004 + 0.004 + 0.05 + 0.2 + 3; math.Abs(sum-want) > 1e-12 {
+		t.Fatalf("sum = %v, want %v", sum, want)
+	}
+	// Escaped label round-trips through the parser.
+	if v, ok := ss.Value("hsqp_test_tenant_requests_total", map[string]string{"tenant": "we\"ird\\te\nnant"}); !ok || v != 1 {
+		t.Fatalf("escaped label did not round-trip: v=%v ok=%v", v, ok)
+	}
+}
+
+func TestParseTextRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		"no_value_here\n",
+		`unterminated{tenant="x 1` + "\n",
+		"name not-a-number\n",
+	} {
+		if _, err := ParseText(strings.NewReader(bad)); err == nil {
+			t.Errorf("ParseText(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestSampleSetQueries(t *testing.T) {
+	text := "a_total{t=\"x\"} 1\na_total{t=\"y\"} 2\nb 5\n"
+	samples, err := ParseText(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss := NewSampleSet(samples)
+	if ss.Sum("a_total") != 3 {
+		t.Fatalf("Sum = %v, want 3", ss.Sum("a_total"))
+	}
+	if v, ok := ss.Value("a_total", map[string]string{"t": "y"}); !ok || v != 2 {
+		t.Fatalf("Value(t=y) = %v,%v", v, ok)
+	}
+	if got := ss.LabelValues("a_total", "t"); len(got) != 2 || got[0] != "x" || got[1] != "y" {
+		t.Fatalf("LabelValues = %v", got)
+	}
+}

@@ -1,0 +1,414 @@
+// Package obs is the engine's dependency-free observability core: a
+// metrics registry of atomic counters, gauges and fixed-bucket histograms
+// (optionally labeled), a Prometheus-text-format exposition handler, a
+// per-query span tracer that renders Chrome trace_event JSON, and a
+// structured slow-query log.
+//
+// Design constraints, in order:
+//
+//  1. Hot-path cost must be one atomic op per event (a morsel dispatch, a
+//     wire send). No locks, no allocation: callers hold on to metric
+//     handles (*Counter, *Gauge, *Histogram) obtained once at package
+//     init, and labeled families resolve their series once per label set.
+//  2. No third-party dependencies — the package stands on sync/atomic and
+//     the standard library only, so every internal package may import it.
+//  3. A single process hosts a whole simulated cluster (N server nodes),
+//     so the Default registry aggregates across nodes exactly like a real
+//     deployment's per-process exporter would.
+//
+// All recording is gated on Enabled (an atomic bool, default true):
+// SetEnabled(false) turns every Add/Set/Observe into a cheap no-op, which
+// is the `-noobs` ablation used to bound instrumentation overhead.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// enabled gates all recording. Exposition still works when disabled; the
+// numbers just stop moving.
+var enabled atomic.Bool
+
+func init() { enabled.Store(true) }
+
+// SetEnabled turns recording on or off process-wide (the -noobs ablation).
+func SetEnabled(on bool) { enabled.Store(on) }
+
+// Enabled reports whether recording is on.
+func Enabled() bool { return enabled.Load() }
+
+// MetricType is the exposition TYPE of a family.
+type MetricType string
+
+// Exposition metric types.
+const (
+	TypeCounter   MetricType = "counter"
+	TypeGauge     MetricType = "gauge"
+	TypeHistogram MetricType = "histogram"
+)
+
+// DefBuckets are the default latency buckets in seconds: 0.5ms … 10s,
+// wide enough for admission waits under saturation and tight enough to
+// resolve sub-millisecond cache hits.
+var DefBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+	0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Registry holds metric families and renders them in Prometheus text
+// format. The zero value is not usable; call NewRegistry (or use Default).
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	hooks    map[string]func()
+}
+
+// family is one named metric family: all series sharing a name, help
+// string, type and label names.
+type family struct {
+	name   string
+	help   string
+	typ    MetricType
+	labels []string
+	fn     func() float64 // GaugeFunc families evaluate at collection
+
+	mu     sync.Mutex
+	series map[string]*seriesEntry
+}
+
+type seriesEntry struct {
+	labelValues []string
+	counter     *Counter
+	gauge       *Gauge
+	hist        *Histogram
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		families: map[string]*family{},
+		hooks:    map[string]func(){},
+	}
+}
+
+var def = NewRegistry()
+
+// Default is the process-wide registry every package-level metric
+// registers into (the analogue of a client library's default registerer).
+func Default() *Registry { return def }
+
+// OnCollect registers a hook run at the start of every exposition, keyed
+// so that re-registration under the same key replaces the previous hook
+// instead of accumulating (a reconstructed server re-binds its snapshot
+// hook without leaking the old instance). Hooks set point-in-time gauges
+// from state that is too expensive or too racy to maintain per event
+// (queue depths, cache occupancy, latency percentiles).
+func (r *Registry) OnCollect(key string, fn func()) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.hooks[key] = fn
+}
+
+// familyFor returns the named family, creating it on first registration.
+// Re-registering with the same name is idempotent; changing the type or
+// label names of an existing family is a programming error and panics.
+func (r *Registry) familyFor(name, help string, typ MetricType, labels []string) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.typ != typ || len(f.labels) != len(labels) {
+			panic(fmt.Sprintf("obs: metric %q re-registered as %s(%d labels), was %s(%d labels)",
+				name, typ, len(labels), f.typ, len(f.labels)))
+		}
+		return f
+	}
+	f := &family{name: name, help: help, typ: typ,
+		labels: append([]string(nil), labels...), series: map[string]*seriesEntry{}}
+	r.families[name] = f
+	return f
+}
+
+// seriesKey joins label values into a map key. \x1f never appears in
+// sane label values; collisions would only merge two series, never crash.
+func seriesKey(values []string) string { return strings.Join(values, "\x1f") }
+
+func (f *family) entry(values []string, buckets []float64) *seriesEntry {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("obs: metric %q wants %d label values, got %d", f.name, len(f.labels), len(values)))
+	}
+	key := seriesKey(values)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if e, ok := f.series[key]; ok {
+		return e
+	}
+	e := &seriesEntry{labelValues: append([]string(nil), values...)}
+	switch f.typ {
+	case TypeCounter:
+		e.counter = &Counter{}
+	case TypeGauge:
+		e.gauge = &Gauge{}
+	case TypeHistogram:
+		e.hist = newHistogram(buckets)
+	}
+	f.series[key] = e
+	return e
+}
+
+// --- Counter ---
+
+// Counter is a monotonically increasing uint64. Durations accumulate in
+// nanoseconds under a `_nanoseconds_total` name so the hot path stays one
+// integer atomic add.
+type Counter struct{ v atomic.Uint64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) {
+	if c == nil || !enabled.Load() {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// AddDuration accumulates d as nanoseconds (negative durations are
+// dropped: a counter must not regress).
+func (c *Counter) AddDuration(d time.Duration) {
+	if d > 0 {
+		c.Add(uint64(d))
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Counter registers (or returns) an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.familyFor(name, help, TypeCounter, nil).entry(nil, nil).counter
+}
+
+// CounterVec is a labeled counter family.
+type CounterVec struct{ f *family }
+
+// CounterVec registers (or returns) a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{f: r.familyFor(name, help, TypeCounter, labels)}
+}
+
+// With returns the series for the label values, creating it on first use.
+// Callers on hot paths should cache the returned handle.
+func (v *CounterVec) With(values ...string) *Counter { return v.f.entry(values, nil).counter }
+
+// --- Gauge ---
+
+// Gauge is a float64 that can go up and down (stored as atomic bits).
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil || !enabled.Load() {
+		return
+	}
+	g.bits.Store(mathFloat64bits(v))
+}
+
+// Add adds delta (CAS loop; gauges are not hot-path metrics).
+func (g *Gauge) Add(delta float64) {
+	if g == nil || !enabled.Load() {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		newV := mathFloat64frombits(old) + delta
+		if g.bits.CompareAndSwap(old, mathFloat64bits(newV)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return mathFloat64frombits(g.bits.Load())
+}
+
+// Gauge registers (or returns) an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.familyFor(name, help, TypeGauge, nil).entry(nil, nil).gauge
+}
+
+// GaugeVec is a labeled gauge family.
+type GaugeVec struct{ f *family }
+
+// GaugeVec registers (or returns) a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{f: r.familyFor(name, help, TypeGauge, labels)}
+}
+
+// With returns the series for the label values, creating it on first use.
+func (v *GaugeVec) With(values ...string) *Gauge { return v.f.entry(values, nil).gauge }
+
+// GaugeFunc registers a gauge whose value is computed by fn at every
+// exposition (cheap derived values like a queue length accessor).
+// Re-registering the same name replaces the function.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	f := r.familyFor(name, help, TypeGauge, nil)
+	f.mu.Lock()
+	f.fn = fn
+	f.mu.Unlock()
+}
+
+// --- Histogram ---
+
+// Histogram counts observations into fixed cumulative-at-render buckets
+// plus a running sum. Observation and bucket bounds are in seconds for
+// latency histograms (use Observe(d.Seconds()) or ObserveDuration).
+type Histogram struct {
+	bounds []float64       // upper bounds, ascending; +Inf implicit
+	counts []atomic.Uint64 // len(bounds)+1; last = +Inf overflow
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefBuckets
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("obs: histogram buckets must be strictly ascending")
+		}
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil || !enabled.Load() {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		newV := mathFloat64frombits(old) + v
+		if h.sum.CompareAndSwap(old, mathFloat64bits(newV)) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records d in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return mathFloat64frombits(h.sum.Load())
+}
+
+// Histogram registers (or returns) an unlabeled histogram. buckets nil
+// selects DefBuckets.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	return r.familyFor(name, help, TypeHistogram, nil).entry(nil, buckets).hist
+}
+
+// HistogramVec is a labeled histogram family.
+type HistogramVec struct {
+	f       *family
+	buckets []float64
+}
+
+// HistogramVec registers (or returns) a labeled histogram family.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	return &HistogramVec{f: r.familyFor(name, help, TypeHistogram, labels), buckets: buckets}
+}
+
+// With returns the series for the label values, creating it on first use.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	return v.f.entry(values, v.buckets).hist
+}
+
+// --- snapshot (used by the renderer and by tests) ---
+
+// Sample is one exposed time series value. Histograms expose their
+// buckets/sum/count through the Buckets/Sum/Count fields instead of
+// Value.
+type Sample struct {
+	Name    string
+	Labels  map[string]string
+	Value   float64
+	IsHist  bool
+	Bounds  []float64 // histogram upper bounds (without +Inf)
+	Buckets []uint64  // cumulative counts per bound, then +Inf total
+	Sum     float64
+	Count   uint64
+}
+
+// sortedFamilies snapshots the family list in name order.
+func (r *Registry) sortedFamilies() []*family {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	return fams
+}
+
+// runHooks runs the collect hooks (outside the registry lock: hooks set
+// gauges, which take family locks).
+func (r *Registry) runHooks() {
+	r.mu.Lock()
+	keys := make([]string, 0, len(r.hooks))
+	for k := range r.hooks {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fns := make([]func(), len(keys))
+	for i, k := range keys {
+		fns[i] = r.hooks[k]
+	}
+	r.mu.Unlock()
+	for _, fn := range fns {
+		fn()
+	}
+}
+
+// float helpers: readable aliases over math's bit conversions.
+
+func mathFloat64bits(f float64) uint64     { return math.Float64bits(f) }
+func mathFloat64frombits(b uint64) float64 { return math.Float64frombits(b) }

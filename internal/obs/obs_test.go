@@ -1,0 +1,198 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeSemantics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_events_total", "events")
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+	c.AddDuration(3 * time.Nanosecond)
+	c.AddDuration(-time.Second) // negative dropped: counters are monotonic
+	if got := c.Value(); got != 45 {
+		t.Fatalf("counter after AddDuration = %d, want 45", got)
+	}
+
+	g := r.Gauge("test_depth", "depth")
+	g.Set(10)
+	g.Add(-3.5)
+	if got := g.Value(); got != 6.5 {
+		t.Fatalf("gauge = %v, want 6.5", got)
+	}
+
+	// Registration is idempotent: same name returns the same handle.
+	if r.Counter("test_events_total", "events") != c {
+		t.Fatal("re-registering a counter returned a different handle")
+	}
+
+	// Vec series identity: same label values, same series.
+	v := r.CounterVec("test_labeled_total", "labeled", "tenant")
+	a1, a2 := v.With("alpha"), v.With("alpha")
+	if a1 != a2 {
+		t.Fatal("same label values returned different series")
+	}
+	a1.Inc()
+	v.With("beta").Add(5)
+	if a2.Value() != 1 || v.With("beta").Value() != 5 {
+		t.Fatal("labeled series did not isolate values")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_latency_seconds", "latency", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.05, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if got, want := h.Sum(), 0.005+0.05+0.05+0.5+5; got != want {
+		t.Fatalf("sum = %v, want %v", got, want)
+	}
+	// Per-bucket (non-cumulative) counts: ≤0.01:1, ≤0.1:2, ≤1:1, +Inf:1.
+	want := []uint64{1, 2, 1, 1}
+	for i, w := range want {
+		if got := h.counts[i].Load(); got != w {
+			t.Fatalf("bucket %d = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestMismatchedRegistrationPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_x_total", "x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering with a different type did not panic")
+		}
+	}()
+	r.Gauge("test_x_total", "x")
+}
+
+func TestSetEnabledGates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_gated_total", "gated")
+	h := r.Histogram("test_gated_seconds", "gated", nil)
+	SetEnabled(false)
+	c.Inc()
+	h.Observe(1)
+	SetEnabled(true)
+	if c.Value() != 0 || h.Count() != 0 {
+		t.Fatalf("disabled recording still moved: counter=%d hist=%d", c.Value(), h.Count())
+	}
+	c.Inc()
+	if c.Value() != 1 {
+		t.Fatal("re-enabled counter did not move")
+	}
+}
+
+func TestNilMetricsAreSafe(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	c.Inc()
+	c.Add(1)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(1)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 {
+		t.Fatal("nil metrics returned non-zero values")
+	}
+}
+
+func TestOnCollectKeyedReplacement(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("test_hooked", "hooked")
+	r.OnCollect("k", func() { g.Set(1) })
+	r.OnCollect("k", func() { g.Set(2) }) // replaces, does not accumulate
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if g.Value() != 2 {
+		t.Fatalf("hook gauge = %v, want 2 (replaced hook)", g.Value())
+	}
+}
+
+// TestConcurrentHammer drives every metric type from many goroutines while
+// a renderer scrapes — the -race CI job turns any unsynchronized access
+// into a failure.
+func TestConcurrentHammer(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_hammer_total", "hammer")
+	v := r.CounterVec("test_hammer_labeled_total", "hammer", "worker")
+	g := r.Gauge("test_hammer_depth", "hammer")
+	h := r.HistogramVec("test_hammer_seconds", "hammer", nil, "worker")
+
+	const goroutines = 8
+	const iters = 2000
+	var wg, scrape sync.WaitGroup
+	stop := make(chan struct{})
+	scrape.Add(1)
+	go func() { // concurrent scraper
+		defer scrape.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				var sb strings.Builder
+				if err := r.WriteText(&sb); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}
+	}()
+	names := []string{"w0", "w1", "w2"}
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			mine := v.With(names[id%len(names)])
+			hist := h.With(names[id%len(names)])
+			for j := 0; j < iters; j++ {
+				c.Inc()
+				mine.Inc()
+				g.Add(1)
+				g.Add(-1)
+				hist.Observe(float64(j) * 1e-6)
+			}
+		}(i)
+	}
+	for i := 0; i < goroutines; i++ {
+		// ...while other goroutines create fresh series concurrently.
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				v.With(names[(id+j)%len(names)]).Inc()
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(stop)
+	scrape.Wait()
+	if got, want := c.Value(), uint64(goroutines*iters); got != want {
+		t.Fatalf("hammered counter = %d, want %d", got, want)
+	}
+	var perSeries uint64
+	for _, n := range names {
+		perSeries += v.With(n).Value()
+	}
+	if want := uint64(goroutines*iters + goroutines*50); perSeries != want {
+		t.Fatalf("labeled total = %d, want %d", perSeries, want)
+	}
+	if g.Value() != 0 {
+		t.Fatalf("gauge = %v, want 0 after balanced adds", g.Value())
+	}
+}

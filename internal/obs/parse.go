@@ -1,0 +1,195 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// ParsedSample is one time series scraped back out of exposition text.
+// Histogram `_bucket`/`_sum`/`_count` series appear as plain samples
+// under their suffixed names (with `le` as an ordinary label) — enough
+// for `hsqp top` and for round-trip tests; this is a scraper, not a full
+// client library.
+type ParsedSample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// ParseText parses Prometheus text exposition into samples, skipping
+// comments and blank lines. Unparseable lines are an error (the daemon
+// emits this format itself; garbage means a real bug).
+func ParseText(r io.Reader) ([]ParsedSample, error) {
+	var out []ParsedSample
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		s, err := parseLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("obs: metrics line %d: %w", lineNo, err)
+		}
+		out = append(out, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func parseLine(line string) (ParsedSample, error) {
+	s := ParsedSample{Labels: map[string]string{}}
+	rest := line
+	if i := strings.IndexAny(rest, "{ "); i < 0 {
+		return s, fmt.Errorf("no value in %q", line)
+	} else {
+		s.Name = rest[:i]
+		rest = rest[i:]
+	}
+	if strings.HasPrefix(rest, "{") {
+		end := strings.LastIndex(rest, "}")
+		if end < 0 {
+			return s, fmt.Errorf("unterminated labels in %q", line)
+		}
+		if err := parseLabels(rest[1:end], s.Labels); err != nil {
+			return s, err
+		}
+		rest = rest[end+1:]
+	}
+	rest = strings.TrimSpace(rest)
+	// A timestamp after the value is legal in the format; we never emit
+	// one, but tolerate it.
+	if i := strings.IndexByte(rest, ' '); i >= 0 {
+		rest = rest[:i]
+	}
+	v, err := parseValue(rest)
+	if err != nil {
+		return s, fmt.Errorf("bad value %q in %q", rest, line)
+	}
+	s.Value = v
+	return s, nil
+}
+
+func parseValue(v string) (float64, error) {
+	switch v {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	}
+	return strconv.ParseFloat(v, 64)
+}
+
+func parseLabels(s string, into map[string]string) error {
+	for len(s) > 0 {
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return fmt.Errorf("bad label pair in %q", s)
+		}
+		key := strings.TrimSpace(s[:eq])
+		s = s[eq+1:]
+		if len(s) == 0 || s[0] != '"' {
+			return fmt.Errorf("label %s: value not quoted", key)
+		}
+		s = s[1:]
+		var val strings.Builder
+		i := 0
+		for ; i < len(s); i++ {
+			c := s[i]
+			if c == '\\' && i+1 < len(s) {
+				i++
+				switch s[i] {
+				case 'n':
+					val.WriteByte('\n')
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				default:
+					val.WriteByte('\\')
+					val.WriteByte(s[i])
+				}
+				continue
+			}
+			if c == '"' {
+				break
+			}
+			val.WriteByte(c)
+		}
+		if i >= len(s) {
+			return fmt.Errorf("label %s: unterminated value", key)
+		}
+		into[key] = val.String()
+		s = s[i+1:]
+		s = strings.TrimPrefix(strings.TrimSpace(s), ",")
+		s = strings.TrimSpace(s)
+	}
+	return nil
+}
+
+// SampleSet indexes parsed samples for lookup by name (+ optional single
+// label match). It is the query API `hsqp top` works against.
+type SampleSet struct{ samples []ParsedSample }
+
+// NewSampleSet wraps parsed samples.
+func NewSampleSet(samples []ParsedSample) *SampleSet { return &SampleSet{samples: samples} }
+
+// Value returns the first sample with the given name whose labels are a
+// superset of want (nil matches anything), and whether one exists.
+func (ss *SampleSet) Value(name string, want map[string]string) (float64, bool) {
+	for _, s := range ss.samples {
+		if s.Name != name {
+			continue
+		}
+		ok := true
+		for k, v := range want {
+			if s.Labels[k] != v {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return s.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Sum adds every sample with the given name (all label sets).
+func (ss *SampleSet) Sum(name string) float64 {
+	var sum float64
+	for _, s := range ss.samples {
+		if s.Name == name {
+			sum += s.Value
+		}
+	}
+	return sum
+}
+
+// LabelValues returns the distinct values of one label across samples
+// with the given name, in first-seen order.
+func (ss *SampleSet) LabelValues(name, label string) []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, s := range ss.samples {
+		if s.Name != name {
+			continue
+		}
+		v, ok := s.Labels[label]
+		if !ok || seen[v] {
+			continue
+		}
+		seen[v] = true
+		out = append(out, v)
+	}
+	return out
+}

@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SlowQuery is one request that crossed the slow threshold, with the
+// phase split an operator needs to place the blame: admission queue vs
+// compile vs execution, plus the wire traffic it generated.
+type SlowQuery struct {
+	Time      time.Time
+	Tenant    string
+	Statement string
+	Rows      int
+	QueueWait time.Duration
+	Compile   time.Duration
+	Exec      time.Duration
+	Total     time.Duration
+	WireBytes uint64
+	// Path is how the request was satisfied: executed, result-hit, shared.
+	Path string
+}
+
+// SlowLog writes one structured logfmt line per query slower than the
+// threshold. Safe for concurrent use; a nil *SlowLog ignores all calls.
+type SlowLog struct {
+	mu     sync.Mutex
+	w      io.Writer
+	thresh time.Duration
+	logged atomic.Uint64
+}
+
+// NewSlowLog creates a slow-query log. Queries with Total >= threshold
+// are logged; threshold <= 0 returns nil (disabled).
+func NewSlowLog(w io.Writer, threshold time.Duration) *SlowLog {
+	if threshold <= 0 || w == nil {
+		return nil
+	}
+	return &SlowLog{w: w, thresh: threshold}
+}
+
+// Observe logs q if it crossed the threshold; reports whether it did.
+func (l *SlowLog) Observe(q SlowQuery) bool {
+	if l == nil || q.Total < l.thresh {
+		return false
+	}
+	ts := q.Time
+	if ts.IsZero() {
+		ts = time.Now()
+	}
+	line := fmt.Sprintf(
+		"slowquery ts=%s tenant=%s stmt=%s path=%s rows=%d queue=%s compile=%s exec=%s total=%s wire_bytes=%d\n",
+		ts.UTC().Format(time.RFC3339Nano), logfmtValue(q.Tenant), logfmtValue(q.Statement),
+		logfmtValue(q.Path), q.Rows, q.QueueWait, q.Compile, q.Exec, q.Total, q.WireBytes)
+	l.mu.Lock()
+	_, err := io.WriteString(l.w, line)
+	l.mu.Unlock()
+	if err == nil {
+		l.logged.Add(1)
+	}
+	return true
+}
+
+// Count returns how many queries have been logged.
+func (l *SlowLog) Count() uint64 {
+	if l == nil {
+		return 0
+	}
+	return l.logged.Load()
+}
+
+// logfmtValue quotes a value when it contains characters that would break
+// the key=value grammar.
+func logfmtValue(s string) string {
+	if s == "" {
+		return `""`
+	}
+	if strings.ContainsAny(s, " \t\n\"=") {
+		return fmt.Sprintf("%q", s)
+	}
+	return s
+}

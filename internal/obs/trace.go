@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"time"
+)
+
+// Span is one timed phase of a query on one server: queue, compile, a
+// pipeline's execution, or an exchange finalize. Start is relative to the
+// trace origin (admission time once the session shifts the trace;
+// compile start for a bare cluster run).
+type Span struct {
+	Name  string         // human label ("compile", pipeline name, ...)
+	Cat   string         // category: queue|compile|pipeline|exchange|exchange-finalize
+	PID   int            // process track: server id, or the coordinator pid
+	TID   int            // thread track within the process
+	Start time.Duration  // offset from trace origin
+	Dur   time.Duration  // span length
+	Args  map[string]any // extra detail (morsels, rows, bytes, ...)
+}
+
+// Trace is the merged per-query trace: spans from every server plus the
+// coordinator-side queue/compile phases, renderable as Chrome
+// trace_event JSON (load in chrome://tracing or https://ui.perfetto.dev).
+type Trace struct {
+	QueryID uint64
+	// ControlPID is the synthetic "coordinator" process id (one past the
+	// highest server id) that queue/compile spans render under.
+	ControlPID int
+
+	Spans   []Span
+	procs   map[int]string
+	threads map[[2]int]string
+}
+
+// NewTrace creates an empty trace for a query.
+func NewTrace(queryID uint64) *Trace {
+	return &Trace{
+		QueryID: queryID,
+		procs:   map[int]string{},
+		threads: map[[2]int]string{},
+	}
+}
+
+// SetProcessName names a pid track ("server 0", "coordinator").
+func (t *Trace) SetProcessName(pid int, name string) { t.procs[pid] = name }
+
+// SetThreadName names a tid track within a pid (the pipeline name).
+func (t *Trace) SetThreadName(pid, tid int, name string) { t.threads[[2]int{pid, tid}] = name }
+
+// Add appends a span.
+func (t *Trace) Add(s Span) { t.Spans = append(t.Spans, s) }
+
+// Shift moves every span later by d — the session uses it to make room
+// for the admission-queue span at the front of the timeline.
+func (t *Trace) Shift(d time.Duration) {
+	for i := range t.Spans {
+		t.Spans[i].Start += d
+	}
+}
+
+// Spans in Chrome's trace_event JSON: "X" complete events with µs
+// timestamps, plus metadata events naming the process/thread tracks.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents []chromeEvent  `json:"traceEvents"`
+	DisplayUnit string         `json:"displayTimeUnit"`
+	Metadata    map[string]any `json:"otherData,omitempty"`
+}
+
+// WriteChromeJSON renders the trace as Chrome trace_event JSON.
+func (t *Trace) WriteChromeJSON(w io.Writer) error {
+	evs := make([]chromeEvent, 0, len(t.Spans)+len(t.procs)+len(t.threads))
+	for pid, name := range t.procs {
+		evs = append(evs, chromeEvent{
+			Name: "process_name", Ph: "M", PID: pid,
+			Args: map[string]any{"name": name},
+		})
+	}
+	for key, name := range t.threads {
+		evs = append(evs, chromeEvent{
+			Name: "thread_name", Ph: "M", PID: key[0], TID: key[1],
+			Args: map[string]any{"name": name},
+		})
+	}
+	// Metadata first (sorted for determinism), then spans by start time.
+	sort.Slice(evs, func(i, j int) bool {
+		if evs[i].PID != evs[j].PID {
+			return evs[i].PID < evs[j].PID
+		}
+		return evs[i].TID < evs[j].TID
+	})
+	spans := append([]Span(nil), t.Spans...)
+	sort.Slice(spans, func(i, j int) bool {
+		if spans[i].Start != spans[j].Start {
+			return spans[i].Start < spans[j].Start
+		}
+		return spans[i].Dur > spans[j].Dur // containing span first
+	})
+	for _, s := range spans {
+		evs = append(evs, chromeEvent{
+			Name: s.Name, Cat: s.Cat, Ph: "X",
+			TS:  float64(s.Start) / float64(time.Microsecond),
+			Dur: float64(s.Dur) / float64(time.Microsecond),
+			PID: s.PID, TID: s.TID, Args: s.Args,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(chromeTrace{
+		TraceEvents: evs,
+		DisplayUnit: "ms",
+		Metadata:    map[string]any{"queryID": t.QueryID},
+	})
+}
+
+// SpanCount returns how many spans carry the given category.
+func (t *Trace) SpanCount(cat string) int {
+	n := 0
+	for _, s := range t.Spans {
+		if s.Cat == cat {
+			n++
+		}
+	}
+	return n
+}
+
+// End returns the trace's total extent (max span end offset).
+func (t *Trace) End() time.Duration {
+	var end time.Duration
+	for _, s := range t.Spans {
+		if e := s.Start + s.Dur; e > end {
+			end = e
+		}
+	}
+	return end
+}

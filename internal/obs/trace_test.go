@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTraceChromeJSON(t *testing.T) {
+	tr := NewTrace(7)
+	tr.ControlPID = 3
+	tr.SetProcessName(3, "coordinator")
+	tr.SetThreadName(3, 0, "control")
+	tr.SetProcessName(0, "server 0")
+	tr.SetThreadName(0, 1, "scan(lineitem)")
+	tr.Add(Span{Name: "compile", Cat: "compile", PID: 3, TID: 0, Start: 0, Dur: 2 * time.Millisecond})
+	tr.Add(Span{Name: "scan(lineitem)", Cat: "pipeline", PID: 0, TID: 1,
+		Start: 2 * time.Millisecond, Dur: 10 * time.Millisecond,
+		Args: map[string]any{"morsels": 4}})
+	tr.Shift(time.Millisecond) // queue wait
+	tr.Add(Span{Name: "queue", Cat: "queue", PID: 3, TID: 0, Start: 0, Dur: time.Millisecond})
+
+	if got := tr.End(); got != 13*time.Millisecond {
+		t.Fatalf("End = %v, want 13ms", got)
+	}
+	if tr.SpanCount("queue") != 1 || tr.SpanCount("pipeline") != 1 {
+		t.Fatalf("span counts wrong: %+v", tr.Spans)
+	}
+
+	var sb strings.Builder
+	if err := tr.WriteChromeJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	// The output must be loadable as the Chrome trace_event envelope.
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+		DisplayUnit string           `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatalf("trace JSON does not parse: %v", err)
+	}
+	var xEvents, mEvents int
+	for _, ev := range doc.TraceEvents {
+		switch ev["ph"] {
+		case "X":
+			xEvents++
+			if _, ok := ev["ts"].(float64); !ok {
+				t.Fatalf("X event without numeric ts: %v", ev)
+			}
+		case "M":
+			mEvents++
+		}
+	}
+	if xEvents != 3 {
+		t.Fatalf("got %d X events, want 3", xEvents)
+	}
+	if mEvents != 4 { // 2 process_name + 2 thread_name
+		t.Fatalf("got %d metadata events, want 4", mEvents)
+	}
+	// The shifted pipeline span sits at 3ms in µs units.
+	found := false
+	for _, ev := range doc.TraceEvents {
+		if ev["name"] == "scan(lineitem)" && ev["ph"] == "X" {
+			found = true
+			if ts := ev["ts"].(float64); ts != 3000 {
+				t.Fatalf("pipeline ts = %v µs, want 3000", ts)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("pipeline span missing from JSON")
+	}
+}
+
+func TestSlowLog(t *testing.T) {
+	var sb strings.Builder
+	l := NewSlowLog(&sb, 10*time.Millisecond)
+	if l.Observe(SlowQuery{Tenant: "t", Statement: "q1", Total: 5 * time.Millisecond}) {
+		t.Fatal("fast query logged")
+	}
+	q := SlowQuery{
+		Time: time.Unix(1754600000, 0), Tenant: "heavy", Statement: "q12",
+		Rows: 3, QueueWait: 4 * time.Millisecond, Compile: time.Millisecond,
+		Exec: 20 * time.Millisecond, Total: 25 * time.Millisecond,
+		WireBytes: 51234, Path: "executed",
+	}
+	if !l.Observe(q) {
+		t.Fatal("slow query not logged")
+	}
+	line := sb.String()
+	for _, want := range []string{
+		"slowquery ", "tenant=heavy", "stmt=q12", "path=executed", "rows=3",
+		"queue=4ms", "compile=1ms", "exec=20ms", "total=25ms", "wire_bytes=51234",
+	} {
+		if !strings.Contains(line, want) {
+			t.Errorf("slow log line missing %q: %s", want, line)
+		}
+	}
+	if l.Count() != 1 {
+		t.Fatalf("Count = %d, want 1", l.Count())
+	}
+
+	// Disabled and nil logs ignore everything.
+	if NewSlowLog(&sb, 0) != nil {
+		t.Fatal("threshold 0 should disable the log")
+	}
+	var nilLog *SlowLog
+	if nilLog.Observe(q) || nilLog.Count() != 0 {
+		t.Fatal("nil SlowLog must ignore calls")
+	}
+	// Values with spaces get quoted so the logfmt grammar survives.
+	l.Observe(SlowQuery{Tenant: "a b", Statement: "q1", Total: time.Second})
+	if !strings.Contains(sb.String(), `tenant="a b"`) {
+		t.Errorf("tenant with space not quoted: %s", sb.String())
+	}
+}

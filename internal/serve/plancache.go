@@ -77,6 +77,7 @@ func (pc *PlanCache) Get(stmt string) (p *cluster.Prepared, hit bool, err error)
 	if e, ok := pc.entries[key]; ok {
 		pc.lru.MoveToFront(e.lruEl)
 		pc.hits++
+		mPlanHits.Inc()
 		pc.mu.Unlock()
 		<-e.ready
 		if e.err != nil {
@@ -90,6 +91,7 @@ func (pc *PlanCache) Get(stmt string) (p *cluster.Prepared, hit bool, err error)
 	e.lruEl = pc.lru.PushFront(key)
 	pc.entries[key] = e
 	pc.misses++
+	mPlanMisses.Inc()
 	for pc.lru.Len() > pc.max {
 		oldest := pc.lru.Back()
 		pc.lru.Remove(oldest)

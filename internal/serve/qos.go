@@ -229,6 +229,9 @@ func (q *QoS) Close() {
 // Observe records one completed request's queue wait and total latency
 // for the tenant's SLO stats.
 func (q *QoS) Observe(tenant string, queueWait, total time.Duration) {
+	mQueueWait.With(tenant).ObserveDuration(queueWait)
+	mTotalLatency.With(tenant).ObserveDuration(total)
+	mServed.With(tenant).Inc()
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	t := q.tenant(tenant, 1)

@@ -199,6 +199,53 @@ func TestQoSCloseDrains(t *testing.T) {
 	hold() // release after close must not panic
 }
 
+// TestQoSWindowRotation pins the recent-latency ring semantics: the
+// percentile window holds exactly the latWindow most recent observations,
+// so old outliers age out after one full rotation and partially rotated
+// windows mix old and new samples at their true ranks.
+func TestQoSWindowRotation(t *testing.T) {
+	q := NewQoS(1, nil, 0)
+	slow, fast := 100*time.Millisecond, 1*time.Millisecond
+
+	// Fill the window entirely with slow observations.
+	for i := 0; i < latWindow; i++ {
+		q.Observe("a", slow, slow)
+	}
+	s := q.Snapshot()[0]
+	if s.QueueP50 != slow || s.QueueP99 != slow {
+		t.Fatalf("full slow window: p50=%v p99=%v, want %v", s.QueueP50, s.QueueP99, slow)
+	}
+
+	// Overwrite just over half the ring with fast observations: the
+	// median flips to fast, but the p99 still sees the surviving slow
+	// tail (1024-600=424 slow samples remain, rank 1014 > 600).
+	const half = latWindow/2 + 88 // 600
+	for i := 0; i < half; i++ {
+		q.Observe("a", fast, fast)
+	}
+	s = q.Snapshot()[0]
+	if s.QueueP50 != fast {
+		t.Fatalf("half-rotated p50=%v, want %v (window not overwriting in place)", s.QueueP50, fast)
+	}
+	if s.QueueP99 != slow {
+		t.Fatalf("half-rotated p99=%v, want %v (old tail aged out too early)", s.QueueP99, slow)
+	}
+
+	// Complete the rotation: every slow sample has been overwritten, so
+	// the p99 collapses to fast — outliers do not haunt the window
+	// forever.
+	for i := half; i < latWindow; i++ {
+		q.Observe("a", fast, fast)
+	}
+	s = q.Snapshot()[0]
+	if s.QueueP99 != fast || s.TotalP99 != fast {
+		t.Fatalf("fully rotated p99=%v/%v, want %v", s.QueueP99, s.TotalP99, fast)
+	}
+	if want := uint64(2 * latWindow); s.Served != want {
+		t.Fatalf("served=%d, want %d (served must count beyond the window)", s.Served, want)
+	}
+}
+
 // TestQoSObserveQuantiles: latency accounting reports nearest-rank p50/p99
 // per tenant.
 func TestQoSObserveQuantiles(t *testing.T) {

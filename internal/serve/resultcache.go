@@ -93,8 +93,10 @@ func (rc *ResultCache) Do(key string, fill func() (*ResultEntry, error)) (*Resul
 		if !inFlight {
 			rc.lru.MoveToFront(e.lruEl)
 			rc.hits++
+			mResultHits.Inc()
 		} else {
 			rc.shared++
+			mResultShared.Inc()
 		}
 		rc.mu.Unlock()
 		<-e.ready
@@ -109,6 +111,7 @@ func (rc *ResultCache) Do(key string, fill func() (*ResultEntry, error)) (*Resul
 	e := &rcEntry{key: key, ready: make(chan struct{})}
 	rc.entries[key] = e
 	rc.misses++
+	mResultMisses.Inc()
 	rc.mu.Unlock()
 
 	res, err := fill()
@@ -162,6 +165,7 @@ func (rc *ResultCache) removeLocked(e *rcEntry) {
 	delete(rc.entries, e.key)
 	rc.total -= e.res.Size()
 	rc.evictions++
+	mResultEvictions.Inc()
 }
 
 // ResultCacheStats is a point-in-time counters snapshot.

@@ -3,9 +3,11 @@ package serve
 import (
 	"bytes"
 	"errors"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func entryOfSize(n int) *ResultEntry {
@@ -150,6 +152,89 @@ func TestResultCacheEviction(t *testing.T) {
 	}
 	if st := huge.Stats(); st.Entries != 0 || st.Bytes != 0 {
 		t.Fatalf("oversized entry retained: %+v", st)
+	}
+}
+
+// TestResultCacheExactCounts pins the counter semantics exactly: every
+// completed-entry reuse is a hit, every flight start is a miss, every
+// in-flight piggyback is shared, and every budget-pressure drop is an
+// eviction. These counters feed `hsqp client -stats` and /metrics, so
+// their meaning must not drift.
+func TestResultCacheExactCounts(t *testing.T) {
+	rc := NewResultCache(1500) // two 600-byte entries (+64 overhead each) fit, three do not
+	mustFill := func(key string) {
+		t.Helper()
+		if _, _, err := rc.Do(key, func() (*ResultEntry, error) { return entryOfSize(600), nil }); err != nil {
+			t.Fatalf("fill %s: %v", key, err)
+		}
+	}
+	mustHit := func(key string) {
+		t.Helper()
+		if _, src, err := rc.Do(key, func() (*ResultEntry, error) {
+			t.Errorf("hit on %s executed", key)
+			return nil, nil
+		}); err != nil || src != ResultCached {
+			t.Fatalf("hit %s: src=%v err=%v", key, src, err)
+		}
+	}
+
+	mustFill("a") // miss 1
+	mustHit("a")  // hit 1
+	mustHit("a")  // hit 2
+	mustFill("b") // miss 2
+	mustFill("c") // miss 3; exceeds budget, evicts LRU "a"
+
+	st := rc.Stats()
+	want := ResultCacheStats{Entries: 2, Bytes: st.Bytes, MaxBytes: 1500,
+		Hits: 2, Misses: 3, Shared: 0, Evictions: 1}
+	if st != want {
+		t.Fatalf("stats after miss/hit/hit/miss/miss+evict:\n got %+v\nwant %+v", st, want)
+	}
+
+	// One blocked flight plus one follower: exactly one extra miss and one
+	// shared, zero extra hits.
+	block := make(chan struct{})
+	flightDone := make(chan error, 2)
+	go func() {
+		_, _, err := rc.Do("d", func() (*ResultEntry, error) {
+			<-block
+			return entryOfSize(100), nil
+		})
+		flightDone <- err
+	}()
+	waitStats(t, rc, func(s ResultCacheStats) bool { return s.Misses == 4 })
+	go func() {
+		_, src, err := rc.Do("d", func() (*ResultEntry, error) {
+			t.Error("follower executed")
+			return nil, nil
+		})
+		if err == nil && src != ResultShared {
+			t.Errorf("follower src=%v, want ResultShared", src)
+		}
+		flightDone <- err
+	}()
+	waitStats(t, rc, func(s ResultCacheStats) bool { return s.Shared == 1 })
+	close(block)
+	for i := 0; i < 2; i++ {
+		if err := <-flightDone; err != nil {
+			t.Fatalf("flight: %v", err)
+		}
+	}
+	st = rc.Stats()
+	if st.Hits != 2 || st.Misses != 4 || st.Shared != 1 || st.Evictions != 1 {
+		t.Fatalf("after single-flight pair: hits=%d misses=%d shared=%d evictions=%d, want 2/4/1/1",
+			st.Hits, st.Misses, st.Shared, st.Evictions)
+	}
+}
+
+func waitStats(t *testing.T, rc *ResultCache, ok func(ResultCacheStats) bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !ok(rc.Stats()) {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for cache state: %+v", rc.Stats())
+		}
+		runtime.Gosched()
 	}
 }
 

@@ -4,11 +4,14 @@ import (
 	"bufio"
 	"errors"
 	"fmt"
+	"io"
 	"net"
+	"os"
 	"sync"
 	"time"
 
 	"hsqp/internal/cluster"
+	"hsqp/internal/obs"
 	"hsqp/internal/ser"
 	"hsqp/internal/storage"
 )
@@ -41,6 +44,13 @@ type Config struct {
 	// entirely (every request executes).
 	ResultCacheBytes   int64
 	DisableResultCache bool
+	// SlowQueryThreshold enables the slow-query log: every request whose
+	// total latency (queue + compile + execute + streaming) reaches the
+	// threshold is written to SlowQueryLog as one structured line with the
+	// phase split and wire bytes. Zero disables the log.
+	SlowQueryThreshold time.Duration
+	// SlowQueryLog receives slow-query lines (default os.Stderr).
+	SlowQueryLog io.Writer
 }
 
 // Server is the network front door: it owns the listener, the caches, the
@@ -52,6 +62,7 @@ type Server struct {
 	session *cluster.Session
 	plans   *PlanCache
 	results *ResultCache
+	slow    *obs.SlowLog
 
 	mu       sync.Mutex
 	lis      net.Listener
@@ -81,8 +92,19 @@ func New(cfg Config) *Server {
 	if !cfg.DisableResultCache {
 		s.results = NewResultCache(cfg.ResultCacheBytes)
 	}
+	if cfg.SlowQueryThreshold > 0 {
+		w := cfg.SlowQueryLog
+		if w == nil {
+			w = os.Stderr
+		}
+		s.slow = obs.NewSlowLog(w, cfg.SlowQueryThreshold)
+	}
+	s.registerCollect()
 	return s
 }
+
+// SlowQueryCount reports how many requests the slow-query log recorded.
+func (s *Server) SlowQueryCount() uint64 { return s.slow.Count() }
 
 // Serve accepts connections on lis until Shutdown closes it. It always
 // returns a non-nil error (net.ErrClosed after a clean shutdown).
@@ -168,8 +190,10 @@ func (s *Server) handleConn(conn net.Conn) {
 		conn.Close()
 		s.connWG.Done()
 	}()
-	br := bufio.NewReaderSize(conn, 64<<10)
-	bw := bufio.NewWriterSize(conn, 64<<10)
+	mConns.Add(1)
+	defer mConns.Add(-1)
+	br := bufio.NewReaderSize(countingReader{r: conn}, 64<<10)
+	bw := bufio.NewWriterSize(countingWriter{w: conn}, 64<<10)
 
 	tenant, err := s.handshake(br, bw)
 	if err != nil {
@@ -299,7 +323,8 @@ func (s *Server) handshake(br *bufio.Reader, bw *bufio.Writer) (string, error) {
 	return tenant, bw.Flush()
 }
 
-// doneInfo is what a Done frame reports.
+// doneInfo is what a Done frame reports, plus serve-internal detail for
+// the slow-query log (wire bytes and the cache path are not on the wire).
 type doneInfo struct {
 	rows      uint64
 	flags     byte
@@ -307,6 +332,8 @@ type doneInfo struct {
 	compile   time.Duration
 	exec      time.Duration
 	total     time.Duration
+	wireBytes uint64
+	path      string // executed | result-hit | shared
 }
 
 func (s *Server) handleExec(bw *bufio.Writer, tenant string, payload []byte, handles map[uint32]string) error {
@@ -342,6 +369,14 @@ func (s *Server) handleExec(bw *bufio.Writer, tenant string, payload []byte, han
 	}
 	info.total = time.Since(start)
 	s.qos.Observe(tenant, info.queueWait, info.total)
+	mRequests.With(tenant).Inc()
+	if s.slow.Observe(obs.SlowQuery{
+		Tenant: tenant, Statement: norm, Rows: int(entry.Rows),
+		QueueWait: info.queueWait, Compile: info.compile, Exec: info.exec,
+		Total: info.total, WireBytes: info.wireBytes, Path: info.path,
+	}) {
+		mSlowQueries.Inc()
+	}
 
 	// Stream: Schema, Batches, Done.
 	if err := writeFrame(bw, frameSchema, entry.SchemaPayload); err != nil {
@@ -381,9 +416,9 @@ func (s *Server) execStatement(tenant, norm string, bypass bool) (*ResultEntry, 
 	case ResultExecuted:
 		return entry, leader, nil
 	case ResultShared:
-		return entry, doneInfo{rows: entry.Rows, flags: doneResultHit | doneShared}, nil
+		return entry, doneInfo{rows: entry.Rows, flags: doneResultHit | doneShared, path: "shared"}, nil
 	default:
-		return entry, doneInfo{rows: entry.Rows, flags: doneResultHit}, nil
+		return entry, doneInfo{rows: entry.Rows, flags: doneResultHit, path: "result-hit"}, nil
 	}
 }
 
@@ -404,6 +439,8 @@ func (s *Server) runStatement(tenant, norm string) (*ResultEntry, doneInfo, erro
 		queueWait: stats.QueueWait,
 		compile:   stats.Compile,
 		exec:      stats.Exec,
+		wireBytes: stats.WireBytes(),
+		path:      "executed",
 	}
 	if planHit {
 		info.flags |= donePlanHit
