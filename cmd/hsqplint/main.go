@@ -1,0 +1,247 @@
+// Command hsqplint runs the hsqp invariant analyzers (internal/lint)
+// over the module.
+//
+// Standalone mode (preferred; module-aware, so cross-package analyses
+// like lockblock's may-block fixpoint see the whole module):
+//
+//	hsqplint ./...
+//	hsqplint -only lockblock,nopanic ./internal/mux/...
+//	hsqplint -list
+//
+// Exit status: 0 clean, 2 findings, 1 operational error.
+//
+// Vet mode: hsqplint also speaks the go vet -vettool unit-checker
+// protocol, so it can ride the build cache:
+//
+//	go vet -vettool=$(which hsqplint) ./...
+//
+// In vet mode each package is analyzed in isolation (module-wide
+// fixpoints degrade to package-local), which is why CI runs the
+// standalone mode and vet mode exists for editor integration.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"hsqp/internal/lint"
+	"hsqp/internal/lint/analysis"
+	"hsqp/internal/lint/loader"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	// go vet probes the tool's identity with -V=full before handing it
+	// package configs.
+	// go vet identifies the tool with -V=full and caches results under a
+	// content hash of the executable.
+	if len(args) == 1 && strings.HasPrefix(args[0], "-V") {
+		exe, err := os.Executable()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hsqplint: %v\n", err)
+			return 1
+		}
+		f, err := os.Open(exe)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hsqplint: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		h := sha256.New()
+		if _, err := io.Copy(h, f); err != nil {
+			fmt.Fprintf(os.Stderr, "hsqplint: %v\n", err)
+			return 1
+		}
+		fmt.Printf("hsqplint version devel buildID=%02x\n", h.Sum(nil))
+		return 0
+	}
+	// go vet asks for the tool's flag set as JSON; hsqplint accepts no
+	// vet-mode flags.
+	if len(args) == 1 && args[0] == "-flags" {
+		fmt.Println("[]")
+		return 0
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		return runVet(args[0])
+	}
+	return runStandalone(args)
+}
+
+func runStandalone(args []string) int {
+	fs := flag.NewFlagSet("hsqplint", flag.ExitOnError)
+	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := fs.Bool("list", false, "list analyzers and exit")
+	asJSON := fs.Bool("json", false, "emit diagnostics as JSON")
+	dir := fs.String("C", ".", "change to directory before loading packages")
+	fs.Parse(args)
+
+	if *list {
+		for _, a := range lint.All() {
+			doc := a.Doc
+			if i := strings.IndexByte(doc, '\n'); i >= 0 {
+				doc = doc[:i]
+			}
+			fmt.Printf("%-16s %s\n", a.Name, doc)
+		}
+		return 0
+	}
+
+	var names []string
+	if *only != "" {
+		names = strings.Split(*only, ",")
+	}
+	analyzers, ok := lint.ByName(names)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "hsqplint: unknown analyzer in -only=%s (try -list)\n", *only)
+		return 1
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	res, err := loader.Load(*dir, patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hsqplint: %v\n", err)
+		return 1
+	}
+	diags, err := lint.Run(analyzers, res.Module, res.Targets)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hsqplint: %v\n", err)
+		return 1
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintf(os.Stderr, "hsqplint: %v\n", err)
+			return 1
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// vetConfig is the subset of golang.org/x/tools/go/analysis/unitchecker's
+// Config that hsqplint needs; go vet writes one per package.
+type vetConfig struct {
+	ID                        string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+func runVet(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hsqplint: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "hsqplint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+
+	// Facts are unused, but the protocol requires the output file to
+	// exist before we exit.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "hsqplint: %v\n", err)
+			return 1
+		}
+	}
+
+	// go vet invokes the tool on every dependency (the unitchecker
+	// protocol propagates facts bottom-up); hsqplint keeps no facts, and
+	// its invariants are hsqp's, so anything outside the module is
+	// acknowledged with an empty vetx and skipped.
+	if cfg.Standard[cfg.ImportPath] ||
+		(cfg.ImportPath != "hsqp" && !strings.HasPrefix(cfg.ImportPath, "hsqp/")) {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		if !filepath.IsAbs(name) {
+			name = filepath.Join(cfg.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintf(os.Stderr, "hsqplint: %v\n", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	imp := importer.ForCompiler(fset, "gc", lookup)
+	info := loader.NewInfo()
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "hsqplint: typecheck %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+
+	// Single-package mode: no Module, so cross-package fixpoints degrade
+	// to package-local scope.
+	target := &analysis.ModPackage{Pkg: pkg, Info: info, Files: files}
+	mod := analysis.NewModule(fset)
+	mod.Add(target)
+	diags, err := lint.Run(lint.All(), mod, []*analysis.ModPackage{target})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hsqplint: %v\n", err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s:%d:%d: [%s] %s\n", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}

@@ -1,0 +1,151 @@
+// Package analysis is a minimal, dependency-free equivalent of
+// golang.org/x/tools/go/analysis, just large enough to host hsqplint's
+// analyzers. The container that builds this repository has no module
+// proxy access, so the real x/tools framework cannot be vendored; the
+// API mirrors it closely (Analyzer, Pass, Diagnostic) so the analyzers
+// could be ported to the upstream framework mechanically.
+//
+// Two deliberate differences from x/tools:
+//
+//   - Pass carries a *Module handle: all packages of the analyzed module
+//     are type-checked into one shared object universe, so analyzers can
+//     follow static calls and field accesses across package boundaries
+//     (lockblock's may-block fixpoint, atomicmix's cross-package field
+//     index). x/tools models this with Facts; a shared universe is much
+//     simpler and exact within one module.
+//   - Suppression is built in: a `//lint:allow <analyzer> <reason>`
+//     comment on the diagnostic's line (or the line above) silences it.
+//     The reason is mandatory.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sync"
+)
+
+// Analyzer describes one invariant check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and lint:allow
+	// directives (lowercase, no spaces).
+	Name string
+	// Doc is a one-paragraph description: the invariant, why it holds,
+	// and the historical bug that motivated it.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Pass holds the inputs for running one analyzer on one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+	// Module is the shared view of every source-checked package in the
+	// analyzed module (nil in single-package vet mode; analyzers must
+	// degrade gracefully).
+	Module *Module
+
+	report func(Diagnostic)
+}
+
+// NewPass assembles a pass; report receives every (unsuppressed)
+// diagnostic.
+func NewPass(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, mod *Module, report func(Diagnostic)) *Pass {
+	return &Pass{Analyzer: a, Fset: fset, Files: files, Pkg: pkg, Info: info, Module: mod, report: report}
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Module is the shared, module-wide analysis state: every package
+// type-checked from source shares one token.FileSet and one types
+// universe, so a *types.Func or *types.Var obtained in one package is
+// pointer-identical when reached from another.
+type Module struct {
+	Fset     *token.FileSet
+	Packages []*ModPackage
+
+	mu    sync.Mutex
+	cache map[string]any
+}
+
+// ModPackage is one source-checked package of the module.
+type ModPackage struct {
+	Pkg   *types.Package
+	Info  *types.Info
+	Files []*ast.File
+}
+
+// NewModule creates the shared state.
+func NewModule(fset *token.FileSet) *Module {
+	return &Module{Fset: fset, cache: map[string]any{}}
+}
+
+// Add registers a source-checked package.
+func (m *Module) Add(p *ModPackage) { m.Packages = append(m.Packages, p) }
+
+// Cached memoizes a module-wide computation under key (e.g. lockblock's
+// may-block fixpoint), so N per-package passes share one traversal.
+func (m *Module) Cached(key string, compute func() any) any {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if v, ok := m.cache[key]; ok {
+		return v
+	}
+	v := compute()
+	m.cache[key] = v
+	return v
+}
+
+// FuncDecl returns the body (declaration plus owning package) of fn if
+// it was type-checked from source anywhere in the module.
+func (m *Module) FuncDecl(fn *types.Func) (*ast.FuncDecl, *ModPackage) {
+	idx := m.Cached("funcdecls", func() any {
+		decls := map[*types.Func]*declAt{}
+		for _, p := range m.Packages {
+			for _, f := range p.Files {
+				for _, d := range f.Decls {
+					fd, ok := d.(*ast.FuncDecl)
+					if !ok || fd.Body == nil {
+						continue
+					}
+					if obj, ok := p.Info.Defs[fd.Name].(*types.Func); ok {
+						decls[obj] = &declAt{fd, p}
+					}
+				}
+			}
+		}
+		return decls
+	}).(map[*types.Func]*declAt)
+	if d, ok := idx[fn]; ok {
+		return d.decl, d.pkg
+	}
+	return nil, nil
+}
+
+type declAt struct {
+	decl *ast.FuncDecl
+	pkg  *ModPackage
+}

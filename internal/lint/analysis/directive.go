@@ -1,0 +1,80 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Directive is one parsed //lint:allow comment.
+type Directive struct {
+	Pos      token.Position
+	Analyzer string
+	Reason   string
+}
+
+// ParseDirectives extracts `//lint:allow <analyzer> <reason>` comments
+// from a file. Malformed directives (no analyzer, empty reason) are
+// returned separately as diagnostics so silent typos cannot disable a
+// check.
+func ParseDirectives(fset *token.FileSet, file *ast.File) (dirs []Directive, bad []Diagnostic) {
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, "//lint:allow")
+			if !ok {
+				continue
+			}
+			fields := strings.Fields(text)
+			pos := fset.Position(c.Pos())
+			if len(fields) < 2 {
+				bad = append(bad, Diagnostic{
+					Analyzer: "directive",
+					Pos:      pos,
+					Message:  "malformed //lint:allow: want `//lint:allow <analyzer> <reason>`",
+				})
+				continue
+			}
+			dirs = append(dirs, Directive{
+				Pos:      pos,
+				Analyzer: fields[0],
+				Reason:   strings.Join(fields[1:], " "),
+			})
+		}
+	}
+	return dirs, bad
+}
+
+// Suppressor filters diagnostics against lint:allow directives.
+type Suppressor struct {
+	allow map[suppressKey]bool
+	used  map[suppressKey]bool
+}
+
+type suppressKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// NewSuppressor indexes directives for lookup.
+func NewSuppressor(dirs []Directive) *Suppressor {
+	s := &Suppressor{allow: map[suppressKey]bool{}, used: map[suppressKey]bool{}}
+	for _, d := range dirs {
+		s.allow[suppressKey{d.Pos.Filename, d.Pos.Line, d.Analyzer}] = true
+	}
+	return s
+}
+
+// Suppressed reports whether d is silenced by a directive on its line or
+// the line directly above (the conventional spot for a standalone
+// comment).
+func (s *Suppressor) Suppressed(d Diagnostic) bool {
+	for _, line := range [2]int{d.Pos.Line, d.Pos.Line - 1} {
+		k := suppressKey{d.Pos.Filename, line, d.Analyzer}
+		if s.allow[k] {
+			s.used[k] = true
+			return true
+		}
+	}
+	return false
+}

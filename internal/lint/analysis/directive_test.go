@@ -1,0 +1,83 @@
+package analysis
+
+import (
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+const directiveSrc = `package p
+
+func a() {
+	//lint:allow lockblock holds only the paired lock
+	x()
+}
+
+func b() {
+	//lint:allow nopanic
+	y()
+}
+
+func c() {
+	//lint:allow
+	z()
+}
+
+func x() {}
+func y() {}
+func z() {}
+`
+
+func TestParseDirectives(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", directiveSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs, bad := ParseDirectives(fset, f)
+
+	if len(dirs) != 1 {
+		t.Fatalf("got %d well-formed directives, want 1: %v", len(dirs), dirs)
+	}
+	if dirs[0].Analyzer != "lockblock" || dirs[0].Reason != "holds only the paired lock" {
+		t.Errorf("directive = %+v, want lockblock with reason", dirs[0])
+	}
+
+	// Both the reasonless and the bare form are malformed: a reason is
+	// mandatory so suppressions stay auditable.
+	if len(bad) != 2 {
+		t.Fatalf("got %d malformed-directive diagnostics, want 2: %v", len(bad), bad)
+	}
+	for _, d := range bad {
+		if d.Analyzer != "directive" {
+			t.Errorf("malformed directive reported as %q, want \"directive\"", d.Analyzer)
+		}
+	}
+}
+
+func TestSuppressor(t *testing.T) {
+	dir := Directive{
+		Pos:      token.Position{Filename: "m.go", Line: 10},
+		Analyzer: "lockblock",
+		Reason:   "documented",
+	}
+	s := NewSuppressor([]Directive{dir})
+
+	same := Diagnostic{Analyzer: "lockblock", Pos: token.Position{Filename: "m.go", Line: 10}}
+	below := Diagnostic{Analyzer: "lockblock", Pos: token.Position{Filename: "m.go", Line: 11}}
+	far := Diagnostic{Analyzer: "lockblock", Pos: token.Position{Filename: "m.go", Line: 12}}
+	otherAnalyzer := Diagnostic{Analyzer: "nopanic", Pos: token.Position{Filename: "m.go", Line: 10}}
+
+	if !s.Suppressed(same) {
+		t.Error("same-line diagnostic not suppressed")
+	}
+	if !s.Suppressed(below) {
+		t.Error("line-below diagnostic not suppressed (directive on the line above)")
+	}
+	if s.Suppressed(far) {
+		t.Error("unrelated line suppressed")
+	}
+	if s.Suppressed(otherAnalyzer) {
+		t.Error("directive for lockblock suppressed a nopanic diagnostic")
+	}
+}

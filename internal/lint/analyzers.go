@@ -1,0 +1,89 @@
+package lint
+
+import (
+	"sort"
+
+	"hsqp/internal/lint/analysis"
+)
+
+// All returns every hsqplint analyzer, in diagnostic-stable order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		Lockblock,
+		Atomicmix,
+		Obsgate,
+		Wiredeterminism,
+		Nopanic,
+		Poolsafe,
+		Nilness,
+	}
+}
+
+// ByName resolves a comma-separated analyzer selection ("" = all).
+func ByName(names []string) ([]*analysis.Analyzer, bool) {
+	if len(names) == 0 {
+		return All(), true
+	}
+	index := map[string]*analysis.Analyzer{}
+	for _, a := range All() {
+		index[a.Name] = a
+	}
+	var out []*analysis.Analyzer
+	for _, n := range names {
+		a, ok := index[n]
+		if !ok {
+			return nil, false
+		}
+		out = append(out, a)
+	}
+	return out, true
+}
+
+// Run applies analyzers to each target package, filters findings through
+// the //lint:allow suppressor, and returns the surviving diagnostics in
+// (file, line, column, analyzer) order. Malformed directives are
+// reported as "directive" diagnostics.
+func Run(analyzers []*analysis.Analyzer, mod *analysis.Module, targets []*analysis.ModPackage) ([]analysis.Diagnostic, error) {
+	var raw []analysis.Diagnostic
+	var dirs []analysis.Directive
+	for _, t := range targets {
+		for _, f := range t.Files {
+			d, bad := analysis.ParseDirectives(mod.Fset, f)
+			dirs = append(dirs, d...)
+			raw = append(raw, bad...)
+		}
+	}
+	sup := analysis.NewSuppressor(dirs)
+
+	for _, t := range targets {
+		for _, a := range analyzers {
+			pass := analysis.NewPass(a, mod.Fset, t.Files, t.Pkg, t.Info, mod, func(d analysis.Diagnostic) {
+				raw = append(raw, d)
+			})
+			if err := pass.Analyzer.Run(pass); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	var out []analysis.Diagnostic
+	for _, d := range raw {
+		if !sup.Suppressed(d) {
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out, nil
+}

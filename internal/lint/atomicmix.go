@@ -1,0 +1,155 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"hsqp/internal/lint/analysis"
+)
+
+// Atomicmix flags variables that are accessed through sync/atomic in one
+// place and with plain loads or stores in another. Mixed access is a
+// data race even when the plain access "happens to" run single-threaded
+// today: the next refactor that moves it onto a worker goroutine
+// inherits the race silently, and the race detector only catches the
+// schedules it sees.
+//
+// The fix is either full atomic discipline or (better) the typed
+// atomic.Int64/Uint64/Bool wrappers, which make mixed access a compile
+// error and which this analyzer therefore never needs to look at.
+var Atomicmix = &analysis.Analyzer{
+	Name: "atomicmix",
+	Doc:  "a variable accessed via sync/atomic anywhere must be accessed atomically everywhere",
+	Run:  runAtomicmix,
+}
+
+// atomicIndex records, for every variable that appears as &x in a
+// sync/atomic call anywhere in the module, the position of one such use.
+type atomicIndex struct {
+	vars map[*types.Var]token.Position
+}
+
+func runAtomicmix(pass *analysis.Pass) error {
+	idx := atomicmixIndex(pass)
+	if len(idx.vars) == 0 {
+		return nil
+	}
+	var visit func(n ast.Node) bool
+	visit = func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && atomicCallArg(pass.Info, call) != nil {
+			// The sanctioned &x use: skip the pointer argument, but keep
+			// scanning the remaining arguments (which may themselves
+			// reference tracked variables, or nest atomic calls).
+			for _, a := range call.Args[1:] {
+				ast.Inspect(a, visit)
+			}
+			return false
+		}
+		if e, ok := n.(ast.Expr); ok {
+			if v := referencedVar(pass.Info, e); v != nil {
+				if pos, tracked := idx.vars[v]; tracked {
+					pass.Reportf(e.Pos(), "plain access of %s, which is accessed atomically at %s; use sync/atomic consistently or a typed atomic.%s", v.Name(), trimPos(pos), suggestTypedAtomic(v.Type()))
+					return false
+				}
+			}
+		}
+		return true
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, visit)
+	}
+	return nil
+}
+
+// atomicmixIndex builds (module-wide, memoized) the set of variables
+// used atomically anywhere.
+func atomicmixIndex(pass *analysis.Pass) *atomicIndex {
+	build := func(pkgs []*analysis.ModPackage) any {
+		idx := &atomicIndex{vars: map[*types.Var]token.Position{}}
+		for _, p := range pkgs {
+			for _, f := range p.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if v := atomicCallArg(p.Info, call); v != nil {
+						if _, seen := idx.vars[v]; !seen {
+							idx.vars[v] = pass.Fset.Position(call.Pos())
+						}
+					}
+					return true
+				})
+			}
+		}
+		return idx
+	}
+	if pass.Module != nil {
+		return pass.Module.Cached("atomicmix.index", func() any {
+			return build(pass.Module.Packages)
+		}).(*atomicIndex)
+	}
+	return build([]*analysis.ModPackage{{Pkg: pass.Pkg, Info: pass.Info, Files: pass.Files}}).(*atomicIndex)
+}
+
+// atomicCallArg returns the variable passed as &x to a sync/atomic
+// function, or nil if call isn't one.
+func atomicCallArg(info *types.Info, call *ast.CallExpr) *types.Var {
+	fn := calleeFunc(info, call)
+	if fn == nil || funcPkgPath(fn) != "sync/atomic" {
+		return nil
+	}
+	// Typed atomic.X methods take no pointer argument; only the legacy
+	// free functions (AddUint64, LoadInt32, StorePointer, ...) do.
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() != nil || len(call.Args) == 0 {
+		return nil
+	}
+	unary, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+	if !ok || unary.Op != token.AND {
+		return nil
+	}
+	return varOf(info, unary.X)
+}
+
+// referencedVar resolves an ident or field selector to a variable we can
+// track, skipping blank identifiers and non-variable objects.
+func referencedVar(info *types.Info, e ast.Expr) *types.Var {
+	switch e := e.(type) {
+	case *ast.Ident:
+		if e.Name == "_" {
+			return nil
+		}
+		if v, ok := info.Uses[e].(*types.Var); ok && !v.IsField() {
+			return v
+		}
+	case *ast.SelectorExpr:
+		return fieldOf(info, e)
+	}
+	return nil
+}
+
+func trimPos(p token.Position) string {
+	return shortPath(p.Filename) + ":" + itoa(p.Line)
+}
+
+func suggestTypedAtomic(t types.Type) string {
+	if b, ok := t.Underlying().(*types.Basic); ok {
+		switch b.Kind() {
+		case types.Int32:
+			return "Int32"
+		case types.Int64:
+			return "Int64"
+		case types.Uint32:
+			return "Uint32"
+		case types.Uint64:
+			return "Uint64"
+		case types.Uintptr:
+			return "Uintptr"
+		case types.Bool:
+			return "Bool"
+		}
+	}
+	return "Value"
+}

@@ -1,0 +1,233 @@
+// Package linttest runs hsqplint analyzers over fixture packages, in the
+// style of golang.org/x/tools/go/analysis/analysistest: fixture sources
+// live under testdata/src/<importpath>/, and lines that should trigger a
+// diagnostic carry a comment of the form
+//
+//	// want lockblock:"channel send"
+//
+// where the quoted string is a regexp matched against the diagnostic
+// message. Multiple want clauses may share one comment. Every diagnostic
+// must be wanted and every want must fire; mismatches in either
+// direction fail the test.
+//
+// Standard-library imports inside fixtures are type-checked from GOROOT
+// source (shared across tests), so fixtures may use sync, time, and
+// friends without any export-data plumbing.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"hsqp/internal/lint"
+	"hsqp/internal/lint/analysis"
+	"hsqp/internal/lint/loader"
+)
+
+// Run loads the fixture packages at the given import paths (relative to
+// testdata/src under dir), applies the analyzers, checks want comments
+// in the fixture sources, and returns the diagnostics for additional
+// assertions.
+func Run(t *testing.T, dir string, analyzers []*analysis.Analyzer, paths ...string) []analysis.Diagnostic {
+	t.Helper()
+	mod, targets, err := load(dir, paths)
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	diags, err := lint.Run(analyzers, mod, targets)
+	if err != nil {
+		t.Fatalf("linttest: run: %v", err)
+	}
+	checkWants(t, mod.Fset, targets, diags)
+	return diags
+}
+
+// load type-checks the fixture packages and their fixture dependencies
+// into one shared module.
+func load(dir string, paths []string) (*analysis.Module, []*analysis.ModPackage, error) {
+	src := filepath.Join(dir, "testdata", "src")
+	fset := token.NewFileSet()
+	imp := &fixtureImporter{
+		src:   src,
+		fset:  fset,
+		built: map[string]*analysis.ModPackage{},
+	}
+	mod := analysis.NewModule(fset)
+	var targets []*analysis.ModPackage
+	for _, path := range paths {
+		mp, err := imp.importFixture(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		targets = append(targets, mp)
+	}
+	// Register every fixture package (targets and their deps) so
+	// module-wide fixpoints see cross-package definitions.
+	var order []string
+	for p := range imp.built {
+		order = append(order, p)
+	}
+	sort.Strings(order)
+	for _, p := range order {
+		mod.Add(imp.built[p])
+	}
+	return mod, targets, nil
+}
+
+// stdlibImporter compiles standard-library packages from GOROOT source.
+// It is shared process-wide (guarded by stdlibMu) because compiling sync
+// or time from source costs real time and every fixture needs them.
+var (
+	stdlibMu   sync.Mutex
+	stdlibFset = token.NewFileSet()
+	stdlibImp  = importer.ForCompiler(stdlibFset, "source", nil)
+	stdlibPkgs = map[string]*types.Package{}
+)
+
+func importStdlib(path string) (*types.Package, error) {
+	stdlibMu.Lock()
+	defer stdlibMu.Unlock()
+	if p, ok := stdlibPkgs[path]; ok {
+		return p, nil
+	}
+	p, err := stdlibImp.Import(path)
+	if err != nil {
+		return nil, err
+	}
+	stdlibPkgs[path] = p
+	return p, nil
+}
+
+// fixtureImporter resolves imports during fixture type-checking: paths
+// that exist under testdata/src are fixtures (checked recursively from
+// source); everything else is assumed standard library.
+type fixtureImporter struct {
+	src   string
+	fset  *token.FileSet
+	built map[string]*analysis.ModPackage
+}
+
+func (fi *fixtureImporter) Import(path string) (*types.Package, error) {
+	if dirExists(filepath.Join(fi.src, path)) {
+		mp, err := fi.importFixture(path)
+		if err != nil {
+			return nil, err
+		}
+		return mp.Pkg, nil
+	}
+	return importStdlib(path)
+}
+
+func (fi *fixtureImporter) importFixture(path string) (*analysis.ModPackage, error) {
+	if mp, ok := fi.built[path]; ok {
+		return mp, nil
+	}
+	dir := filepath.Join(fi.src, path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("fixture %s: %v", path, err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fi.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("fixture %s: no .go files", path)
+	}
+	info := loader.NewInfo()
+	conf := types.Config{Importer: fi}
+	pkg, err := conf.Check(path, fi.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck fixture %s: %v", path, err)
+	}
+	mp := &analysis.ModPackage{Pkg: pkg, Info: info, Files: files}
+	fi.built[path] = mp
+	return mp, nil
+}
+
+func dirExists(p string) bool {
+	st, err := os.Stat(p)
+	return err == nil && st.IsDir()
+}
+
+// want is one expectation parsed from a fixture comment.
+type want struct {
+	file     string
+	line     int
+	analyzer string
+	re       *regexp.Regexp
+	matched  bool
+}
+
+var wantRe = regexp.MustCompile(`(\w+):"((?:[^"\\]|\\.)*)"`)
+
+// checkWants matches diagnostics against `// want name:"re"` comments.
+func checkWants(t *testing.T, fset *token.FileSet, targets []*analysis.ModPackage, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*want
+	for _, mp := range targets {
+		for _, f := range mp.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					idx := strings.Index(c.Text, "// want ")
+					if idx < 0 {
+						continue
+					}
+					pos := fset.Position(c.Pos())
+					for _, m := range wantRe.FindAllStringSubmatch(c.Text[idx+len("// want "):], -1) {
+						re, err := regexp.Compile(m[2])
+						if err != nil {
+							t.Fatalf("%s: bad want regexp %q: %v", pos, m[2], err)
+						}
+						wants = append(wants, &want{
+							file:     pos.Filename,
+							line:     pos.Line,
+							analyzer: m[1],
+							re:       re,
+						})
+					}
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		found := false
+		for _, w := range wants {
+			if w.matched || w.file != d.Pos.Filename || w.line != d.Pos.Line || w.analyzer != d.Analyzer {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: want %s:%q did not fire", w.file, w.line, w.analyzer, w.re)
+		}
+	}
+}

@@ -1,0 +1,169 @@
+// Package loader type-checks the packages hsqplint analyzes.
+//
+// It shells out to `go list -export -deps -json`, which works offline:
+// dependencies outside the main module (here: only the standard library)
+// are imported from their gc export data in the build cache, while every
+// package of the main module is parsed and type-checked from source into
+// one shared types universe — the property the module-aware analyzers
+// (lockblock's cross-package may-block fixpoint, atomicmix's field
+// index) rely on.
+package loader
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+
+	"hsqp/internal/lint/analysis"
+)
+
+// Result is the loaded module.
+type Result struct {
+	Module *analysis.Module
+	// Targets are the packages matched by the load patterns (the ones
+	// analyzers run on); Module.Packages additionally holds their
+	// module-local dependencies.
+	Targets []*analysis.ModPackage
+}
+
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+	Module     *struct {
+		Path string
+		Main bool
+	}
+	Error *struct{ Err string }
+}
+
+// Load lists patterns (relative to dir) and type-checks the module's
+// packages from source.
+func Load(dir string, patterns []string) (*Result, error) {
+	args := append([]string{"list", "-export", "-deps", "-json=ImportPath,Dir,Export,GoFiles,Standard,DepOnly,Module,Error", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+
+	var pkgs []listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %v", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		pkgs = append(pkgs, p)
+	}
+
+	fset := token.NewFileSet()
+	imp := newModImporter(fset)
+	mod := analysis.NewModule(fset)
+	res := &Result{Module: mod}
+
+	// `go list -deps` emits packages in dependency order, so by the time
+	// a module package is checked, everything it imports is resolvable.
+	for _, p := range pkgs {
+		if p.Module == nil || !p.Module.Main {
+			if p.Export != "" {
+				imp.exports[p.ImportPath] = p.Export
+			}
+			continue
+		}
+		mp, err := checkFromSource(fset, imp, p.ImportPath, p.Dir, p.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		imp.built[p.ImportPath] = mp.Pkg
+		mod.Add(mp)
+		if !p.DepOnly {
+			res.Targets = append(res.Targets, mp)
+		}
+	}
+	return res, nil
+}
+
+// checkFromSource parses and type-checks one package.
+func checkFromSource(fset *token.FileSet, imp types.ImporterFrom, path, dir string, goFiles []string) (*analysis.ModPackage, error) {
+	var files []*ast.File
+	for _, name := range goFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := NewInfo()
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %v", path, err)
+	}
+	return &analysis.ModPackage{Pkg: pkg, Info: info, Files: files}, nil
+}
+
+// NewInfo allocates the full set of types.Info maps the analyzers use.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}
+
+// modImporter resolves module-local imports to the source-checked
+// packages (preserving object identity across the module) and everything
+// else through gc export data.
+type modImporter struct {
+	built   map[string]*types.Package
+	exports map[string]string
+	gc      types.ImporterFrom
+}
+
+func newModImporter(fset *token.FileSet) *modImporter {
+	m := &modImporter{built: map[string]*types.Package{}, exports: map[string]string{}}
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := m.exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	m.gc = importer.ForCompiler(fset, "gc", lookup).(types.ImporterFrom)
+	return m
+}
+
+func (m *modImporter) Import(path string) (*types.Package, error) {
+	return m.ImportFrom(path, "", 0)
+}
+
+func (m *modImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if p, ok := m.built[path]; ok {
+		return p, nil
+	}
+	return m.gc.ImportFrom(path, dir, 0)
+}

@@ -1,0 +1,674 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"hsqp/internal/lint/analysis"
+)
+
+// Lockblock flags operations that may block — channel sends/receives,
+// selects without a default, WaitGroup/Cond waits, time.Sleep, network
+// I/O, and calls into functions that transitively do any of those —
+// while a sync.Mutex or sync.RWMutex is held.
+//
+// History: PR 4 fixed a real deadlock of this class — the receive-side
+// sequence assertion panicked while holding the exchange lock, which
+// deadlocked Mux.Close (teardown wakes every exchange under the same
+// lock). The exchange/mux locks guard queue state that the network
+// goroutine, pool workers, and teardown all contend on; blocking under
+// them turns backpressure into deadlock.
+//
+// The one blocking call that is legal under a mutex is sync.Cond.Wait on
+// a cond constructed over that same mutex (Wait releases it); the
+// analyzer learns cond→mutex pairs from sync.NewCond(&x) assignments
+// anywhere in the module.
+var Lockblock = &analysis.Analyzer{
+	Name: "lockblock",
+	Doc:  "no blocking operation (channel op, Wait, network write, call into a may-block function) while a mutex is held",
+	Run:  runLockblock,
+}
+
+// blockReason describes why a function may block ("" = it does not).
+type blockReason struct {
+	what  string // primitive cause or callee description
+	depth int    // call-chain depth, to cap the explanation
+}
+
+// mayBlockIndex is the module-wide fixpoint: every function with a body
+// that can reach a primitive blocking operation via static calls.
+type mayBlockIndex struct {
+	reasons map[*types.Func]blockReason
+	// condPair maps a *sync.Cond variable (struct field or local) to the
+	// mutex variable it was constructed over via sync.NewCond(&mu).
+	condPair map[*types.Var]*types.Var
+}
+
+func runLockblock(pass *analysis.Pass) error {
+	idx := lockblockIndex(pass)
+	for _, file := range pass.Files {
+		if testFile(pass.Fset, file) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			lw := &lockWalker{pass: pass, idx: idx}
+			lw.stmts(fd.Body.List, newLockSet())
+		}
+		// Function literals run on their own schedule (goroutines,
+		// callbacks): analyze each body as an independent function with
+		// an empty lock set.
+		ast.Inspect(file, func(n ast.Node) bool {
+			if fl, ok := n.(*ast.FuncLit); ok {
+				lw := &lockWalker{pass: pass, idx: idx}
+				lw.stmts(fl.Body.List, newLockSet())
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// lockblockIndex computes (once per module) the may-block fixpoint and
+// the cond→mutex pairing. In single-package vet mode the index covers
+// just that package: cross-package may-block calls are then invisible,
+// which is why CI runs the module-aware standalone mode.
+func lockblockIndex(pass *analysis.Pass) *mayBlockIndex {
+	build := func(pkgs []*analysis.ModPackage) any {
+		idx := &mayBlockIndex{
+			reasons:  map[*types.Func]blockReason{},
+			condPair: map[*types.Var]*types.Var{},
+		}
+		type fnDef struct {
+			fn   *types.Func
+			body *ast.BlockStmt
+			info *types.Info
+		}
+		var fns []fnDef
+		for _, p := range pkgs {
+			for _, f := range p.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					switch n := n.(type) {
+					case *ast.FuncDecl:
+						if n.Body != nil {
+							if obj, ok := p.Info.Defs[n.Name].(*types.Func); ok {
+								fns = append(fns, fnDef{obj, n.Body, p.Info})
+							}
+						}
+					case *ast.AssignStmt:
+						recordCondPairs(p.Info, n, idx.condPair)
+					}
+					return true
+				})
+			}
+		}
+		// Kleene iteration over the static call graph: primitive causes
+		// first, then propagate through direct calls until stable.
+		for changed := true; changed; {
+			changed = false
+			for _, fd := range fns {
+				if _, done := idx.reasons[fd.fn]; done {
+					continue
+				}
+				if r, ok := bodyMayBlock(fd.info, fd.body, idx); ok {
+					idx.reasons[fd.fn] = r
+					changed = true
+				}
+			}
+		}
+		return idx
+	}
+	if pass.Module != nil {
+		return pass.Module.Cached("lockblock.index", func() any {
+			return build(pass.Module.Packages)
+		}).(*mayBlockIndex)
+	}
+	return build([]*analysis.ModPackage{{Pkg: pass.Pkg, Info: pass.Info, Files: pass.Files}}).(*mayBlockIndex)
+}
+
+// recordCondPairs learns cond→mutex pairs from statements of the form
+//
+//	x.cond = sync.NewCond(&x.mu)   or   c := sync.NewCond(&mu)
+func recordCondPairs(info *types.Info, as *ast.AssignStmt, pairs map[*types.Var]*types.Var) {
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i, rhs := range as.Rhs {
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			continue
+		}
+		callee := calleeFunc(info, call)
+		if callee == nil || callee.Name() != "NewCond" || funcPkgPath(callee) != "sync" {
+			continue
+		}
+		unary, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+		if !ok {
+			continue
+		}
+		mu := varOf(info, unary.X)
+		cond := varOf(info, as.Lhs[i])
+		if mu != nil && cond != nil {
+			pairs[cond] = mu
+		}
+	}
+}
+
+// varOf resolves an ident or selector to its variable object.
+func varOf(info *types.Info, e ast.Expr) *types.Var {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if v, ok := info.Uses[e].(*types.Var); ok {
+			return v
+		}
+		if v, ok := info.Defs[e].(*types.Var); ok {
+			return v
+		}
+	case *ast.SelectorExpr:
+		return fieldOf(info, e)
+	}
+	return nil
+}
+
+// bodyMayBlock reports whether a function body directly blocks or calls
+// a function already known to.
+func bodyMayBlock(info *types.Info, body *ast.BlockStmt, idx *mayBlockIndex) (blockReason, bool) {
+	var found blockReason
+	var ok bool
+	var visit func(n ast.Node) bool
+	visit = func(n ast.Node) bool {
+		if ok {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// A nested function runs on its own schedule; its blocking is
+			// attributed when it is analyzed as a value (not here).
+			return false
+		case *ast.SendStmt:
+			found, ok = blockReason{what: "channel send"}, true
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				found, ok = blockReason{what: "channel receive"}, true
+			}
+		case *ast.RangeStmt:
+			if t := info.TypeOf(n.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					found, ok = blockReason{what: "range over channel"}, true
+				}
+			}
+		case *ast.SelectStmt:
+			if !selectHasDefault(n) {
+				found, ok = blockReason{what: "select without default"}, true
+				return true // still scan bodies? no need once found
+			}
+			// Non-blocking try: skip the comm clauses' channel ops but
+			// scan their bodies.
+			for _, cl := range n.Body.List {
+				cc := cl.(*ast.CommClause)
+				for _, s := range cc.Body {
+					ast.Inspect(s, visit)
+				}
+			}
+			return false
+		case *ast.CallExpr:
+			if r, blocking := callMayBlock(info, n, idx, nil); blocking {
+				found, ok = r, true
+			}
+		}
+		return !ok
+	}
+	ast.Inspect(body, visit)
+	return found, ok
+}
+
+// callMayBlock classifies one static call. held is the current lock set
+// (nil during fixpoint construction): sync.Cond.Wait is unconditionally
+// blocking for the fixpoint, but at a use site it is legal when the only
+// held mutex is the cond's paired one.
+func callMayBlock(info *types.Info, call *ast.CallExpr, idx *mayBlockIndex, held *lockSet) (blockReason, bool) {
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return blockReason{}, false // indirect call: unknown, assumed safe
+	}
+	rpkg, rtyp := recvTypeName(fn)
+	switch {
+	case fn.Name() == "Sleep" && funcPkgPath(fn) == "time":
+		return blockReason{what: "time.Sleep"}, true
+	case fn.Name() == "Wait" && rpkg == "sync" && rtyp == "WaitGroup":
+		return blockReason{what: "sync.WaitGroup.Wait"}, true
+	case fn.Name() == "Wait" && rpkg == "sync" && rtyp == "Cond":
+		if held != nil && condWaitAllowed(info, call, idx, held) {
+			return blockReason{}, false
+		}
+		return blockReason{what: "sync.Cond.Wait"}, true
+	case funcPkgPath(fn) == "net" || rpkg == "net":
+		return blockReason{what: "network I/O (" + fn.Name() + ")"}, true
+	}
+	if r, known := idx.reasons[fn]; known {
+		what := fmt.Sprintf("calls %s, which may block: %s", qualifiedName(fn), r.what)
+		if r.depth >= 2 {
+			what = fmt.Sprintf("calls %s, which may block", qualifiedName(fn))
+		}
+		return blockReason{what: what, depth: r.depth + 1}, true
+	}
+	return blockReason{}, false
+}
+
+// condWaitAllowed reports whether a cond.Wait call is safe for the held
+// lock set: the cond's paired mutex must be the only lock held.
+func condWaitAllowed(info *types.Info, call *ast.CallExpr, idx *mayBlockIndex, held *lockSet) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	condVar := varOf(info, sel.X)
+	if condVar == nil {
+		return false
+	}
+	paired, ok := idx.condPair[condVar]
+	if !ok {
+		return false
+	}
+	for _, l := range held.locks {
+		if l.obj != paired {
+			return false
+		}
+	}
+	return true
+}
+
+func selectHasDefault(s *ast.SelectStmt) bool {
+	for _, cl := range s.Body.List {
+		if cc, ok := cl.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+func qualifiedName(fn *types.Func) string {
+	if _, rtyp := recvTypeName(fn); rtyp != "" {
+		pkg := ""
+		if fn.Pkg() != nil {
+			pkg = fn.Pkg().Name() + "."
+		}
+		return fmt.Sprintf("(%s%s).%s", pkg, rtyp, fn.Name())
+	}
+	if fn.Pkg() != nil {
+		return fn.Pkg().Name() + "." + fn.Name()
+	}
+	return fn.Name()
+}
+
+// --- lock-state interpretation ---
+
+// heldLock is one mutex the interpreter believes is held.
+type heldLock struct {
+	key    string     // canonical source text, e.g. "s.destMu[dst]"
+	obj    *types.Var // the mutex variable when resolvable (for cond pairing)
+	sticky bool       // deferred unlock: held until function return
+	line   int
+}
+
+// lockSet is an ordered set of held locks.
+type lockSet struct {
+	locks []heldLock
+}
+
+func newLockSet() *lockSet { return &lockSet{} }
+
+func (ls *lockSet) clone() *lockSet {
+	c := &lockSet{locks: make([]heldLock, len(ls.locks))}
+	copy(c.locks, ls.locks)
+	return c
+}
+
+func (ls *lockSet) add(l heldLock) {
+	for _, h := range ls.locks {
+		if h.key == l.key {
+			return
+		}
+	}
+	ls.locks = append(ls.locks, l)
+}
+
+func (ls *lockSet) remove(key string) {
+	for i, h := range ls.locks {
+		if h.key == key && !h.sticky {
+			ls.locks = append(ls.locks[:i], ls.locks[i+1:]...)
+			return
+		}
+	}
+}
+
+// intersect keeps only locks held in both sets (branch merge: a lock is
+// "held" after an if/else only when every live path holds it — the
+// false-positive-minimizing choice).
+func (ls *lockSet) intersect(o *lockSet) *lockSet {
+	out := newLockSet()
+	for _, h := range ls.locks {
+		for _, g := range o.locks {
+			if h.key == g.key {
+				out.locks = append(out.locks, h)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// union keeps locks held in either set (loop exit: a lock taken inside
+// the loop body is conservatively still held after it).
+func (ls *lockSet) union(o *lockSet) *lockSet {
+	out := ls.clone()
+	for _, g := range o.locks {
+		out.add(g)
+	}
+	return out
+}
+
+func (ls *lockSet) describe() string {
+	s := ""
+	for i, h := range ls.locks {
+		if i > 0 {
+			s += ", "
+		}
+		s += fmt.Sprintf("%s (locked at line %d)", h.key, h.line)
+	}
+	return s
+}
+
+// lockWalker interprets a function body, tracking held mutexes through
+// straight-line code, branches (intersection of live paths), and loops
+// (union of entry and body-exit states).
+type lockWalker struct {
+	pass *analysis.Pass
+	idx  *mayBlockIndex
+}
+
+// stmts interprets a statement list; it returns the lock state after the
+// list and whether the list always terminates (return/panic/goto).
+func (lw *lockWalker) stmts(list []ast.Stmt, held *lockSet) (*lockSet, bool) {
+	for _, s := range list {
+		var term bool
+		held, term = lw.stmt(s, held)
+		if term {
+			return held, true
+		}
+	}
+	return held, false
+}
+
+func (lw *lockWalker) stmt(s ast.Stmt, held *lockSet) (*lockSet, bool) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+			if handled := lw.lockOp(call, held, false); handled {
+				return held, false
+			}
+		}
+		lw.checkExpr(s.X, held)
+		return held, false
+	case *ast.DeferStmt:
+		if lw.lockOp(s.Call, held, true) {
+			return held, false
+		}
+		lw.checkCallArgs(s.Call, held)
+		return held, false
+	case *ast.GoStmt:
+		// The goroutine body runs without our locks; only argument
+		// evaluation happens here.
+		lw.checkCallArgs(s.Call, held)
+		return held, false
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			lw.checkExpr(e, held)
+		}
+		for _, e := range s.Lhs {
+			lw.checkExpr(e, held)
+		}
+		return held, false
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			lw.checkExpr(e, held)
+		}
+		return held, true
+	case *ast.BranchStmt:
+		return held, true // break/continue/goto end this path's analysis
+	case *ast.BlockStmt:
+		return lw.stmts(s.List, held)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			held, _ = lw.stmt(s.Init, held)
+		}
+		lw.checkExpr(s.Cond, held)
+		thenHeld, thenTerm := lw.stmts(s.Body.List, held.clone())
+		elseHeld, elseTerm := held.clone(), false
+		if s.Else != nil {
+			elseHeld, elseTerm = lw.stmt(s.Else, held.clone())
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return held, true
+		case thenTerm:
+			return elseHeld, false
+		case elseTerm:
+			return thenHeld, false
+		default:
+			return thenHeld.intersect(elseHeld), false
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			held, _ = lw.stmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			lw.checkExpr(s.Cond, held)
+		}
+		bodyHeld, _ := lw.stmts(s.Body.List, held.clone())
+		if s.Post != nil {
+			lw.stmt(s.Post, bodyHeld)
+		}
+		return held.union(bodyHeld), false
+	case *ast.RangeStmt:
+		lw.checkExpr(s.X, held)
+		if t := lw.pass.Info.TypeOf(s.X); t != nil && held.locks != nil && len(held.locks) > 0 {
+			if _, isChan := t.Underlying().(*types.Chan); isChan {
+				lw.report(s.Pos(), "range over channel", held)
+			}
+		}
+		bodyHeld, _ := lw.stmts(s.Body.List, held.clone())
+		return held.union(bodyHeld), false
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			held, _ = lw.stmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			lw.checkExpr(s.Tag, held)
+		}
+		return lw.caseBodies(s.Body, held)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			held, _ = lw.stmt(s.Init, held)
+		}
+		return lw.caseBodies(s.Body, held)
+	case *ast.SelectStmt:
+		if len(held.locks) > 0 && !selectHasDefault(s) {
+			lw.report(s.Pos(), "select without default", held)
+		}
+		out := newLockSet()
+		first := true
+		anyLive := false
+		for _, cl := range s.Body.List {
+			cc := cl.(*ast.CommClause)
+			st, term := lw.stmts(cc.Body, held.clone())
+			if term {
+				continue
+			}
+			anyLive = true
+			if first {
+				out, first = st, false
+			} else {
+				out = out.intersect(st)
+			}
+		}
+		if !anyLive && len(s.Body.List) > 0 {
+			return held, true
+		}
+		if first {
+			out = held
+		}
+		return out, false
+	case *ast.SendStmt:
+		if len(held.locks) > 0 {
+			lw.report(s.Pos(), "channel send", held)
+		}
+		lw.checkExpr(s.Value, held)
+		return held, false
+	case *ast.LabeledStmt:
+		return lw.stmt(s.Stmt, held)
+	case *ast.IncDecStmt:
+		lw.checkExpr(s.X, held)
+		return held, false
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						lw.checkExpr(v, held)
+					}
+				}
+			}
+		}
+		return held, false
+	default:
+		return held, false
+	}
+}
+
+// caseBodies merges the lock state across switch cases.
+func (lw *lockWalker) caseBodies(body *ast.BlockStmt, held *lockSet) (*lockSet, bool) {
+	out := newLockSet()
+	first := true
+	hasDefault := false
+	for _, cl := range body.List {
+		cc, ok := cl.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+		}
+		for _, e := range cc.List {
+			lw.checkExpr(e, held)
+		}
+		st, term := lw.stmts(cc.Body, held.clone())
+		if term {
+			continue
+		}
+		if first {
+			out, first = st, false
+		} else {
+			out = out.intersect(st)
+		}
+	}
+	if first {
+		return held, false
+	}
+	if !hasDefault {
+		// The no-case-taken path keeps the entry state.
+		out = out.intersect(held)
+	}
+	return out, false
+}
+
+// lockOp updates the lock state for x.Lock()/x.Unlock() families; it
+// reports true when the call was a lock operation.
+func (lw *lockWalker) lockOp(call *ast.CallExpr, held *lockSet, deferred bool) bool {
+	fn := calleeFunc(lw.pass.Info, call)
+	if fn == nil {
+		return false
+	}
+	rpkg, rtyp := recvTypeName(fn)
+	if rpkg != "sync" || (rtyp != "Mutex" && rtyp != "RWMutex") {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	key := types.ExprString(sel.X)
+	switch fn.Name() {
+	case "Lock", "RLock":
+		held.add(heldLock{
+			key:    key,
+			obj:    varOf(lw.pass.Info, sel.X),
+			line:   lw.pass.Fset.Position(call.Pos()).Line,
+			sticky: false,
+		})
+	case "Unlock", "RUnlock":
+		if deferred {
+			// defer mu.Unlock(): the mutex stays held for the rest of
+			// the function.
+			held.add(heldLock{
+				key:    key,
+				obj:    varOf(lw.pass.Info, sel.X),
+				line:   lw.pass.Fset.Position(call.Pos()).Line,
+				sticky: true,
+			})
+			// Mark sticky even if already present.
+			for i := range held.locks {
+				if held.locks[i].key == key {
+					held.locks[i].sticky = true
+				}
+			}
+		} else {
+			held.remove(key)
+		}
+	case "TryLock", "TryRLock":
+		return false // conditional acquisition: not tracked
+	default:
+		return false
+	}
+	return true
+}
+
+// checkExpr scans an expression for blocking constructs under held locks.
+func (lw *lockWalker) checkExpr(e ast.Expr, held *lockSet) {
+	if len(held.locks) == 0 {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				lw.report(n.Pos(), "channel receive", held)
+			}
+		case *ast.CallExpr:
+			if r, blocking := callMayBlock(lw.pass.Info, n, lw.idx, held); blocking {
+				lw.report(n.Pos(), r.what, held)
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// checkCallArgs scans only the arguments of a call (for go/defer, whose
+// function body runs outside the current lock scope).
+func (lw *lockWalker) checkCallArgs(call *ast.CallExpr, held *lockSet) {
+	for _, a := range call.Args {
+		lw.checkExpr(a, held)
+	}
+}
+
+func (lw *lockWalker) report(pos token.Pos, what string, held *lockSet) {
+	lw.pass.Reportf(pos, "%s while holding %s; blocking under a mux/exchange lock deadlocks teardown and backpressure paths", what, held.describe())
+}

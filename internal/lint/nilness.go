@@ -1,0 +1,121 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"hsqp/internal/lint/analysis"
+)
+
+// Nilness is a lightweight use-after-nil-check detector: inside the then
+// branch of `if x == nil`, dereferencing x (field access on a pointer,
+// indexing a slice, calling a function value) is certainly a mistake —
+// usually an inverted condition or a missing early return. It deliberately
+// does not flag method calls (nil receivers are legal Go) and gives up as
+// soon as x is reassigned inside the branch.
+var Nilness = &analysis.Analyzer{
+	Name: "nilness",
+	Doc:  "no dereference of a value inside the branch that just proved it nil",
+	Run:  runNilness,
+}
+
+func runNilness(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		if testFile(pass.Fset, file) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			ifs, ok := n.(*ast.IfStmt)
+			if !ok {
+				return true
+			}
+			obj := nilCheckedObj(pass.Info, ifs.Cond)
+			if obj == nil {
+				return true
+			}
+			checkNilUse(pass, ifs.Body, obj)
+			return true
+		})
+	}
+	return nil
+}
+
+// nilCheckedObj returns the object proven nil by cond (`x == nil` or
+// `nil == x`) when x is a pointer, slice, map, or function identifier.
+func nilCheckedObj(info *types.Info, cond ast.Expr) types.Object {
+	be, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || be.Op != token.EQL {
+		return nil
+	}
+	var x ast.Expr
+	switch {
+	case isNilIdent(info, be.Y):
+		x = be.X
+	case isNilIdent(info, be.X):
+		x = be.Y
+	default:
+		return nil
+	}
+	id, ok := ast.Unparen(x).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	o := info.Uses[id]
+	if o == nil {
+		return nil
+	}
+	switch o.Type().Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map, *types.Signature:
+		return o
+	}
+	return nil
+}
+
+func isNilIdent(info *types.Info, e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := info.Uses[id].(*types.Nil)
+	return isNil
+}
+
+// checkNilUse walks the then-branch looking for dereferences of obj,
+// stopping at any reassignment.
+func checkNilUse(pass *analysis.Pass, body *ast.BlockStmt, obj types.Object) {
+	reassigned := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if reassigned {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, l := range n.Lhs {
+				if id, ok := ast.Unparen(l).(*ast.Ident); ok && pass.Info.Uses[id] == obj {
+					reassigned = true
+					return false
+				}
+			}
+		case *ast.SelectorExpr:
+			if id, ok := ast.Unparen(n.X).(*ast.Ident); ok && pass.Info.Uses[id] == obj {
+				if sel, ok := pass.Info.Selections[n]; ok && sel.Kind() == types.FieldVal {
+					if _, isPtr := obj.Type().Underlying().(*types.Pointer); isPtr {
+						pass.Reportf(n.Pos(), "field access on %s inside the branch that proved it nil; this always panics — the condition is likely inverted", obj.Name())
+					}
+				}
+			}
+		case *ast.IndexExpr:
+			if id, ok := ast.Unparen(n.X).(*ast.Ident); ok && pass.Info.Uses[id] == obj {
+				if _, isSlice := obj.Type().Underlying().(*types.Slice); isSlice {
+					pass.Reportf(n.Pos(), "index of %s inside the branch that proved it nil; this always panics — the condition is likely inverted", obj.Name())
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && pass.Info.Uses[id] == obj {
+				pass.Reportf(n.Pos(), "call of %s inside the branch that proved it nil; this always panics — the condition is likely inverted", obj.Name())
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,53 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"hsqp/internal/lint/analysis"
+)
+
+// Nopanic bans bare panic() in the long-running serving packages
+// (engine, exchange, mux, serve). The scheduler converts operator panics
+// into query errors via recover, but a panic raised on a mux receive
+// goroutine or a serve connection handler has no recover frame and takes
+// the whole daemon down with every in-flight query on it.
+//
+// Invariant violations should go through invariant.Failf, which panics
+// with a typed value the scheduler's recover distinguishes from
+// programmer errors, and which gives the linter a single allowlisted
+// throat to audit.
+var Nopanic = &analysis.Analyzer{
+	Name: "nopanic",
+	Doc:  "serving packages must raise invariant violations via invariant.Failf, not bare panic()",
+	Run:  runNopanic,
+}
+
+var nopanicPkgs = map[string]bool{"engine": true, "exchange": true, "mux": true, "serve": true}
+
+func runNopanic(pass *analysis.Pass) error {
+	if !nopanicPkgs[pkgBase(pass.Pkg.Path())] {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if testFile(pass.Fset, file) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+			if !ok || id.Name != "panic" {
+				return true
+			}
+			if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); !isBuiltin {
+				return true
+			}
+			pass.Reportf(call.Pos(), "bare panic in a serving package; use invariant.Failf so violations carry a typed value and one audited raise site")
+			return true
+		})
+	}
+	return nil
+}

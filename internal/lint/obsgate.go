@@ -1,0 +1,146 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"hsqp/internal/lint/analysis"
+)
+
+// Obsgate keeps observability out of per-morsel hot paths. Two rules,
+// scoped to the packages on the morsel execution path (engine, op,
+// exchange, mux):
+//
+//  1. Metric registration (obs.Registry.Counter/Gauge/Histogram and the
+//     Vec variants) must happen at package initialization — package-level
+//     var declarations or init() — never inside a function that runs per
+//     query or per morsel. Registration takes the registry lock and
+//     allocates; doing it per-call turns a counter increment into a
+//     mutex acquisition on the hot path. (Updating a pre-registered
+//     metric is always fine: the obs gated types are a single atomic
+//     check when disabled.)
+//
+//  2. time.Now() in operator code (package op) is banned outright:
+//     per-row or per-batch timestamping is exactly the overhead the
+//     paper's morsel accounting design avoids. In engine/exchange/mux it
+//     is allowed only for interval accounting — a function that also
+//     computes time.Since, or storing into a time.Time field — which
+//     matches the scheduler's per-morsel interval pattern.
+var Obsgate = &analysis.Analyzer{
+	Name: "obsgate",
+	Doc:  "hot-path packages must register metrics at init and take timestamps only for interval accounting",
+	Run:  runObsgate,
+}
+
+var obsgatePkgs = map[string]bool{"engine": true, "op": true, "exchange": true, "mux": true}
+
+var registryMethods = map[string]bool{
+	"Counter": true, "Gauge": true, "Histogram": true,
+	"CounterVec": true, "GaugeVec": true, "HistogramVec": true,
+}
+
+func runObsgate(pass *analysis.Pass) error {
+	if !obsgatePkgs[pkgBase(pass.Pkg.Path())] {
+		return nil
+	}
+	inOp := pkgBase(pass.Pkg.Path()) == "op"
+	for _, file := range pass.Files {
+		if testFile(pass.Fset, file) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			isInit := fd.Name.Name == "init" && fd.Recv == nil
+			usesSince := callsTimeSince(pass.Info, fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(pass.Info, call)
+				if fn == nil {
+					return true
+				}
+				if !isInit && isRegistryRegistration(fn) {
+					pass.Reportf(call.Pos(), "metric registered inside a function; register once at package init (package-level var or init()) — per-call registration takes the registry lock on the hot path")
+					return true
+				}
+				if fn.Name() == "Now" && funcPkgPath(fn) == "time" {
+					switch {
+					case inOp:
+						pass.Reportf(call.Pos(), "time.Now in operator code; per-row timestamping defeats morsel interval accounting — take timestamps in the scheduler and pass intervals down")
+					case !usesSince && !storesIntoTimeField(pass.Info, fd.Body, call):
+						pass.Reportf(call.Pos(), "time.Now without matching time.Since or time.Time field store; hot-path timestamps are only for interval accounting")
+					}
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// isRegistryRegistration reports whether fn is a metric-constructing
+// method on obs.Registry.
+func isRegistryRegistration(fn *types.Func) bool {
+	if !registryMethods[fn.Name()] {
+		return false
+	}
+	rpkg, rtyp := recvTypeName(fn)
+	return rpkg == "obs" && rtyp == "Registry"
+}
+
+// callsTimeSince reports whether body contains a time.Since call (the
+// marker of interval accounting).
+func callsTimeSince(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if fn := calleeFunc(info, call); fn != nil && fn.Name() == "Since" && funcPkgPath(fn) == "time" {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// storesIntoTimeField reports whether this particular time.Now() call is
+// the RHS of an assignment to (or composite-literal value for) a
+// time.Time struct field — recording a start time for later Since.
+func storesIntoTimeField(info *types.Info, body *ast.BlockStmt, target *ast.CallExpr) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if ast.Unparen(rhs) == target && i < len(n.Lhs) {
+					if sel, ok := ast.Unparen(n.Lhs[i]).(*ast.SelectorExpr); ok {
+						if f := fieldOf(info, sel); f != nil && typeIs(f.Type(), "time", "Time") {
+							found = true
+						}
+					}
+				}
+			}
+		case *ast.KeyValueExpr:
+			if ast.Unparen(n.Value) == target {
+				if id, ok := n.Key.(*ast.Ident); ok {
+					if f, ok := info.Uses[id].(*types.Var); ok && f.IsField() && typeIs(f.Type(), "time", "Time") {
+						found = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	return found
+}

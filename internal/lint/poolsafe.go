@@ -1,0 +1,179 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"hsqp/internal/lint/analysis"
+)
+
+// Poolsafe flags pooled message buffers escaping into long-lived struct
+// fields. memory.Pool hands out NUMA-local buffers whose lifetime is
+// managed by Retain/Release reference counts; stashing a fresh Get
+// result in a struct field detaches the buffer from the code path that
+// releases it. Most such stashes are use-after-release bugs in waiting:
+// the field outlives the Release, the pool recycles the buffer, and a
+// concurrent query scribbles over it.
+//
+// Deliberate ownership transfers (the exchange's per-destination open
+// buffers, which are flushed and released in finalize) are annotated
+// with lint:allow and documented in docs/invariants.md.
+var Poolsafe = &analysis.Analyzer{
+	Name: "poolsafe",
+	Doc:  "pool.Get results must not escape into struct fields; pooled buffers are released by the acquiring path",
+	Run:  runPoolsafe,
+}
+
+var poolsafePkgs = map[string]bool{
+	"exchange": true, "mux": true, "engine": true, "op": true, "serve": true,
+}
+
+func runPoolsafe(pass *analysis.Pass) error {
+	if !poolsafePkgs[pkgBase(pass.Pkg.Path())] {
+		return nil
+	}
+	wrappers := poolWrapperIndex(pass)
+	for _, file := range pass.Files {
+		if testFile(pass.Fset, file) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkPoolEscapes(pass, wrappers, fd.Body)
+		}
+	}
+	return nil
+}
+
+// poolAllocCall reports whether call allocates from a pool: a direct
+// Get/GetOn/Get0 on memory.Pool (or numa-package pools), or a one-level
+// module wrapper like exchange.newMessage.
+func poolAllocCall(info *types.Info, call *ast.CallExpr, wrappers map[*types.Func]bool) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return false
+	}
+	if isDirectPoolGet(fn) {
+		return true
+	}
+	return wrappers[fn]
+}
+
+func isDirectPoolGet(fn *types.Func) bool {
+	switch fn.Name() {
+	case "Get", "GetOn", "Get0":
+	default:
+		return false
+	}
+	rpkg, rtyp := recvTypeName(fn)
+	return (rpkg == "memory" || rpkg == "numa") && rtyp == "Pool"
+}
+
+// poolWrapperIndex finds module functions that are thin pool-alloc
+// wrappers: their return statements hand back a direct pool Get.
+func poolWrapperIndex(pass *analysis.Pass) map[*types.Func]bool {
+	build := func(pkgs []*analysis.ModPackage) any {
+		wrappers := map[*types.Func]bool{}
+		for _, p := range pkgs {
+			for _, f := range p.Files {
+				for _, d := range f.Decls {
+					fd, ok := d.(*ast.FuncDecl)
+					if !ok || fd.Body == nil {
+						continue
+					}
+					if returnsDirectPoolGet(p.Info, fd.Body) {
+						if obj, ok := p.Info.Defs[fd.Name].(*types.Func); ok {
+							wrappers[obj] = true
+						}
+					}
+				}
+			}
+		}
+		return wrappers
+	}
+	if pass.Module != nil {
+		return pass.Module.Cached("poolsafe.wrappers", func() any {
+			return build(pass.Module.Packages)
+		}).(map[*types.Func]bool)
+	}
+	return build([]*analysis.ModPackage{{Pkg: pass.Pkg, Info: pass.Info, Files: pass.Files}}).(map[*types.Func]bool)
+}
+
+func returnsDirectPoolGet(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, r := range ret.Results {
+			if call, ok := ast.Unparen(r).(*ast.CallExpr); ok {
+				if fn := calleeFunc(info, call); fn != nil && isDirectPoolGet(fn) {
+					found = true
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// checkPoolEscapes tracks locals assigned from pool allocations within
+// one function body and flags stores of those locals (or of alloc calls
+// directly) into field-rooted locations.
+func checkPoolEscapes(pass *analysis.Pass, wrappers map[*types.Func]bool, body *ast.BlockStmt) {
+	pooled := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		if len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			isAlloc := false
+			if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok {
+				isAlloc = poolAllocCall(pass.Info, call, wrappers)
+			}
+			isPooledLocal := false
+			if id, ok := ast.Unparen(rhs).(*ast.Ident); ok {
+				isPooledLocal = pooled[pass.Info.Uses[id]]
+			}
+			if !isAlloc && !isPooledLocal {
+				continue
+			}
+			lhs := ast.Unparen(as.Lhs[i])
+			switch l := lhs.(type) {
+			case *ast.Ident:
+				if o := objOfIdent(pass.Info, l); o != nil {
+					pooled[o] = true
+				}
+			case *ast.SelectorExpr:
+				if f := fieldOf(pass.Info, l); f != nil {
+					pass.Reportf(as.Pos(), "pool buffer stored into field %s; pooled buffers must stay owned by the acquiring path (Release pairs with this Get) — copy the data or Retain with a documented owner", f.Name())
+				}
+			case *ast.IndexExpr:
+				if sel, ok := ast.Unparen(l.X).(*ast.SelectorExpr); ok {
+					if f := fieldOf(pass.Info, sel); f != nil {
+						pass.Reportf(as.Pos(), "pool buffer stored into field %s; pooled buffers must stay owned by the acquiring path (Release pairs with this Get) — copy the data or Retain with a documented owner", f.Name())
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+func objOfIdent(info *types.Info, id *ast.Ident) types.Object {
+	if o := info.Defs[id]; o != nil {
+		return o
+	}
+	return info.Uses[id]
+}

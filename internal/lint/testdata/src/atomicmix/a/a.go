@@ -1,0 +1,71 @@
+package a
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"atomicmix/b"
+)
+
+// --- firing cases ---
+
+var hits uint64
+
+func bumpHits() {
+	atomic.AddUint64(&hits, 1)
+}
+
+func readHitsPlain() uint64 {
+	return hits // want atomicmix:"plain access of hits"
+}
+
+type counters struct {
+	rows uint64
+	cold uint64
+}
+
+func (c *counters) addRows(n uint64) {
+	atomic.AddUint64(&c.rows, n)
+}
+
+func (c *counters) incRowsPlain() {
+	c.rows++ // want atomicmix:"plain access of rows"
+}
+
+func crossPackagePlain(s *b.Stat) {
+	s.N = 5 // want atomicmix:"plain access of N, which is accessed atomically at .*b/b\.go:12"
+}
+
+// --- non-firing cases ---
+
+func (c *counters) coldPath() {
+	// cold is never touched atomically, so plain access is fine.
+	c.cold++
+}
+
+func loadRows(c *counters) uint64 {
+	return atomic.LoadUint64(&c.rows)
+}
+
+// typedAtomic uses the typed wrappers, which cannot be mixed and are
+// outside the analyzer's scope entirely.
+type typedAtomic struct {
+	n atomic.Uint64
+}
+
+func (t *typedAtomic) bump() uint64 {
+	t.n.Add(1)
+	return t.n.Load()
+}
+
+// initBeforeShare is the sanctioned startup idiom: the declaration's
+// zero value is established before any goroutine exists.
+func startWorkers(wg *sync.WaitGroup) *counters {
+	c := &counters{}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c.addRows(1)
+	}()
+	return c
+}

@@ -1,0 +1,13 @@
+// Package b atomically updates an exported field so the atomicmix
+// fixture can prove the index crosses package boundaries.
+package b
+
+import "sync/atomic"
+
+type Stat struct {
+	N uint64
+}
+
+func Bump(s *Stat) {
+	atomic.AddUint64(&s.N, 1)
+}

@@ -1,0 +1,76 @@
+// Package mux is the known-bad integration fixture: one violation per
+// analyzer, so the integration test can assert the exact diagnostic set
+// hsqplint produces end to end (loading, module fixpoints, suppression,
+// ordering).
+package mux
+
+import (
+	"bytes"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"memory"
+	"obs"
+)
+
+type router struct {
+	mu      sync.Mutex
+	out     chan int
+	sent    uint64
+	held    *memory.Message
+	pool    *memory.Pool
+	started time.Time
+}
+
+func (r *router) sendLocked(v int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.out <- v // want lockblock:"channel send while holding r\.mu"
+}
+
+func (r *router) countPlain() uint64 {
+	atomic.AddUint64(&r.sent, 1)
+	return r.sent // want atomicmix:"plain access of sent"
+}
+
+func (r *router) register(reg *obs.Registry) {
+	reg.Counter("mux_bad", "per-call registration").Inc() // want obsgate:"metric registered inside a function"
+}
+
+func (r *router) dump(buf *bytes.Buffer, peers map[string]int) {
+	for name := range peers {
+		buf.WriteString(name) // want wiredeterminism:"WriteString called during map iteration"
+	}
+}
+
+func (r *router) guard(n int) {
+	if n < 0 {
+		panic("negative") // want nopanic:"bare panic in a serving package"
+	}
+}
+
+func (r *router) stash() {
+	msg := r.pool.Get0()
+	r.held = msg // want poolsafe:"pool buffer stored into field held"
+}
+
+func (r *router) lookup(m map[string]int, key string) int {
+	if m == nil {
+		return m[key] // nilness? no: map index on nil map is legal
+	}
+	return m[key]
+}
+
+func (r *router) deref(next *router) int {
+	if next == nil {
+		return len(next.out) // want nilness:"field access on next"
+	}
+	return len(next.out)
+}
+
+// allowed is suppressed and must NOT appear in the diagnostic set.
+func (r *router) allowed() {
+	//lint:allow nopanic integration fixture suppression check
+	panic("allowed")
+}

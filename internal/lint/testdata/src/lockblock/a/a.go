@@ -1,0 +1,182 @@
+package a
+
+import (
+	"sync"
+	"time"
+
+	"lockblock/b"
+)
+
+type mux struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	out  chan int
+}
+
+func newMux() *mux {
+	m := &mux{out: make(chan int)}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+// --- firing cases ---
+
+func (m *mux) sendUnderLock(v int) {
+	m.mu.Lock()
+	m.out <- v // want lockblock:"channel send while holding m\.mu"
+	m.mu.Unlock()
+}
+
+func (m *mux) recvUnderDeferredLock() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return <-m.out // want lockblock:"channel receive while holding m\.mu"
+}
+
+func (m *mux) selectUnderLock() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	select { // want lockblock:"select without default while holding m\.mu"
+	case v := <-m.out:
+		_ = v
+	case m.out <- 1:
+	}
+}
+
+func (m *mux) sleepUnderLock() {
+	m.mu.Lock()
+	time.Sleep(time.Millisecond) // want lockblock:"time\.Sleep while holding m\.mu"
+	m.mu.Unlock()
+}
+
+func (m *mux) waitGroupUnderLock(wg *sync.WaitGroup) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	wg.Wait() // want lockblock:"sync\.WaitGroup\.Wait while holding m\.mu"
+}
+
+// blockingHelper is discovered by the may-block fixpoint: one level of
+// indirection between the lock and the channel op.
+func (m *mux) blockingHelper() int {
+	return <-m.out
+}
+
+func (m *mux) callsBlockingHelper() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.blockingHelper() // want lockblock:"calls \(a\.mux\)\.blockingHelper, which may block: channel receive"
+}
+
+func (m *mux) callsCrossPackage() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return b.Drain(m.out) // want lockblock:"calls b\.Drain, which may block: channel receive"
+}
+
+// condWaitWrongMutex holds a mutex that is NOT the cond's paired one.
+type twoLocks struct {
+	mu    sync.Mutex
+	other sync.Mutex
+	cond  *sync.Cond
+}
+
+func newTwoLocks() *twoLocks {
+	t := &twoLocks{}
+	t.cond = sync.NewCond(&t.mu)
+	return t
+}
+
+func (t *twoLocks) condWaitWrongMutex() {
+	t.other.Lock()
+	defer t.other.Unlock()
+	t.cond.Wait() // want lockblock:"sync\.Cond\.Wait while holding t\.other"
+}
+
+func (m *mux) lockedInLoop(vals []int) {
+	for range vals {
+		m.mu.Lock()
+	}
+	// Union semantics: the lock taken inside the loop is conservatively
+	// still held after it.
+	m.out <- 1 // want lockblock:"channel send while holding m\.mu"
+}
+
+// --- non-firing cases ---
+
+func (m *mux) sendAfterUnlock(v int) {
+	m.mu.Lock()
+	pending := v + 1
+	m.mu.Unlock()
+	m.out <- pending
+}
+
+func (m *mux) tryUnderLock() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	select {
+	case m.out <- 1:
+		return true
+	default:
+		return false
+	}
+}
+
+func (m *mux) condWaitPaired() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.cond.Wait()
+}
+
+// collectThenSend mirrors Mux.Close: gather under the lock, release,
+// then do the blocking work.
+func (m *mux) collectThenSend(src map[int]int) {
+	m.mu.Lock()
+	var vals []int
+	for _, v := range src {
+		vals = append(vals, v)
+	}
+	m.mu.Unlock()
+	for _, v := range vals {
+		m.out <- v
+	}
+}
+
+// branchMerge: only one path locks, so after the merge the lock is not
+// considered held (intersection of live paths).
+func (m *mux) branchMerge(lock bool) {
+	if lock {
+		m.mu.Lock()
+		m.mu.Unlock()
+	}
+	m.out <- 1
+}
+
+// goroutineBody: the spawned goroutine does not inherit the caller's
+// lock scope.
+func (m *mux) goroutineBody() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	go func() {
+		m.out <- 1
+	}()
+}
+
+// terminatedBranch: the locking path panics before the send, so the send
+// only executes lock-free.
+func (m *mux) terminatedBranch(bad bool) {
+	if bad {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		return
+	}
+	m.out <- 1
+}
+
+// allowComment: a deliberate exception, silenced with a reasoned
+// directive.
+func (m *mux) allowComment(v int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	//lint:allow lockblock fixture exercises the suppression path
+	m.out <- v
+}

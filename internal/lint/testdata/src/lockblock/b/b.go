@@ -1,0 +1,8 @@
+// Package b provides a cross-package may-block callee for the lockblock
+// fixture: the analyzer's fixpoint must discover that Drain blocks even
+// though it is defined in a different package than its caller.
+package b
+
+func Drain(ch chan int) int {
+	return <-ch
+}

@@ -1,0 +1,20 @@
+// Package memory is a fixture stand-in for hsqp/internal/memory: the
+// poolsafe analyzer matches Get/GetOn/Get0 methods on a Pool type in a
+// package named memory.
+package memory
+
+type Node int
+
+type Message struct {
+	QueryID uint64
+	Buf     []byte
+}
+
+func (m *Message) Retain()  {}
+func (m *Message) Release() {}
+
+type Pool struct{}
+
+func (p *Pool) Get(local Node) *Message  { return &Message{} }
+func (p *Pool) GetOn(node Node) *Message { return &Message{} }
+func (p *Pool) Get0() *Message           { return &Message{} }

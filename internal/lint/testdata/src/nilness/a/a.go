@@ -1,0 +1,53 @@
+package a
+
+type conn struct {
+	id   int
+	next *conn
+}
+
+// --- firing cases ---
+
+func idOf(c *conn) int {
+	if c == nil {
+		return c.id // want nilness:"field access on c inside the branch that proved it nil"
+	}
+	return c.id
+}
+
+func headRow(rows []int) int {
+	if rows == nil {
+		return rows[0] // want nilness:"index of rows inside the branch that proved it nil"
+	}
+	return rows[0]
+}
+
+func invoke(fn func() int) int {
+	if nil == fn {
+		return fn() // want nilness:"call of fn inside the branch that proved it nil"
+	}
+	return fn()
+}
+
+// --- non-firing cases ---
+
+func idOrZero(c *conn) int {
+	if c == nil {
+		return 0
+	}
+	return c.id
+}
+
+func lazyInit(c *conn) int {
+	if c == nil {
+		c = &conn{id: 1}
+		return c.id // reassigned above: no longer provably nil
+	}
+	return c.id
+}
+
+func nonNilBranch(c *conn) int {
+	if c != nil {
+		return c.id
+	}
+	return 0
+}

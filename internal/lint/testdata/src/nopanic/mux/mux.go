@@ -1,0 +1,30 @@
+package mux
+
+import "fmt"
+
+// --- firing cases ---
+
+func route(dst int, n int) {
+	if dst >= n {
+		panic(fmt.Sprintf("route: dst %d out of range %d", dst, n)) // want nopanic:"bare panic in a serving package"
+	}
+}
+
+func unreachable() {
+	panic("unreachable") // want nopanic:"bare panic in a serving package"
+}
+
+// --- non-firing cases ---
+
+// allowedPanic documents a deliberate exception.
+func allowedPanic() {
+	//lint:allow nopanic fixture exercises the suppression path
+	panic("allowed")
+}
+
+// shadowedPanic is a user-defined function, not the builtin.
+func localPanic(msg string) { _ = msg }
+
+func callsLocal() {
+	localPanic("fine")
+}

@@ -1,0 +1,10 @@
+// Package other is outside nopanic's scope: tooling and test helpers may
+// panic freely.
+package other
+
+func mustPositive(n int) int {
+	if n <= 0 {
+		panic("not positive")
+	}
+	return n
+}

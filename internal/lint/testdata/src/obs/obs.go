@@ -1,0 +1,25 @@
+// Package obs is a fixture stand-in for hsqp/internal/obs: the obsgate
+// analyzer matches on the package name and type/method names, so this
+// skeleton is all it needs.
+package obs
+
+type Registry struct{}
+
+type Counter struct{}
+
+func (c *Counter) Inc()        {}
+func (c *Counter) Add(n int64) {}
+
+type Gauge struct{}
+
+func (g *Gauge) Set(v float64) {}
+
+type Histogram struct{}
+
+func (h *Histogram) Observe(v float64) {}
+
+func (r *Registry) Counter(name, help string) *Counter     { return &Counter{} }
+func (r *Registry) Gauge(name, help string) *Gauge         { return &Gauge{} }
+func (r *Registry) Histogram(name, help string) *Histogram { return &Histogram{} }
+
+var Default = &Registry{}

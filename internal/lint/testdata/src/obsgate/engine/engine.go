@@ -1,0 +1,54 @@
+package engine
+
+import (
+	"time"
+
+	"obs"
+)
+
+// Package-level registration: the sanctioned pattern.
+var mMorsels = obs.Default.Counter("engine_morsels_total", "morsels executed")
+
+var mQueue *obs.Gauge
+
+func init() {
+	// init() registration is equally fine.
+	mQueue = obs.Default.Gauge("engine_queue_depth", "runnable morsels")
+}
+
+type worker struct {
+	start time.Time
+}
+
+// --- firing cases ---
+
+func registerPerQuery(r *obs.Registry) {
+	c := r.Counter("engine_bad", "registered per query") // want obsgate:"metric registered inside a function"
+	c.Inc()
+}
+
+func stampWithoutInterval() {
+	t := time.Now() // want obsgate:"time\.Now without matching time\.Since"
+	_ = t
+}
+
+// --- non-firing cases ---
+
+func intervalAccounting() time.Duration {
+	t0 := time.Now()
+	mMorsels.Inc()
+	return time.Since(t0)
+}
+
+func recordStart(w *worker) {
+	w.start = time.Now()
+}
+
+func newWorker() *worker {
+	return &worker{start: time.Now()}
+}
+
+func updateOnly() {
+	mMorsels.Add(3)
+	mQueue.Set(1)
+}

@@ -1,0 +1,64 @@
+package exchange
+
+import "memory"
+
+type sender struct {
+	pool *memory.Pool
+	cur  *memory.Message
+	open map[int]*memory.Message
+}
+
+// newMessage is a one-level pool wrapper; the analyzer treats its result
+// like a direct Get.
+func newMessage(p *memory.Pool) *memory.Message {
+	return p.Get0()
+}
+
+// --- firing cases ---
+
+func (s *sender) stashDirect() {
+	msg := s.pool.Get(0)
+	s.cur = msg // want poolsafe:"pool buffer stored into field cur"
+}
+
+func (s *sender) stashViaWrapper() {
+	m := newMessage(s.pool)
+	s.cur = m // want poolsafe:"pool buffer stored into field cur"
+}
+
+func (s *sender) stashIntoFieldMap(unit int) {
+	msg := s.pool.GetOn(1)
+	s.open[unit] = msg // want poolsafe:"pool buffer stored into field open"
+}
+
+func (s *sender) stashAliased() {
+	msg := s.pool.Get0()
+	alias := msg
+	s.cur = alias // want poolsafe:"pool buffer stored into field cur"
+}
+
+// --- non-firing cases ---
+
+// fillAndSend keeps the buffer owned by the acquiring path.
+func (s *sender) fillAndSend(send func(*memory.Message)) {
+	msg := s.pool.Get(0)
+	msg.QueryID = 7
+	msg.Buf = append(msg.Buf, 1, 2, 3)
+	send(msg)
+	msg.Release()
+}
+
+// returning hands ownership to the caller, which is fine: the Release
+// obligation travels with the return value.
+func (s *sender) alloc() *memory.Message {
+	return s.pool.Get0()
+}
+
+// localMap: a map that does not outlive the function is just scratch.
+func (s *sender) localScratch() int {
+	open := map[int]*memory.Message{}
+	open[0] = s.pool.Get0()
+	n := len(open)
+	open[0].Release()
+	return n
+}

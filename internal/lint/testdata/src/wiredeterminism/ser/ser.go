@@ -1,0 +1,76 @@
+package ser
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+)
+
+type event struct {
+	pid  int
+	name string
+}
+
+// --- firing cases ---
+
+func encodeUnsorted(buf *bytes.Buffer, families map[string]string) {
+	for name, help := range families {
+		buf.WriteString(name) // want wiredeterminism:"WriteString called during map iteration"
+		_ = help
+	}
+}
+
+func fprintUnsorted(buf *bytes.Buffer, m map[int]int) {
+	for k, v := range m {
+		fmt.Fprintf(buf, "%d=%d\n", k, v) // want wiredeterminism:"Fprintf called during map iteration"
+	}
+}
+
+// derivedAppend mirrors the historical trace-metadata bug: records
+// derived from map entries are appended in iteration order, and the
+// later sort is not total over them.
+func derivedAppend(procs map[int]string) []event {
+	var evs []event
+	for pid, name := range procs {
+		evs = append(evs, event{pid: pid, name: name}) // want wiredeterminism:"derived value appended during map iteration"
+	}
+	sort.Slice(evs, func(i, j int) bool { return evs[i].pid < evs[j].pid })
+	return evs
+}
+
+// --- non-firing cases ---
+
+// sortedKeys is the sanctioned idiom: collect bare keys, sort, iterate
+// the sorted slice.
+func sortedKeys(buf *bytes.Buffer, families map[string]string) {
+	var names []string
+	for name := range families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		buf.WriteString(name)
+		buf.WriteString(families[name])
+	}
+}
+
+// sliceRange: iteration over slices is ordered; sinks are fine.
+func sliceRange(buf *bytes.Buffer, rows []string) {
+	for _, r := range rows {
+		buf.WriteString(r)
+	}
+}
+
+// loopLocal: a slice that does not outlive the iteration carries no
+// order out of it.
+func loopLocal(m map[int][]int) int {
+	total := 0
+	for _, vs := range m {
+		var doubled []int
+		for _, v := range vs {
+			doubled = append(doubled, v*2)
+		}
+		total += len(doubled)
+	}
+	return total
+}

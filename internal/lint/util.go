@@ -1,0 +1,129 @@
+// Package lint implements hsqplint's analyzers: machine-checked forms of
+// the concurrency and determinism invariants this engine's correctness
+// and performance claims rest on. See docs/invariants.md for the full
+// catalogue and the historical bug behind each analyzer.
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// shortPath trims a filename to its last two path elements for compact
+// cross-references inside diagnostic messages.
+func shortPath(name string) string {
+	dir, base := filepath.Dir(name), filepath.Base(name)
+	if parent := filepath.Base(dir); parent != "." && parent != string(filepath.Separator) {
+		return parent + "/" + base
+	}
+	return base
+}
+
+func itoa(n int) string { return strconv.Itoa(n) }
+
+// calleeFunc resolves the static callee of a call, or nil for calls
+// through function values and type conversions.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// recvTypeName returns the package and type name of a method's receiver
+// ("sync", "Mutex" for (*sync.Mutex).Lock), or "", "" for plain
+// functions.
+func recvTypeName(f *types.Func) (pkg, typ string) {
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() != nil {
+		pkg = obj.Pkg().Name()
+	}
+	return pkg, obj.Name()
+}
+
+// funcPkgPath returns the import path of the package declaring f ("" for
+// builtins).
+func funcPkgPath(f *types.Func) string {
+	if f.Pkg() == nil {
+		return ""
+	}
+	return f.Pkg().Path()
+}
+
+// pkgBase is the last element of an import path: the conventional
+// package name hsqplint keys its package scopes on, so the rules apply
+// identically to hsqp/internal/mux and to a test fixture named
+// lockblock/mux.
+func pkgBase(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// testFile reports whether f is a _test.go file.
+func testFile(fset *token.FileSet, f *ast.File) bool {
+	return strings.HasSuffix(fset.Position(f.Pos()).Filename, "_test.go")
+}
+
+// fieldOf resolves a selector to the struct field it denotes, or nil.
+func fieldOf(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	if s, ok := info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+		if v, ok := s.Obj().(*types.Var); ok {
+			return v
+		}
+	}
+	// Package-qualified or unqualified field references resolve through
+	// Uses (e.g. inside composite literals they are not Selections).
+	if v, ok := info.Uses[sel.Sel].(*types.Var); ok && v.IsField() {
+		return v
+	}
+	return nil
+}
+
+// deref strips one level of pointer.
+func deref(t types.Type) types.Type {
+	if p, ok := t.(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+// namedOf unwraps a (possibly pointer) type to its named type, or nil.
+func namedOf(t types.Type) *types.Named {
+	n, _ := deref(t).(*types.Named)
+	return n
+}
+
+// typeIs reports whether t (after deref) is the named type pkgName.typeName.
+func typeIs(t types.Type, pkgName, typeName string) bool {
+	n := namedOf(t)
+	if n == nil {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == typeName && obj.Pkg() != nil && obj.Pkg().Name() == pkgName
+}

@@ -1,0 +1,173 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"hsqp/internal/lint/analysis"
+)
+
+// Wiredeterminism flags map iteration whose order can leak into
+// externally observable bytes: wire encoding, exchange sends, plan
+// compilation, or trace output. Go randomizes map iteration order per
+// run, so any such flow makes output nondeterministic — breaking
+// byte-identical repartitioning across workers, golden-file tests, and
+// trace diffing.
+//
+// Two patterns fire:
+//
+//   - a `for k, v := range m` body that calls an encoding or sending sink
+//     (ser.Encode*, Marshal, Write*, Fprint*, Mux.Send, exchange
+//     dispatch, ...);
+//   - a range-over-map body that appends DERIVED values (anything beyond
+//     the bare key/value variable) into a slice declared outside the
+//     loop. Bare-element collection followed by sort is the sanctioned
+//     idiom (obs.sortedFamilies); derived appends are flagged even when
+//     sorted afterwards, because a comparator over derived records is
+//     rarely total — the historical trace-metadata bug sorted by
+//     (pid, tid) and still interleaved nondeterministically on ties.
+var Wiredeterminism = &analysis.Analyzer{
+	Name: "wiredeterminism",
+	Doc:  "no map-iteration order may flow into wire encoding, sends, or other deterministic output",
+	Run:  runWiredeterminism,
+}
+
+var wirePkgs = map[string]bool{
+	"ser": true, "exchange": true, "plan": true, "serve": true,
+	"obs": true, "mux": true, "cluster": true,
+}
+
+// wireSinkNames are callee names that emit externally observable bytes
+// or route data to peers.
+var wireSinkNames = map[string]bool{
+	"Encode": true, "EncodeRow": true, "Marshal": true, "MarshalJSON": true,
+	"Write": true, "WriteString": true, "WriteByte": true,
+	"Fprintf": true, "Fprintln": true, "Fprint": true,
+	"Send": true, "SendInline": true, "Consume": true,
+	"dispatch": true, "sendStamped": true, "broadcastStamped": true,
+}
+
+var wireSinkPkgs = map[string]bool{
+	"ser": true, "encoding/json": true, "encoding/binary": true,
+}
+
+func runWiredeterminism(pass *analysis.Pass) error {
+	if !wirePkgs[pkgBase(pass.Pkg.Path())] {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if testFile(pass.Fset, file) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.Info.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			checkMapRange(pass, rs)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkMapRange(pass *analysis.Pass, rs *ast.RangeStmt) {
+	keyObj := rangeVarObj(pass.Info, rs.Key)
+	valObj := rangeVarObj(pass.Info, rs.Value)
+
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			if n != rs {
+				// Nested ranges get their own visit from the file walk.
+				if t := pass.Info.TypeOf(n.X); t != nil {
+					if _, isMap := t.Underlying().(*types.Map); isMap {
+						return false
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if isAppendDerived(pass.Info, n, keyObj, valObj) && appendTargetOutlivesLoop(pass.Info, n, rs) {
+				pass.Reportf(n.Pos(), "derived value appended during map iteration; iteration order leaks into the slice — collect bare keys, sort, then iterate the sorted keys")
+				return true
+			}
+			fn := calleeFunc(pass.Info, n)
+			if fn == nil {
+				return true
+			}
+			if wireSinkNames[fn.Name()] || wireSinkPkgs[funcPkgPath(fn)] {
+				pass.Reportf(n.Pos(), "%s called during map iteration; Go map order is randomized per run, so the emitted bytes are nondeterministic — sort the keys first", fn.Name())
+			}
+		}
+		return true
+	})
+}
+
+// rangeVarObj resolves a range clause variable (key or value) to its
+// object, or nil for `_` or absent.
+func rangeVarObj(info *types.Info, e ast.Expr) types.Object {
+	id, ok := e.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	if o := info.Defs[id]; o != nil {
+		return o
+	}
+	return info.Uses[id]
+}
+
+// isAppendDerived reports whether call is `x = append(x, elem...)` where
+// some appended element is NOT simply the bare range key/value variable.
+// Bare-element appends are the collect-then-sort idiom and never flagged.
+func isAppendDerived(info *types.Info, call *ast.CallExpr, keyObj, valObj types.Object) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	if _, isBuiltin := info.Uses[id].(*types.Builtin); !isBuiltin {
+		return false
+	}
+	for _, arg := range call.Args[1:] {
+		if bareRangeVar(info, arg, keyObj, valObj) {
+			continue
+		}
+		return true
+	}
+	return false
+}
+
+// appendTargetOutlivesLoop reports whether the append destination is
+// declared outside the range body (so the order-dependent contents
+// escape the iteration). Appends into loop-local slices are left to the
+// sink checks on whatever consumes them.
+func appendTargetOutlivesLoop(info *types.Info, call *ast.CallExpr, rs *ast.RangeStmt) bool {
+	if len(call.Args) == 0 {
+		return false
+	}
+	id, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok {
+		// Appending into a field or index expression: treat as escaping.
+		return true
+	}
+	o := info.Uses[id]
+	if o == nil {
+		return true
+	}
+	return o.Pos() < rs.Body.Pos() || o.Pos() > rs.Body.End()
+}
+
+func bareRangeVar(info *types.Info, e ast.Expr, keyObj, valObj types.Object) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	o := info.Uses[id]
+	return o != nil && (o == keyObj || o == valObj)
+}
