@@ -29,6 +29,7 @@ import (
 	"sync/atomic"
 
 	"hsqp/internal/engine"
+	"hsqp/internal/invariant"
 	"hsqp/internal/memory"
 	"hsqp/internal/mux"
 	"hsqp/internal/numa"
@@ -150,7 +151,7 @@ func NewSend(cfg SendConfig) *Send {
 	case ModeClassicPartition:
 		units = cfg.Servers * cfg.WorkersPerServer
 		if cfg.WorkersPerServer <= 0 {
-			panic("exchange: classic partition needs WorkersPerServer")
+			invariant.Failf("exchange: classic partition needs WorkersPerServer")
 		}
 	case ModeBroadcast, ModeGather:
 		units = 1 // one stream, fanned out / directed by flush
@@ -160,7 +161,7 @@ func NewSend(cfg SendConfig) *Send {
 		units = cfg.Servers + 1
 	}
 	if (cfg.Mode == ModeSkewProbe || cfg.Mode == ModeSkewBuild) && cfg.Skew == nil {
-		panic("exchange: skew modes need a SkewCoord")
+		invariant.Failf("exchange: skew modes need a SkewCoord")
 	}
 	s := &Send{cfg: cfg, units: units,
 		destMu: make([]sync.Mutex, cfg.Servers), destSeq: make([]uint32, cfg.Servers)}
@@ -278,7 +279,7 @@ func (s *Send) routeBatch(st *workerSendState, node numa.Node, b *storage.Batch)
 		need := s.cfg.Codec.RowSize(b, i)
 		if need > msg.Remaining() {
 			if need > msg.Capacity() {
-				panic(fmt.Sprintf("exchange: tuple of %d bytes exceeds message capacity %d", need, msg.Capacity()))
+				invariant.Failf("exchange: tuple of %d bytes exceeds message capacity %d", need, msg.Capacity())
 			}
 			s.dispatch(unit, msg, false)
 			msg = s.newMessage(node)

@@ -25,6 +25,7 @@ import (
 	"sync/atomic"
 
 	"hsqp/internal/engine"
+	"hsqp/internal/invariant"
 	"hsqp/internal/memory"
 	"hsqp/internal/mux"
 	"hsqp/internal/numa"
@@ -118,10 +119,10 @@ type SkewCoord struct {
 // (every server sends exactly one Last-flagged sketch message).
 func NewSkewCoord(cfg SkewCoordConfig) *SkewCoord {
 	if cfg.Mux == nil || cfg.Pool == nil {
-		panic("exchange: SkewCoord needs a mux and a pool")
+		invariant.Failf("exchange: SkewCoord needs a mux and a pool")
 	}
 	if cfg.Servers < 1 {
-		panic("exchange: SkewCoord needs at least one server")
+		invariant.Failf("exchange: SkewCoord needs at least one server")
 	}
 	cfg.Config = cfg.Config.withDefaults()
 	c := &SkewCoord{

@@ -23,6 +23,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"hsqp/internal/invariant"
 	"hsqp/internal/memory"
 	"hsqp/internal/numa"
 	"hsqp/internal/sched"
@@ -181,7 +182,7 @@ func (m *Mux) OnInline(src int, tag uint32) {
 // starting the transport.
 func (m *Mux) Start() {
 	if m.transport == nil {
-		panic("mux: Start before SetTransport")
+		invariant.Failf("mux: Start before SetTransport")
 	}
 	m.wg.Add(1)
 	go m.networkLoop()
@@ -299,7 +300,7 @@ func (m *Mux) OpenExchange(queryID, exID int32, senders int) *ExchangeRecv {
 	m.mu.Lock()
 	if _, dup := m.exchanges[key]; dup {
 		m.mu.Unlock()
-		panic(fmt.Sprintf("mux: exchange %d/%d opened twice", queryID, exID))
+		invariant.Failf("mux: exchange %d/%d opened twice", queryID, exID)
 	}
 	m.exchanges[key] = ex
 	early := m.pending[key]

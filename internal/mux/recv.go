@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"hsqp/internal/invariant"
 	"hsqp/internal/memory"
 	"hsqp/internal/numa"
 )
@@ -43,7 +44,7 @@ type ExchangeRecv struct {
 
 func newExchangeRecv(m *Mux, queryID, exID int32, senders, sockets int) *ExchangeRecv {
 	if senders < 1 {
-		panic(fmt.Sprintf("mux: exchange %d needs at least one sender", exID))
+		invariant.Failf("mux: exchange %d needs at least one sender", exID)
 	}
 	ex := &ExchangeRecv{
 		mux:       m,
@@ -105,7 +106,7 @@ func (ex *ExchangeRecv) push(msg *memory.Message) {
 	ex.mu.Lock()
 	if viol := ex.checkSeqLocked(msg); viol != "" {
 		ex.mu.Unlock()
-		panic(viol)
+		invariant.Failf("%s", viol)
 	}
 	ex.queues[node] = append(ex.queues[node], msg)
 	ex.queued++
@@ -114,7 +115,7 @@ func (ex *ExchangeRecv) push(msg *memory.Message) {
 		ex.remaining--
 		if ex.remaining < 0 {
 			ex.mu.Unlock()
-			panic(fmt.Sprintf("mux: exchange %d received more Last markers than senders", ex.exID))
+			invariant.Failf("mux: exchange %d received more Last markers than senders", ex.exID)
 		}
 	}
 	ex.cond.Broadcast()
@@ -194,7 +195,7 @@ func (ex *ExchangeRecv) TryRecv(local numa.Node) (msg *memory.Message, done bool
 func (ex *ExchangeRecv) TryRecvWorker(worker int) (msg *memory.Message, done bool) {
 	cs := ex.classic
 	if cs == nil {
-		panic("mux: TryRecvWorker on a hybrid exchange")
+		invariant.Failf("mux: TryRecvWorker on a hybrid exchange")
 	}
 	ex.mu.Lock()
 	defer ex.mu.Unlock()
@@ -283,7 +284,7 @@ func (m *Mux) OpenExchangeClassic(queryID, exID int32, senders, workers int) *Ex
 	m.mu.Lock()
 	if _, dup := m.exchanges[key]; dup {
 		m.mu.Unlock()
-		panic(fmt.Sprintf("mux: exchange %d/%d opened twice", queryID, exID))
+		invariant.Failf("mux: exchange %d/%d opened twice", queryID, exID)
 	}
 	m.exchanges[key] = ex
 	early := m.pending[key]
@@ -305,7 +306,7 @@ func (ex *ExchangeRecv) pushClassic(msg *memory.Message) {
 	ex.mu.Lock()
 	if viol := ex.checkSeqLocked(msg); viol != "" {
 		ex.mu.Unlock()
-		panic(viol)
+		invariant.Failf("%s", viol)
 	}
 	cs.queues[part] = append(cs.queues[part], msg)
 	ex.received++
@@ -313,7 +314,7 @@ func (ex *ExchangeRecv) pushClassic(msg *memory.Message) {
 		cs.remaining[part]--
 		if cs.remaining[part] < 0 {
 			ex.mu.Unlock()
-			panic(fmt.Sprintf("mux: classic exchange %d worker %d got extra Last", ex.exID, part))
+			invariant.Failf("mux: classic exchange %d worker %d got extra Last", ex.exID, part)
 		}
 	}
 	ex.cond.Broadcast()
@@ -330,7 +331,7 @@ func (ex *ExchangeRecv) pushClassic(msg *memory.Message) {
 func (ex *ExchangeRecv) RecvWorker(worker int) *memory.Message {
 	cs := ex.classic
 	if cs == nil {
-		panic("mux: RecvWorker on a hybrid exchange")
+		invariant.Failf("mux: RecvWorker on a hybrid exchange")
 	}
 	ex.mu.Lock()
 	defer ex.mu.Unlock()
