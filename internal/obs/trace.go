@@ -82,26 +82,38 @@ type chromeTrace struct {
 
 // WriteChromeJSON renders the trace as Chrome trace_event JSON.
 func (t *Trace) WriteChromeJSON(w io.Writer) error {
+	// Iterate the metadata maps in sorted-key order: sorting the built
+	// events afterwards looked deterministic but was not — process_name
+	// and thread_name entries tie on (PID, TID=0) and sort.Slice is
+	// unstable, so the JSON byte order flipped between runs.
 	evs := make([]chromeEvent, 0, len(t.Spans)+len(t.procs)+len(t.threads))
-	for pid, name := range t.procs {
+	pids := make([]int, 0, len(t.procs))
+	for pid := range t.procs {
+		pids = append(pids, pid)
+	}
+	sort.Ints(pids)
+	for _, pid := range pids {
 		evs = append(evs, chromeEvent{
 			Name: "process_name", Ph: "M", PID: pid,
-			Args: map[string]any{"name": name},
+			Args: map[string]any{"name": t.procs[pid]},
 		})
 	}
-	for key, name := range t.threads {
+	tkeys := make([][2]int, 0, len(t.threads))
+	for key := range t.threads {
+		tkeys = append(tkeys, key)
+	}
+	sort.Slice(tkeys, func(i, j int) bool {
+		if tkeys[i][0] != tkeys[j][0] {
+			return tkeys[i][0] < tkeys[j][0]
+		}
+		return tkeys[i][1] < tkeys[j][1]
+	})
+	for _, key := range tkeys {
 		evs = append(evs, chromeEvent{
 			Name: "thread_name", Ph: "M", PID: key[0], TID: key[1],
-			Args: map[string]any{"name": name},
+			Args: map[string]any{"name": t.threads[key]},
 		})
 	}
-	// Metadata first (sorted for determinism), then spans by start time.
-	sort.Slice(evs, func(i, j int) bool {
-		if evs[i].PID != evs[j].PID {
-			return evs[i].PID < evs[j].PID
-		}
-		return evs[i].TID < evs[j].TID
-	})
 	spans := append([]Span(nil), t.Spans...)
 	sort.Slice(spans, func(i, j int) bool {
 		if spans[i].Start != spans[j].Start {
