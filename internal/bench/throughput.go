@@ -211,6 +211,10 @@ func (f Throughput) Run(w io.Writer) (ThroughputResult, error) {
 	defer sess.Close()
 	concLat := make([]time.Duration, total)
 	errs := make([]error, f.Streams)
+	// Accumulated in a typed atomic and published to the plain result
+	// field only after wg.Wait(): mixing atomic adds with plain reads of
+	// the same field is a race (atomicmix).
+	var concWire atomic.Uint64
 	var wg sync.WaitGroup
 	concStart := time.Now()
 	for s := 0; s < f.Streams; s++ {
@@ -231,12 +235,13 @@ func (f Throughput) Run(w io.Writer) (ThroughputResult, error) {
 					return
 				}
 				concLat[i] = time.Since(t0)
-				atomic.AddUint64(&res.ConcurrentWireBytes, stats.WireBytes())
+				concWire.Add(stats.WireBytes())
 				res.ConcurrentResults[i] = CanonicalRows(out)
 			}
 		}(s)
 	}
 	wg.Wait()
+	res.ConcurrentWireBytes = concWire.Load()
 	res.ConcurrentWall = time.Since(concStart)
 	for _, err := range errs {
 		if err != nil {
