@@ -155,11 +155,18 @@ func (s *Server) Shutdown() {
 	s.qos.Close()     // queued admission waiters fail fast
 	s.reqWG.Wait()    // in-flight requests complete and responses flush
 	s.session.Close() // no stragglers: the session drains instantly now
+	// Snapshot under the lock, close outside it: Close on a hung
+	// connection may block, and connection handlers take s.mu on their
+	// exit path — closing under the lock can deadlock the drain.
 	s.mu.Lock()
+	conns := make([]net.Conn, 0, len(s.conns))
 	for c := range s.conns {
-		c.Close() // unblock idle readers
+		conns = append(conns, c)
 	}
 	s.mu.Unlock()
+	for _, c := range conns {
+		c.Close() // unblock idle readers
+	}
 	s.connWG.Wait()
 	s.doneMu.Do(func() { close(s.done) })
 }
