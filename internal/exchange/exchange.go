@@ -274,6 +274,7 @@ func (s *Send) routeBatch(st *workerSendState, node numa.Node, b *storage.Batch)
 		msg := st.open[unit]
 		if msg == nil {
 			msg = s.newMessage(node)
+			//lint:allow poolsafe open per-destination buffers are owned by this thread state and flushed (dispatched or released) in finalizeOn
 			st.open[unit] = msg
 		}
 		need := s.cfg.Codec.RowSize(b, i)
@@ -283,6 +284,7 @@ func (s *Send) routeBatch(st *workerSendState, node numa.Node, b *storage.Batch)
 			}
 			s.dispatch(unit, msg, false)
 			msg = s.newMessage(node)
+			//lint:allow poolsafe open per-destination buffers are owned by this thread state and flushed (dispatched or released) in finalizeOn
 			st.open[unit] = msg
 		}
 		before := len(msg.Content)
@@ -311,6 +313,7 @@ func (s *Send) sendStamped(dst int, msg *memory.Message) {
 	s.destMu[dst].Lock()
 	msg.Seq = s.destSeq[dst]
 	s.destSeq[dst]++
+	//lint:allow lockblock stamping and enqueue must be atomic per destination; destMu is leaf-level and Mux.Send blocks only on transport backpressure, never on destMu
 	s.cfg.Mux.Send(dst, msg)
 	s.destMu[dst].Unlock()
 }
@@ -343,6 +346,7 @@ func (s *Send) broadcastStamped(msg *memory.Message) {
 		msg.Retain(s.cfg.Servers - 1)
 	}
 	for d := 0; d < s.cfg.Servers; d++ {
+		//lint:allow lockblock the broadcast seq must be valid for all destinations, so all destMu are held (in index order); Mux.Send never takes destMu
 		s.cfg.Mux.Send(d, msg)
 	}
 	for d := range s.destMu {

@@ -236,6 +236,7 @@ func (c *SkewCoord) gather() {
 		var cands []cand
 		for h, cnt := range merged {
 			if cnt >= thresh {
+				//lint:allow wiredeterminism sorted below by (count, hash) and hash is the unique map key, so the comparator is total
 				cands = append(cands, cand{h, cnt})
 			}
 		}

@@ -144,6 +144,7 @@ func (q *QoS) Acquire(tenant string, cancel <-chan struct{}) (func(), error) {
 		case err := <-w.ready:
 			if err == nil {
 				q.mu.Lock()
+				//lint:allow lockblock every waiter's ready chan is buffered(1) and receives exactly one grant, so the send in dispatchLocked cannot block
 				q.dispatchLocked()
 				q.mu.Unlock()
 			}
@@ -158,6 +159,7 @@ func (q *QoS) releaseFunc() func() {
 	return func() {
 		once.Do(func() {
 			q.mu.Lock()
+			//lint:allow lockblock every waiter's ready chan is buffered(1) and receives exactly one grant, so the send in dispatchLocked cannot block
 			q.dispatchLocked()
 			q.mu.Unlock()
 		})
@@ -219,6 +221,7 @@ func (q *QoS) Close() {
 	for _, t := range q.tenants {
 		for _, w := range t.queue {
 			if !w.abandoned {
+				//lint:allow lockblock ready is buffered(1); dequeue happens under q.mu so each waiter gets at most one send
 				w.ready <- ErrDraining
 			}
 		}
@@ -264,6 +267,7 @@ func (q *QoS) Snapshot() []TenantStats {
 	defer q.mu.Unlock()
 	out := make([]TenantStats, 0, len(q.tenants))
 	for _, t := range q.tenants {
+		//lint:allow wiredeterminism sorted below by tenant name, the unique map key, so the comparator is total
 		out = append(out, TenantStats{
 			Tenant:   t.name,
 			Weight:   t.weight,
