@@ -1,0 +1,14 @@
+package cluster
+
+import (
+	"testing"
+
+	"hsqp/internal/leakcheck"
+)
+
+// TestMain gates the package's tests behind the goroutine leak check:
+// the package owns long-lived goroutines whose shutdown paths must not
+// regress silently.
+func TestMain(m *testing.M) {
+	leakcheck.Main(m)
+}

@@ -1,0 +1,44 @@
+package leakcheck
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCheckDetectsLeak(t *testing.T) {
+	block := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		<-block
+		close(done)
+	}()
+
+	err := Check(50 * time.Millisecond)
+	if err == nil {
+		t.Fatal("Check passed despite a blocked goroutine")
+	}
+	if !strings.Contains(err.Error(), "leakcheck.TestCheckDetectsLeak") {
+		t.Errorf("leak report does not name the leaking function:\n%v", err)
+	}
+
+	close(block)
+	<-done
+	if err := Check(5 * time.Second); err != nil {
+		t.Errorf("Check still failing after the goroutine exited: %v", err)
+	}
+}
+
+func TestCheckGraceAllowsExitInProgress(t *testing.T) {
+	done := make(chan struct{})
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		close(done)
+	}()
+	// The goroutine exits within the grace period, so the retry loop
+	// must absorb it.
+	if err := Check(5 * time.Second); err != nil {
+		t.Errorf("Check did not wait out a goroutine mid-exit: %v", err)
+	}
+	<-done
+}
