@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: all build test race lint fmt fuzz-seed
+
+all: build test lint
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# The repo's invariant linter (see docs/invariants.md) plus the vet
+# checks CI enforces. nilness is not in `go vet`; hsqplint ships its own.
+lint:
+	$(GO) vet ./...
+	$(GO) vet -copylocks ./...
+	$(GO) run ./cmd/hsqplint ./...
+
+fmt:
+	gofmt -l -w .
+
+# Replay the wire-format fuzz seed corpus under the race detector,
+# mirroring the CI race matrix.
+fuzz-seed:
+	$(GO) test -race ./internal/ser -run '^FuzzCodecRoundTrip$$'
