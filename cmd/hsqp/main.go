@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -67,7 +68,7 @@ func usage() {
   hsqp client     -addr host:port [-tenant name] [-q q1] [-n N] [-prepare]
                   [-bypass] [-rows N] [-stats] [-verify] [-shutdown]
   hsqp top        -addr host:port [-interval 2s] [-n N]
-  hsqp experiment -id table1|fig2|fig3|fig4|fig5|fig9|fig10b|fig10c|fig11|fig12a|fig12b|table2|sched|sf|skew|skewjoin|skewsweep|throughput|serving|all
+  hsqp experiment -id table1|fig2|fig3|fig4|fig5|fig9|fig10b|fig10c|fig11|fig12a|fig12b|table2|sched|sf|skew|skewjoin|skewsweep|throughput|serving|chaos|all
                   [-sf S] [-servers N] [-concurrency N] [-full]`)
 }
 
@@ -157,7 +158,7 @@ func cmdRun(args []string) error {
 	// phase (queue → compile → pipelines), exactly like the serving path.
 	sess := c.NewSession(cluster.SessionConfig{})
 	defer sess.Close()
-	res, stats, err := sess.Run(qp)
+	res, stats, err := sess.RunContext(context.Background(), qp)
 	if err != nil {
 		return err
 	}
@@ -489,6 +490,14 @@ func cmdExperiment(args []string) error {
 			_, err := run.Run(w)
 			return err
 		},
+		"chaos": func() error {
+			run := bench.Chaos{}
+			if *full {
+				run.SF = 0.02
+			}
+			_, err := run.Run(w)
+			return err
+		},
 		"skewsweep": func() error {
 			run := bench.SkewSweep{SkewedJoin: bench.SkewedJoin{
 				Servers: *servers, Transport: cluster.TCPGbE, Rows: 200_000}}
@@ -502,7 +511,7 @@ func cmdExperiment(args []string) error {
 	if *id == "all" {
 		order := []string{"table1", "fig2", "fig3", "fig4", "fig5", "fig9", "fig10b",
 			"fig10c", "fig11", "fig12a", "fig12b", "table2", "sched", "sf", "skew",
-			"skewjoin", "skewsweep", "throughput", "serving"}
+			"skewjoin", "skewsweep", "throughput", "serving", "chaos"}
 		for _, name := range order {
 			if err := run(name, all[name]); err != nil {
 				return err

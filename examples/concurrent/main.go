@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sync"
@@ -39,7 +40,7 @@ func main() {
 			wg.Add(1)
 			go func(qn int) {
 				defer wg.Done()
-				_, _, _ = s.Run(hsqp.TPCHQuery(qn, sf))
+				_, _, _ = s.RunContext(context.Background(), hsqp.TPCHQuery(qn, sf))
 			}(qn)
 		}
 		wg.Wait()
@@ -49,7 +50,7 @@ func main() {
 	// Serial baseline: the same queries, one after another.
 	serialStart := time.Now()
 	for _, qn := range mix {
-		if _, _, err := c.Run(hsqp.TPCHQuery(qn, sf)); err != nil {
+		if _, _, err := c.RunContext(context.Background(), hsqp.TPCHQuery(qn, sf)); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -66,7 +67,7 @@ func main() {
 		go func(i, qn int) {
 			defer wg.Done()
 			t0 := time.Now()
-			res, _, err := sess.Run(hsqp.TPCHQuery(qn, sf))
+			res, _, err := sess.RunContext(context.Background(), hsqp.TPCHQuery(qn, sf))
 			if err != nil {
 				log.Printf("stream %d: %v", i, err)
 				return

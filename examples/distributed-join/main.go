@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -31,7 +32,7 @@ func main() {
 			log.Fatal(err)
 		}
 		c.LoadTPCH(db, partitioned)
-		res, stats, err := c.Run(hsqp.TPCHQuery(12, sf))
+		res, stats, err := c.RunContext(context.Background(), hsqp.TPCHQuery(12, sf))
 		if err != nil {
 			c.Close()
 			log.Fatal(err)

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -28,7 +29,7 @@ func main() {
 	c.LoadTPCH(hsqp.GenerateTPCH(sf, 42), false)
 
 	q := hsqp.TPCHQuery(1, sf)
-	res, stats, err := c.Run(q)
+	res, stats, err := c.RunContext(context.Background(), q)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -28,7 +28,7 @@
 //	c, _ := hsqp.NewCluster(hsqp.ClusterConfig{Servers: 6, Transport: hsqp.RDMA, Scheduling: true})
 //	defer c.Close()
 //	c.LoadTPCH(hsqp.GenerateTPCH(0.1, 42), false)
-//	result, stats, _ := c.Run(hsqp.TPCHQuery(5, 0.1))
+//	result, stats, _ := c.RunContext(ctx, hsqp.TPCHQuery(5, 0.1))
 //	fmt.Println(stats.Duration, stats.MaxOverlap())
 //
 // The paper's tables and figures regenerate through the Experiments API
@@ -48,6 +48,7 @@ import (
 	"hsqp/internal/plan"
 	"hsqp/internal/queries"
 	"hsqp/internal/serve"
+	"hsqp/internal/sim"
 	"hsqp/internal/storage"
 	"hsqp/internal/tpch"
 )
@@ -117,6 +118,62 @@ var ErrSessionClosed = cluster.ErrSessionClosed
 // Prepared is a prepared statement on a cluster: compiled and validated on
 // every server once, then executed repeatedly (cluster.Prepare).
 type Prepared = cluster.Prepared
+
+// --- unified run API, elasticity and fault tolerance ---
+
+// RunOption customizes one RunContext call (tenant label, restart bound,
+// result-cache bypass).
+type RunOption = cluster.RunOption
+
+// WithTenant labels the query with a tenant for weighted-fair admission.
+func WithTenant(tenant string) RunOption { return cluster.WithTenant(tenant) }
+
+// WithMaxRestarts bounds transparent restarts after server losses for one
+// query (default cluster.DefaultMaxRestarts).
+func WithMaxRestarts(n int) RunOption { return cluster.WithMaxRestarts(n) }
+
+// WithBypassResultCache forces execution even when the serving tier holds
+// a cached result for the statement.
+func WithBypassResultCache() RunOption { return cluster.WithBypassResultCache() }
+
+// ErrServerLost marks a query failure caused by losing a server; when the
+// loss is recoverable RunContext retries transparently and the error is
+// only surfaced once restarts are exhausted.
+var ErrServerLost = cluster.ErrServerLost
+
+// FaultKind selects what happens to the targeted server.
+type FaultKind = sim.FaultKind
+
+// QueryPhase is the execution phase at which ClusterConfig.PhaseHook
+// fires (and at which an armed fault triggers).
+type QueryPhase = sim.QueryPhase
+
+// Fault kinds for the chaos harness (sim.FaultInjector against a Cluster).
+const (
+	FaultKill      = sim.FaultKill
+	FaultHang      = sim.FaultHang
+	FaultPartition = sim.FaultPartition
+)
+
+// Query phases at which an armed fault fires.
+const (
+	PhaseCompiled  = sim.PhaseCompiled
+	PhaseExecuting = sim.PhaseExecuting
+)
+
+// FaultPlan describes one fault: which server, what happens, at which
+// query phase.
+type FaultPlan = sim.FaultPlan
+
+// FaultInjector arms a single fault against a cluster and fires it the
+// first time the planned phase is reached; wire its OnPhase method into
+// ClusterConfig.PhaseHook.
+type FaultInjector = sim.FaultInjector
+
+// NewFaultInjector arms plan against target (typically a *Cluster).
+func NewFaultInjector(target sim.Target, plan FaultPlan) *FaultInjector {
+	return sim.NewFaultInjector(target, plan)
+}
 
 // --- serving tier (cmd/hsqpd): network protocol, caches, QoS ---
 
@@ -265,5 +322,14 @@ func ExperimentThroughput(w io.Writer, streams int) error {
 // plus per-tenant latency under weighted-fair admission.
 func ExperimentServing(w io.Writer) error {
 	_, err := bench.Serving{}.Run(w)
+	return err
+}
+
+// ExperimentChaos measures per-query fault tolerance: one server is
+// killed, hung, or partitioned mid-query and the coordinator detects the
+// loss, evicts the server, and transparently restarts on the survivors;
+// plus the cost of online AddServer/RemoveServer membership changes.
+func ExperimentChaos(w io.Writer) error {
+	_, err := bench.Chaos{}.Run(w)
 	return err
 }

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"io"
 	"time"
 
@@ -144,7 +145,7 @@ func (f GroupJoinAblation) Run(w io.Writer) (groupjoin, aggjoin time.Duration, e
 		var best time.Duration
 		var rows int
 		for r := 0; r < 2; r++ {
-			res, stats, err := c.Run(q)
+			res, stats, err := c.RunContext(context.Background(), q)
 			if err != nil {
 				return 0, 0, err
 			}

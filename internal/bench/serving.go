@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net"
@@ -127,7 +128,7 @@ func (s Serving) Run(w io.Writer) (ServingResult, error) {
 		if err != nil {
 			return res, err
 		}
-		if _, _, err := c.Run(qp); err != nil {
+		if _, _, err := c.RunContext(context.Background(), qp); err != nil {
 			return res, fmt.Errorf("warmup q%d: %w", q, err)
 		}
 	}

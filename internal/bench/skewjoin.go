@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -167,7 +168,7 @@ func (f SkewedJoin) RunEngine(name string, build, probe *storage.Batch) (*storag
 	var bestRes *storage.Batch
 	var bestStats cluster.QueryStats
 	for r := 0; r < runs; r++ {
-		res, stats, err := c.Run(skewQuery(eng.strategy))
+		res, stats, err := c.RunContext(context.Background(), skewQuery(eng.strategy))
 		if err != nil {
 			return nil, cluster.QueryStats{}, err
 		}

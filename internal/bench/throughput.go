@@ -2,6 +2,7 @@ package bench
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -176,7 +177,7 @@ func (f Throughput) Run(w io.Writer) (ThroughputResult, error) {
 				if err != nil {
 					return
 				}
-				_, _, _ = warm.Run(q)
+				_, _, _ = warm.RunContext(context.Background(), q)
 			}(s)
 		}
 		wwg.Wait()
@@ -192,7 +193,7 @@ func (f Throughput) Run(w io.Writer) (ThroughputResult, error) {
 			return res, err
 		}
 		t0 := time.Now()
-		out, stats, err := c.Run(q)
+		out, stats, err := c.RunContext(context.Background(), q)
 		if err != nil {
 			return res, fmt.Errorf("bench: serial q%d: %w", qn(i), err)
 		}
@@ -229,7 +230,7 @@ func (f Throughput) Run(w io.Writer) (ThroughputResult, error) {
 					return
 				}
 				t0 := time.Now()
-				out, stats, err := sess.Run(q)
+				out, stats, err := sess.RunContext(context.Background(), q)
 				if err != nil {
 					errs[s] = fmt.Errorf("bench: stream %d q%d: %w", s, qn(i), err)
 					return

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -145,7 +146,7 @@ func RunOnCluster(c *cluster.Cluster, w Workload) (RunResult, error) {
 		}
 		var best cluster.QueryStats
 		for r := 0; r < w.Repeat; r++ {
-			_, stats, err := c.Run(qp)
+			_, stats, err := c.RunContext(context.Background(), qp)
 			if err != nil {
 				return res, fmt.Errorf("bench: q%d: %w", q, err)
 			}

@@ -1,0 +1,188 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"hsqp/internal/queries"
+	"hsqp/internal/ref"
+	"hsqp/internal/sim"
+	"hsqp/internal/storage"
+	"hsqp/internal/tpch"
+)
+
+const chaosSF = 0.01
+
+var (
+	chaosDBOnce sync.Once
+	chaosDB     *tpch.Database
+)
+
+func getChaosDB() *tpch.Database {
+	chaosDBOnce.Do(func() {
+		chaosDB = tpch.Generate(chaosSF, 42)
+	})
+	return chaosDB
+}
+
+// newChaosCluster builds a 3-server cluster with replica factor 2 (every
+// partition survives one server loss) and a fast failure detector, wired
+// to the given phase hook.
+func newChaosCluster(t *testing.T, hook func(sim.QueryPhase)) *Cluster {
+	t.Helper()
+	c, err := New(Config{
+		Servers:           3,
+		WorkersPerServer:  4,
+		Transport:         RDMA,
+		Scheduling:        true,
+		TimeScale:         0.005, // chaos tests: network nearly free
+		MorselSize:        4096,
+		MessageSize:       64 * 1024,
+		ReplicaFactor:     2,
+		HeartbeatInterval: 5 * time.Millisecond,
+		HeartbeatTimeout:  250 * time.Millisecond,
+		PhaseHook:         hook,
+	})
+	if err != nil {
+		t.Fatalf("cluster.New: %v", err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+// renderRows formats a result set row by row for byte-identical
+// comparison.
+func renderRows(rows [][]any) string {
+	var sb strings.Builder
+	for _, row := range rows {
+		for i, v := range row {
+			if i > 0 {
+				sb.WriteByte('|')
+			}
+			fmt.Fprintf(&sb, "%v", v)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+func refRows(t *testing.T, q int) string {
+	t.Helper()
+	want, err := ref.Run(q, getChaosDB(), chaosSF)
+	if err != nil {
+		t.Fatalf("ref q%d: %v", q, err)
+	}
+	rows := make([][]any, len(want.Rows))
+	for i, r := range want.Rows {
+		rows[i] = r
+	}
+	return renderRows(rows)
+}
+
+// runChaosQ12 executes Q12 against a cluster that loses one server
+// mid-query and asserts the failover was transparent: one restart, a
+// 2-server surviving membership, and a result byte-identical to the
+// reference interpreter's.
+func runChaosQ12(t *testing.T, kind sim.FaultKind) {
+	db := getChaosDB()
+	var inj *sim.FaultInjector
+	c := newChaosCluster(t, func(p sim.QueryPhase) { inj.OnPhase(p) })
+	// Kill server 2 — a non-coordinator — once execution is underway.
+	inj = sim.NewFaultInjector(c, sim.FaultPlan{Kind: kind, Server: 2, Phase: sim.PhaseExecuting})
+	c.LoadTPCH(db, false)
+
+	q12 := queries.MustBuild(12, queries.Params{SF: chaosSF})
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	got, stats, err := c.RunContext(ctx, q12)
+	if err != nil {
+		t.Fatalf("RunContext under %v fault: %v", kind, err)
+	}
+	if !inj.Fired() {
+		t.Fatal("fault injector never fired")
+	}
+	if injErr := inj.Err(); injErr != nil {
+		t.Fatalf("fault injection: %v", injErr)
+	}
+	if stats.Restarts != 1 {
+		t.Fatalf("QueryStats.Restarts = %d, want 1", stats.Restarts)
+	}
+	if c.Servers() != 2 {
+		t.Fatalf("surviving membership has %d servers, want 2", c.Servers())
+	}
+
+	gotS := renderRows(batchRowsChaos(got))
+	wantS := refRows(t, 12)
+	if gotS != wantS {
+		t.Fatalf("q12 after %v failover differs from reference\ngot:\n%s\nwant:\n%s", kind, gotS, wantS)
+	}
+
+	// The shrunk cluster keeps serving: a fresh run (no fault left to
+	// inject) must agree byte-for-byte too.
+	got2, stats2, err := c.RunContext(ctx, q12)
+	if err != nil {
+		t.Fatalf("post-failover run: %v", err)
+	}
+	if stats2.Restarts != 0 {
+		t.Fatalf("post-failover Restarts = %d, want 0", stats2.Restarts)
+	}
+	if got2S := renderRows(batchRowsChaos(got2)); got2S != wantS {
+		t.Fatalf("q12 on the shrunk cluster differs from reference\ngot:\n%s\nwant:\n%s", got2S, wantS)
+	}
+}
+
+func batchRowsChaos(b *storage.Batch) [][]any {
+	out := make([][]any, b.Rows())
+	for i := range out {
+		out[i] = b.Row(i)
+	}
+	return out
+}
+
+func TestChaosKillMidQuery(t *testing.T)      { runChaosQ12(t, sim.FaultKill) }
+func TestChaosHangMidQuery(t *testing.T)      { runChaosQ12(t, sim.FaultHang) }
+func TestChaosPartitionMidQuery(t *testing.T) { runChaosQ12(t, sim.FaultPartition) }
+
+// TestChaosUnrecoverableWithoutReplicas pins the replica gate: with
+// replica factor 1 a killed server's partitions exist nowhere else, so the
+// restart must be refused and the error must say why.
+func TestChaosUnrecoverableWithoutReplicas(t *testing.T) {
+	var inj *sim.FaultInjector
+	c, err := New(Config{
+		Servers:           3,
+		WorkersPerServer:  4,
+		Transport:         RDMA,
+		Scheduling:        true,
+		TimeScale:         0.005,
+		MorselSize:        4096,
+		MessageSize:       64 * 1024,
+		ReplicaFactor:     1,
+		HeartbeatInterval: 5 * time.Millisecond,
+		HeartbeatTimeout:  250 * time.Millisecond,
+		PhaseHook:         func(p sim.QueryPhase) { inj.OnPhase(p) },
+	})
+	if err != nil {
+		t.Fatalf("cluster.New: %v", err)
+	}
+	t.Cleanup(c.Close)
+	inj = sim.NewFaultInjector(c, sim.FaultPlan{Kind: sim.FaultKill, Server: 2, Phase: sim.PhaseExecuting})
+	c.LoadTPCH(getChaosDB(), false)
+
+	q12 := queries.MustBuild(12, queries.Params{SF: chaosSF})
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	_, _, err = c.RunContext(ctx, q12)
+	if err == nil {
+		t.Fatal("RunContext should fail: the lost partitions have no replicas")
+	}
+	if !strings.Contains(err.Error(), "unrecoverable") {
+		t.Fatalf("error should name the unrecoverable table, got: %v", err)
+	}
+	if c.Servers() != 3 {
+		t.Fatalf("failed eviction must leave the membership intact, got %d servers", c.Servers())
+	}
+}

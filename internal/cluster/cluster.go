@@ -8,7 +8,6 @@
 package cluster
 
 import (
-	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -23,6 +22,7 @@ import (
 	"hsqp/internal/obs"
 	"hsqp/internal/plan"
 	"hsqp/internal/rdma"
+	"hsqp/internal/sim"
 	"hsqp/internal/spin"
 	"hsqp/internal/storage"
 	"hsqp/internal/tcp"
@@ -97,6 +97,29 @@ type Config struct {
 	// plan (competitor engine styles; see internal/competitors).
 	AfterScan     func(schema *storage.Schema) []engine.Op
 	AfterExchange func(schema *storage.Schema) []engine.Op
+	// ReplicaFactor is the default per-table replica factor recorded by
+	// LoadTable (LoadTableReplicas overrides it per table). With r ≥ 2 each
+	// partition of a chunked or hash-partitioned table exists on r servers,
+	// so losing one server is recoverable and RunContext can transparently
+	// restart queries on the survivors. Zero means 1 (no redundancy:
+	// an unplanned server loss makes such tables unrecoverable).
+	ReplicaFactor int
+	// HeartbeatInterval is how often a query's coordinator probes the
+	// participants for liveness while the query runs. Zero means 10ms.
+	HeartbeatInterval time.Duration
+	// HeartbeatTimeout is how long the coordinator waits for a probe echo
+	// before suspecting the peer. It must comfortably exceed the worst
+	// head-of-line wait behind full-size messages on the simulated link or
+	// a loaded cluster evicts healthy servers. Zero means 1s.
+	HeartbeatTimeout time.Duration
+	// DisableFailureDetection turns the per-query heartbeat watchdog off
+	// (crash faults are still detected through the failing server's own
+	// run error; hangs and partitions then go unnoticed).
+	DisableFailureDetection bool
+	// PhaseHook, when set, is invoked synchronously at query lifecycle
+	// boundaries (after compile, at execution launch) on every attempt —
+	// the injection point for sim.FaultInjector.
+	PhaseHook func(phase sim.QueryPhase)
 }
 
 // DefaultTimeScale calibrates the simulated network against the in-process
@@ -117,22 +140,76 @@ type Node struct {
 	tcpEP     *tcp.Endpoint
 	rdmaEP    *rdma.Endpoint
 
+	// alive turns false when the server is killed or evicted; hung marks a
+	// frozen (SIGSTOPped) process. Both are observed by the per-query
+	// failure detector.
+	alive    atomic.Bool
+	hung     atomic.Bool
+	killOnce sync.Once
+
 	mu     sync.Mutex
 	tables map[string]plan.TableInfo
 }
 
+// Alive reports whether the server has not been killed or evicted.
+func (n *Node) Alive() bool { return n.alive.Load() }
+
+// kill tears the node's runtime components down in leak-free order: the
+// multiplexer first (its stop channel unblocks senders and receivers),
+// then the engine (in-flight runs abort with ErrCancelled), then the
+// transport. Idempotent: eviction after a KillServer re-runs it as a
+// no-op.
+func (n *Node) kill() {
+	n.killOnce.Do(func() {
+		n.alive.Store(false)
+		n.Mux.Close()
+		n.Engine.Close()
+		n.transport.Close()
+	})
+}
+
 // Cluster is the whole simulated deployment.
 type Cluster struct {
-	cfg   Config
+	cfg Config
+
+	// memMu is the membership lock: queries and Prepare hold it for read
+	// over one attempt, membership changes (AddServer, RemoveServer, table
+	// loads, failure eviction) hold it for write. A membership change
+	// therefore waits for in-flight attempts to drain — an aborted attempt
+	// releases quickly — and no attempt ever observes a half-rebuilt mesh.
+	memMu sync.RWMutex
 	fab   *fabric.Fabric
 	Nodes []*Node
+	// catalog retains every loaded table's source batch and placement spec.
+	// It stands in for the replicated storage layer: with replica factor
+	// r ≥ 2 each partition exists on r servers, and after a membership
+	// change the new placement is recomputed deterministically from the
+	// retained source — byte-identical to what replica recovery would
+	// reassemble.
+	catalog map[string]*tableSpec
+
+	// fabPtr/nodesPtr mirror fab/Nodes for lock-free readers (KillServer
+	// and friends run inside a query attempt that already holds the read
+	// lock, so they must not touch memMu themselves).
+	fabPtr   atomic.Pointer[fabric.Fabric]
+	nodesPtr atomic.Pointer[[]*Node]
 
 	nextQueryID atomic.Int32
 	closed      atomic.Bool
-	// epoch counts table (re)loads; plan and result caches key on it so a
-	// reload invalidates every cached artifact compiled against the old
-	// placement.
+	// epoch counts placement generations: every table (re)load and every
+	// membership change bumps it *after* the new tables are installed, so
+	// plan and result caches keyed on it can never pair a new epoch with
+	// old placements.
 	epoch atomic.Uint64
+}
+
+// tableSpec is one catalog entry: everything needed to re-partition the
+// table over a changed membership.
+type tableSpec struct {
+	src       *storage.Batch
+	placement storage.Placement
+	partCol   int
+	replicas  int
 }
 
 // New builds and starts a cluster.
@@ -157,35 +234,75 @@ func New(cfg Config) (*Cluster, error) {
 		cfg.MorselSize = engine.DefaultMorselSize
 	}
 
-	fab, err := fabric.New(fabric.Config{
-		Ports:     cfg.Servers,
-		Rate:      cfg.Rate,
-		TimeScale: cfg.TimeScale,
+	c := &Cluster{cfg: cfg, catalog: map[string]*tableSpec{}}
+	nodes := make([]*Node, 0, cfg.Servers)
+	for id := 0; id < cfg.Servers; id++ {
+		node, err := c.newNodeShell(id)
+		if err != nil {
+			return nil, err
+		}
+		nodes = append(nodes, node)
+	}
+	if err := c.wireMesh(nodes); err != nil {
+		return nil, err
+	}
+	c.startMesh()
+	mActiveServers.Set(float64(len(nodes)))
+	return c, nil
+}
+
+// newNodeShell builds the durable half of a server — NUMA topology,
+// registered message pool and worker-pool engine — which survives
+// membership rebuilds. The network half (mux + endpoint) is attached by
+// wireMesh.
+func (c *Cluster) newNodeShell(id int) (*Node, error) {
+	topo := c.cfg.Topology
+	scale := c.cfg.TimeScale
+	pool := memory.NewPool(topo, c.cfg.AllocPolicy, c.cfg.MessageSize, func() {
+		spin.Burn(time.Duration(float64(RegistrationCost) * scale))
+	})
+	eng, err := engine.New(engine.Config{
+		Topology:   topo,
+		Workers:    c.cfg.WorkersPerServer,
+		MorselSize: c.cfg.MorselSize,
 	})
 	if err != nil {
 		return nil, err
 	}
-	c := &Cluster{cfg: cfg, fab: fab}
+	node := &Node{ID: id, Topo: topo, Pool: pool, Engine: eng, tables: map[string]plan.TableInfo{}}
+	node.alive.Store(true)
+	return node, nil
+}
 
-	for id := 0; id < cfg.Servers; id++ {
-		topo := cfg.Topology
-		scale := cfg.TimeScale
-		pool := memory.NewPool(topo, cfg.AllocPolicy, cfg.MessageSize, func() {
-			spin.Burn(time.Duration(float64(RegistrationCost) * scale))
-		})
+// wireMesh builds a fresh fabric sized to the node list and attaches a new
+// multiplexer and endpoint to every node (dense server ids 0..n-1 mapped
+// one-to-one onto fabric ports). It installs the new mesh into the cluster
+// but does not start it; call startMesh once tables are in place.
+func (c *Cluster) wireMesh(nodes []*Node) error {
+	n := len(nodes)
+	fab, err := fabric.New(fabric.Config{
+		Ports:     n,
+		Rate:      c.cfg.Rate,
+		TimeScale: c.cfg.TimeScale,
+	})
+	if err != nil {
+		return err
+	}
+	for id, node := range nodes {
+		node.ID = id
 		m, err := mux.New(mux.Config{
 			Server:     id,
-			Servers:    cfg.Servers,
-			Topology:   topo,
-			Pool:       pool,
-			Scheduling: cfg.Scheduling,
+			Servers:    n,
+			Topology:   node.Topo,
+			Pool:       node.Pool,
+			Scheduling: c.cfg.Scheduling,
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		var tr mux.Transport
-		node := &Node{ID: id, Topo: topo, Pool: pool, Mux: m, tables: map[string]plan.TableInfo{}}
-		switch cfg.Transport {
+		node.tcpEP, node.rdmaEP = nil, nil
+		switch c.cfg.Transport {
 		case RDMA:
 			ep := rdma.NewEndpoint(fab, id, m.RecvAlloc, m.OnRecv, m.OnInline)
 			node.rdmaEP = ep
@@ -202,47 +319,58 @@ func New(cfg Config) (*Cluster, error) {
 			node.tcpEP = ep
 			tr = ep
 		default:
-			return nil, fmt.Errorf("cluster: unknown transport %v", cfg.Transport)
+			return fmt.Errorf("cluster: unknown transport %v", c.cfg.Transport)
 		}
 		m.SetTransport(tr)
+		node.Mux = m
 		node.transport = tr
-		eng, err := engine.New(engine.Config{
-			Topology:   topo,
-			Workers:    cfg.WorkersPerServer,
-			MorselSize: cfg.MorselSize,
-		})
-		if err != nil {
-			return nil, err
-		}
-		node.Engine = eng
-		c.Nodes = append(c.Nodes, node)
 	}
+	c.fab = fab
+	c.Nodes = nodes
+	c.cfg.Servers = n
+	c.fabPtr.Store(fab)
+	c.nodesPtr.Store(&nodes)
+	return nil
+}
 
-	fab.Start()
+// startMesh starts the current fabric, transports and multiplexers.
+func (c *Cluster) startMesh() {
+	c.fab.Start()
 	for _, n := range c.Nodes {
 		n.transport.Start()
 		n.Mux.Start()
 	}
-	return c, nil
 }
 
-// Config returns the cluster configuration.
-func (c *Cluster) Config() Config { return c.cfg }
+// Config returns the cluster configuration. Servers reflects the current
+// membership.
+func (c *Cluster) Config() Config {
+	c.memMu.RLock()
+	defer c.memMu.RUnlock()
+	return c.cfg
+}
 
-// Fabric exposes the underlying fabric (stats).
-func (c *Cluster) Fabric() *fabric.Fabric { return c.fab }
+// Servers returns the current number of servers in the membership.
+func (c *Cluster) Servers() int { return len(*c.nodesPtr.Load()) }
 
-// Close shuts everything down.
+// Fabric exposes the underlying fabric (stats). Membership changes replace
+// the fabric; the returned handle keeps reporting the mesh it belonged to.
+func (c *Cluster) Fabric() *fabric.Fabric { return c.fabPtr.Load() }
+
+// Close shuts everything down. It must not race with membership changes
+// (it deliberately takes no membership lock, so that queries hung without
+// a cancel channel are aborted by the engine teardown instead of
+// deadlocking a lock acquisition).
 func (c *Cluster) Close() {
 	if !c.closed.CompareAndSwap(false, true) {
 		return
 	}
-	for _, n := range c.Nodes {
+	for _, n := range *c.nodesPtr.Load() {
 		n.Engine.Close()
 		n.Mux.Close()
 		n.transport.Close()
 	}
-	c.fab.Stop()
+	c.fabPtr.Load().Stop()
 }
 
 // Epoch identifies the current table-placement generation: it advances on
@@ -250,27 +378,56 @@ func (c *Cluster) Close() {
 // they were built against and can be discarded when the data changes.
 func (c *Cluster) Epoch() uint64 { return c.epoch.Load() }
 
-// LoadTable distributes one relation over the cluster.
+// LoadTable distributes one relation over the cluster with the
+// configuration's default replica factor.
 func (c *Cluster) LoadTable(name string, b *storage.Batch, placement storage.Placement, partCol int) {
+	c.LoadTableReplicas(name, b, placement, partCol, c.cfg.ReplicaFactor)
+}
+
+// LoadTableReplicas distributes one relation over the cluster and records
+// its replica factor. The factor does not change the primary placement —
+// chunked and hash-partitioned tables keep one primary partition per
+// server — it records on how many servers each partition additionally
+// exists, which decides whether an *unplanned* server loss is recoverable
+// (see RemoveServer and RunContext). Replicated placement implies full
+// redundancy regardless of the factor. The epoch is bumped only after the
+// new placement is installed on every node, so an epoch value can never be
+// observed ahead of the tables it describes.
+func (c *Cluster) LoadTableReplicas(name string, b *storage.Batch, placement storage.Placement, partCol, replicas int) {
+	if replicas < 1 {
+		replicas = 1
+	}
+	spec := &tableSpec{src: b, placement: placement, partCol: partCol, replicas: replicas}
+	c.memMu.Lock()
+	defer c.memMu.Unlock()
+	c.catalog[name] = spec
+	c.installLocked(name, spec, c.Nodes)
 	mEpoch.Set(float64(c.epoch.Add(1)))
-	n := c.cfg.Servers
+}
+
+// installLocked computes the table's placement for the given node list and
+// installs one fragment per node. Splits are pure functions of (source,
+// server count), so reinstalling after a membership change reproduces
+// byte-identical contents. Caller holds memMu for write.
+func (c *Cluster) installLocked(name string, spec *tableSpec, nodes []*Node) {
+	n := len(nodes)
 	var parts []*storage.Batch
 	var info func(id int) plan.TableInfo
-	switch placement {
+	switch spec.placement {
 	case storage.PlacementChunked:
-		parts = storage.SplitChunked(b, n)
+		parts = storage.SplitChunked(spec.src, n)
 		info = func(int) plan.TableInfo { return plan.TableInfo{} }
 	case storage.PlacementPartitioned:
-		parts = storage.SplitPartitioned(b, partCol, n)
-		info = func(int) plan.TableInfo { return plan.TableInfo{PartCols: []int{partCol}} }
+		parts = storage.SplitPartitioned(spec.src, spec.partCol, n)
+		info = func(int) plan.TableInfo { return plan.TableInfo{PartCols: []int{spec.partCol}} }
 	case storage.PlacementReplicated:
-		parts = storage.Replicate(b, n)
+		parts = storage.Replicate(spec.src, n)
 		info = func(int) plan.TableInfo { return plan.TableInfo{Replicated: true} }
 	default:
-		panic(fmt.Sprintf("cluster: unknown placement %v", placement))
+		panic(fmt.Sprintf("cluster: unknown placement %v", spec.placement))
 	}
-	for id, node := range c.Nodes {
-		t := storage.NewTable(name, b.Schema)
+	for id, node := range nodes {
+		t := storage.NewTable(name, spec.src.Schema)
 		t.DistributeToSockets(parts[id], node.Topo)
 		ti := info(id)
 		ti.Table = t
@@ -317,7 +474,12 @@ type QueryStats struct {
 	// compile loop (the cost a plan cache amortizes away).
 	Compile time.Duration
 	// Exec is the wall time of the distributed pipeline-DAG execution.
-	Exec         time.Duration
+	// Compile, Exec and Duration cover the successful attempt; aborted
+	// attempts' time shows up only in the failover-latency histogram.
+	Exec time.Duration
+	// Restarts counts how many times the query was transparently restarted
+	// after a server loss (0 for an untroubled run).
+	Restarts     int
 	BytesSent    uint64 // wire bytes between servers
 	MessagesSent uint64
 	StolenMsgs   uint64
@@ -383,145 +545,17 @@ func (s *QueryStats) PeakConcurrentPipelines() int {
 	return peak
 }
 
-// Run executes a query across the cluster and returns the coordinator's
-// result rows. Queries submitted concurrently (from several goroutines,
-// or through a Session) share the worker pools, multiplexers and network
-// schedule; the engine interleaves their morsels fairly.
-func (c *Cluster) Run(q *plan.Query) (*storage.Batch, QueryStats, error) {
-	return c.RunWithCancel(q, nil)
-}
-
-// RunWithCancel is Run with a caller-supplied cancellation channel:
-// closing userCancel aborts this query (and only this query) cluster-wide;
-// the other queries sharing the engine keep running.
-func (c *Cluster) RunWithCancel(q *plan.Query, userCancel <-chan struct{}) (*storage.Batch, QueryStats, error) {
-	var before []mux.Stats
-	for _, n := range c.Nodes {
-		before = append(before, n.Mux.Stats())
-	}
-
-	// Every query gets a cluster-wide id; the multiplexers route messages
-	// on (QueryID, ExchangeID), so each query's exchange-id sequence can
-	// start at zero — concurrent queries reuse the same exchange ids
-	// without colliding.
-	qid := c.nextQueryID.Add(1)
-	// The cancel channel exists before compilation: skew-adaptive plans
-	// capture it so an aborted query unblocks send finalizes waiting for
-	// remote sketches.
-	cancel := make(chan struct{})
-	var cancelOnce sync.Once
-	abort := func() { cancelOnce.Do(func() { close(cancel) }) }
-	if userCancel != nil {
-		userDone := make(chan struct{})
-		defer close(userDone)
-		go func() {
-			select {
-			case <-userCancel:
-				abort()
-			case <-userDone:
-			}
-		}()
-	}
-	compileStart := time.Now()
-	compiled, err := c.compileAll(q, qid, cancel)
-	if err != nil {
-		mQueryErrors.Inc()
-		return nil, QueryStats{}, err
-	}
-	compileDur := time.Since(compileStart)
-	defer func() {
-		// Forget this query's exchanges and drop any stragglers so the
-		// multiplexer maps don't grow across queries.
-		for _, node := range c.Nodes {
-			node.Mux.CloseQuery(qid)
-		}
-	}()
-
-	// One DAG scheduler per server node. A failing server cancels the
-	// others so a bad operator aborts the query instead of deadlocking the
-	// cluster on never-sent Last markers — but only this query: its cancel
-	// channel is private, so concurrent queries are isolated from the
-	// failure.
-	start := time.Now()
-	var wg sync.WaitGroup
-	errs := make([]error, c.cfg.Servers)
-	pstats := make([][]engine.PipelineStat, c.cfg.Servers)
-	for id, node := range c.Nodes {
-		wg.Add(1)
-		go func(id int, node *Node) {
-			defer wg.Done()
-			g := compiled[id].Graph()
-			if c.cfg.Serial {
-				g = engine.ChainGraph(g.Pipelines)
-			}
-			st, err := node.Engine.RunGraph(g, engine.RunOptions{
-				Coordinator: id == 0,
-				Cancel:      cancel,
-			})
-			pstats[id] = st
-			if err != nil {
-				errs[id] = err
-				abort()
-			}
-		}(id, node)
-	}
-	wg.Wait()
-	dur := time.Since(start)
-	var firstErr error
-	for id, err := range errs {
-		if err == nil {
-			continue
-		}
-		wrapped := fmt.Errorf("cluster: server %d: %w", id, err)
-		if firstErr == nil || errors.Is(firstErr, engine.ErrCancelled) {
-			// Prefer the root cause over cascade cancellations.
-			if firstErr == nil || !errors.Is(err, engine.ErrCancelled) {
-				firstErr = wrapped
-			}
-		}
-	}
-	if firstErr != nil {
-		mQueryErrors.Inc()
-		return nil, QueryStats{}, firstErr
-	}
-
-	mQueries.Inc()
-	mCompileSeconds.ObserveDuration(compileDur)
-	mExecSeconds.ObserveDuration(dur)
-	stats := QueryStats{
-		Duration:      compileDur + dur,
-		Compile:       compileDur,
-		Exec:          dur,
-		PipelineStats: pstats,
-	}
-	if obs.Enabled() {
-		stats.Trace = buildTrace(qid, c.cfg.Servers, compileDur, pstats)
-	}
-	for _, st := range pstats {
-		stats.ServerOverlap = append(stats.ServerOverlap, engine.OverlapRatio(st))
-	}
-	for id, n := range c.Nodes {
-		s := n.Mux.Stats()
-		stats.BytesSent += s.BytesSent - before[id].BytesSent
-		stats.MessagesSent += s.MsgsSent - before[id].MsgsSent
-		stats.StolenMsgs += s.StolenMsgs - before[id].StolenMsgs
-		stats.LocalMsgs += s.LocalMsgs - before[id].LocalMsgs
-	}
-	result := compiled[0].Result.Flatten(compiled[0].Schema)
-	return result, stats, nil
-}
-
-// compileAll lowers the query on every server with the shared query id and
-// the identical exchange-id sequence. On error the exchange state already
-// opened by earlier servers is released.
-func (c *Cluster) compileAll(q *plan.Query, qid int32, cancel <-chan struct{}) ([]*plan.Compiled, error) {
-	compiled := make([]*plan.Compiled, c.cfg.Servers)
-	for id, node := range c.Nodes {
+// compileAll lowers the query on every listed server with the shared query
+// id and the identical exchange-id sequence. On error the exchange state
+// already opened by earlier servers is released.
+func (c *Cluster) compileAll(nodes []*Node, q *plan.Query, qid int32, cancel <-chan struct{}) ([]*plan.Compiled, error) {
+	compiled := make([]*plan.Compiled, len(nodes))
+	for id, node := range nodes {
 		var next int32
 		env := &plan.Env{
 			QueryID:          qid,
 			ServerID:         id,
-			Servers:          c.cfg.Servers,
+			Servers:          len(nodes),
 			WorkersPerServer: node.Engine.Workers(),
 			Engine:           node.Engine,
 			Mux:              node.Mux,
@@ -545,7 +579,7 @@ func (c *Cluster) compileAll(q *plan.Query, qid int32, cancel <-chan struct{}) (
 		}
 		cp, err := plan.Compile(q, env)
 		if err != nil {
-			for _, n := range c.Nodes {
+			for _, n := range nodes {
 				n.Mux.CloseQuery(qid)
 			}
 			return nil, err

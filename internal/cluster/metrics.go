@@ -27,12 +27,20 @@ var (
 		"Queries waiting for an admission slot across sessions.")
 	mSessionRunning = obs.Default().Gauge("hsqp_cluster_session_running",
 		"Queries holding an execution slot across sessions.")
+	mRestarts = obs.Default().Counter("hsqp_cluster_query_restarts_total",
+		"Transparent query restarts after a server loss.")
+	mMembershipChanges = obs.Default().Counter("hsqp_cluster_membership_changes_total",
+		"Completed membership changes (joins, removals and evictions).")
+	mActiveServers = obs.Default().Gauge("hsqp_cluster_active_servers",
+		"Servers in the current membership.")
+	mFailoverSeconds = obs.Default().Histogram("hsqp_cluster_failover_seconds",
+		"Time from first detected server loss to the restarted query's success.", nil)
 )
 
 // buildTrace assembles the per-query distributed trace from data the run
 // already collected: the compile interval and every server's per-pipeline
 // wall intervals (with exchange finalize sub-spans). Span offsets are
-// relative to compile start; Session.RunTenant shifts the whole trace and
+// relative to compile start; Session.RunContext shifts the whole trace and
 // prepends the admission-queue span. Cost is one small allocation per
 // pipeline after the query finished — nothing on the execution hot path.
 func buildTrace(qid int32, servers int, compileDur time.Duration, pstats [][]engine.PipelineStat) *obs.Trace {

@@ -1,6 +1,8 @@
 package cluster
 
 import (
+	"context"
+
 	"hsqp/internal/plan"
 	"hsqp/internal/storage"
 )
@@ -27,10 +29,16 @@ type Prepared struct {
 // Prepare validates the query by compiling it on every server (the same
 // compile path Run uses), releases the validation run's exchange state,
 // and returns a reusable handle. The handle records the cluster epoch it
-// was prepared against; see Stale.
+// was prepared against; see Stale. Compilation and the epoch read happen
+// under one membership read lock, so the recorded epoch always matches
+// the placements the plan was validated against — a concurrent table load
+// either completes before the compile or after the epoch was read, never
+// in between.
 func (c *Cluster) Prepare(q *plan.Query) (*Prepared, error) {
+	c.memMu.RLock()
+	defer c.memMu.RUnlock()
 	qid := c.nextQueryID.Add(1)
-	compiled, err := c.compileAll(q, qid, nil)
+	compiled, err := c.compileAll(c.Nodes, q, qid, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -55,12 +63,24 @@ func (p *Prepared) Epoch() uint64 { return p.epoch }
 // plan cache should drop stale entries and re-prepare.
 func (p *Prepared) Stale() bool { return p.epoch != p.c.Epoch() }
 
-// Run executes the prepared query (Cluster.Run without re-validation).
+// RunContext executes the prepared query (Cluster.RunContext without
+// re-validation).
+func (p *Prepared) RunContext(ctx context.Context, opts ...RunOption) (*storage.Batch, QueryStats, error) {
+	return p.c.RunContext(ctx, p.q, opts...)
+}
+
+// Run executes the prepared query.
+//
+// Deprecated: use RunContext.
 func (p *Prepared) Run() (*storage.Batch, QueryStats, error) {
-	return p.c.Run(p.q)
+	return p.c.RunContext(context.Background(), p.q)
 }
 
 // RunWithCancel is Run with a per-query cancellation channel.
+//
+// Deprecated: use RunContext; ctx cancellation replaces the channel.
 func (p *Prepared) RunWithCancel(cancel <-chan struct{}) (*storage.Batch, QueryStats, error) {
-	return p.c.RunWithCancel(p.q, cancel)
+	ctx, stop := contextForChannel(cancel)
+	defer stop()
+	return p.c.RunContext(ctx, p.q)
 }

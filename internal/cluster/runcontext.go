@@ -1,0 +1,444 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"hsqp/internal/engine"
+	"hsqp/internal/mux"
+	"hsqp/internal/obs"
+	"hsqp/internal/plan"
+	"hsqp/internal/sim"
+	"hsqp/internal/storage"
+)
+
+// ErrServerLost marks a query failure caused by losing a server (crash,
+// hang or network partition). RunContext retries such failures on the
+// surviving membership; when retries are exhausted or recovery is
+// impossible the surfaced error still matches errors.Is(err, ErrServerLost).
+var ErrServerLost = errors.New("cluster: server lost")
+
+// DefaultMaxRestarts bounds how many times RunContext transparently
+// restarts a query after server losses before giving up.
+const DefaultMaxRestarts = 2
+
+// DefaultHeartbeatInterval/Timeout tune the per-query liveness watchdog.
+// The timeout is deliberately generous: probes share the simulated links
+// with full-size exchange messages, so a probe can wait out a deep
+// head-of-line backlog on a loaded cluster without the peer being dead.
+const (
+	DefaultHeartbeatInterval = 10 * time.Millisecond
+	DefaultHeartbeatTimeout  = time.Second
+)
+
+// RunOptions is the resolved form of a RunOption list. Callers normally
+// use the With* options; the serving tier resolves them explicitly to read
+// BypassResultCache.
+type RunOptions struct {
+	// Tenant labels the query for admission control. Sessions with an
+	// Admission controller queue per tenant; the bare cluster ignores it.
+	Tenant string
+	// MaxRestarts bounds transparent restarts after server losses.
+	// Negative means 0 (fail on the first loss).
+	MaxRestarts int
+	// BypassResultCache asks the serving tier to execute instead of
+	// answering from its result cache. The cluster itself has no result
+	// cache; serve consumes this option.
+	BypassResultCache bool
+}
+
+// RunOption customizes one RunContext call.
+type RunOption func(*RunOptions)
+
+// WithTenant labels the query with a tenant for weighted-fair admission.
+func WithTenant(tenant string) RunOption {
+	return func(o *RunOptions) { o.Tenant = tenant }
+}
+
+// WithMaxRestarts overrides DefaultMaxRestarts for this query.
+func WithMaxRestarts(n int) RunOption {
+	return func(o *RunOptions) {
+		if n < 0 {
+			n = 0
+		}
+		o.MaxRestarts = n
+	}
+}
+
+// WithBypassResultCache forces execution even when the serving tier holds
+// a cached result for the statement.
+func WithBypassResultCache() RunOption {
+	return func(o *RunOptions) { o.BypassResultCache = true }
+}
+
+// ResolveRunOptions applies opts over the defaults.
+func ResolveRunOptions(opts ...RunOption) RunOptions {
+	o := RunOptions{MaxRestarts: DefaultMaxRestarts}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return o
+}
+
+// RunContext executes a query across the cluster and returns the
+// coordinator's result rows. It is the single run entry point: ctx
+// cancellation threads into the engine's per-query cancel channel (the
+// whole distributed run aborts when ctx is done), and a server lost
+// mid-query is detected, evicted from the membership, and the query
+// transparently recompiled and restarted on the survivors — up to
+// WithMaxRestarts times, reported in QueryStats.Restarts.
+//
+// Queries submitted concurrently share the worker pools, multiplexers and
+// network schedule; the engine interleaves their morsels fairly.
+func (c *Cluster) RunContext(ctx context.Context, q *plan.Query, opts ...RunOption) (*storage.Batch, QueryStats, error) {
+	o := ResolveRunOptions(opts...)
+	restarts := 0
+	var failoverStart time.Time
+	for {
+		res, stats, att, err := c.runAttempt(ctx, q)
+		if err == nil {
+			stats.Restarts = restarts
+			if restarts > 0 {
+				mFailoverSeconds.ObserveDuration(time.Since(failoverStart))
+			}
+			return res, stats, nil
+		}
+		lost, isolated := att.lost()
+		if len(lost) == 0 || ctx.Err() != nil {
+			// Not a membership failure (bad plan, user cancellation, …):
+			// surface as-is.
+			return nil, QueryStats{}, err
+		}
+		err = fmt.Errorf("%w: %v", ErrServerLost, err)
+		if isolated {
+			// The coordinator cannot reach a majority of the membership: it
+			// is the isolated side of the partition and must not evict the
+			// (presumably healthy) rest. In a full system the surviving
+			// majority would elect a new coordinator; here the failure is
+			// surfaced.
+			return nil, QueryStats{}, fmt.Errorf("cluster: coordinator isolated from %d of %d servers: %w",
+				len(lost), len(att.nodes), err)
+		}
+		if restarts >= o.MaxRestarts {
+			return nil, QueryStats{}, fmt.Errorf("cluster: giving up after %d restart(s): %w", restarts, err)
+		}
+		if failoverStart.IsZero() {
+			failoverStart = time.Now()
+		}
+		for _, node := range lost {
+			if evictErr := c.evictFailed(node); evictErr != nil {
+				return nil, QueryStats{}, fmt.Errorf("cluster: restart impossible: %v: %w", evictErr, err)
+			}
+		}
+		restarts++
+		mRestarts.Inc()
+	}
+}
+
+// attempt captures one execution attempt's membership snapshot and what
+// the failure detector concluded about it.
+type attempt struct {
+	nodes []*Node
+
+	mu       sync.Mutex
+	suspects []*Node // watchdog-detected: unreachable or frozen
+	majority bool    // watchdog lost a majority: the coordinator is suspect
+}
+
+// lost returns the participants this attempt lost — watchdog suspects
+// plus every node whose alive flag dropped (crashes are visible without a
+// probe timeout) — and whether the coordinator itself is the isolated
+// side.
+func (a *attempt) lost() ([]*Node, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := append([]*Node(nil), a.suspects...)
+	for _, n := range a.nodes {
+		if !n.alive.Load() {
+			dup := false
+			for _, s := range out {
+				if s == n {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				out = append(out, n)
+			}
+		}
+	}
+	return out, a.majority
+}
+
+// runAttempt executes the query once against the current membership. It
+// holds the membership read lock for the whole attempt, so the node set,
+// table placements and epoch are stable underneath it.
+func (c *Cluster) runAttempt(ctx context.Context, q *plan.Query) (*storage.Batch, QueryStats, *attempt, error) {
+	c.memMu.RLock()
+	defer c.memMu.RUnlock()
+	nodes := append([]*Node(nil), c.Nodes...)
+	att := &attempt{nodes: nodes}
+
+	var before []mux.Stats
+	for _, n := range nodes {
+		before = append(before, n.Mux.Stats())
+	}
+
+	// Every attempt gets a fresh cluster-wide id; the multiplexers route
+	// messages on (QueryID, ExchangeID), so each query's exchange-id
+	// sequence can start at zero — concurrent queries (and a restarted
+	// attempt racing its predecessor's stragglers) never collide.
+	qid := c.nextQueryID.Add(1)
+	// The cancel channel exists before compilation: skew-adaptive plans
+	// capture it so an aborted query unblocks send finalizes waiting for
+	// remote sketches.
+	cancel := make(chan struct{})
+	var cancelOnce sync.Once
+	abort := func() { cancelOnce.Do(func() { close(cancel) }) }
+	// Thread ctx through the scheduler's cancel channel.
+	if done := ctx.Done(); done != nil {
+		watcherDone := make(chan struct{})
+		defer close(watcherDone)
+		go func() {
+			select {
+			case <-done:
+				abort()
+			case <-watcherDone:
+			}
+		}()
+	}
+	compileStart := time.Now()
+	compiled, err := c.compileAll(nodes, q, qid, cancel)
+	if err != nil {
+		mQueryErrors.Inc()
+		return nil, QueryStats{}, att, err
+	}
+	compileDur := time.Since(compileStart)
+	defer func() {
+		// Forget this query's exchanges and drop any stragglers so the
+		// multiplexer maps don't grow across queries.
+		for _, node := range nodes {
+			node.Mux.CloseQuery(qid)
+		}
+	}()
+	if hook := c.cfg.PhaseHook; hook != nil {
+		hook(sim.PhaseCompiled)
+	}
+
+	// The watchdog probes the participants while the attempt runs: a crash
+	// is caught by the failing server's own run error, but a hung or
+	// partitioned server produces no error — only silence — so the
+	// coordinator's probes are what turn that silence into an abort.
+	watchStop := make(chan struct{})
+	var watchWG sync.WaitGroup
+	if len(nodes) > 1 && !c.cfg.DisableFailureDetection {
+		watchWG.Add(1)
+		go func() {
+			defer watchWG.Done()
+			c.watch(att, abort, watchStop)
+		}()
+	}
+
+	// One DAG scheduler per server node. A failing server cancels the
+	// others so a bad operator aborts the query instead of deadlocking the
+	// cluster on never-sent Last markers — but only this query: its cancel
+	// channel is private, so concurrent queries are isolated from the
+	// failure.
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make([]error, len(nodes))
+	pstats := make([][]engine.PipelineStat, len(nodes))
+	for id, node := range nodes {
+		wg.Add(1)
+		go func(id int, node *Node) {
+			defer wg.Done()
+			g := compiled[id].Graph()
+			if c.cfg.Serial {
+				g = engine.ChainGraph(g.Pipelines)
+			}
+			st, err := node.Engine.RunGraph(g, engine.RunOptions{
+				Coordinator: id == 0,
+				Cancel:      cancel,
+			})
+			pstats[id] = st
+			if err != nil {
+				errs[id] = err
+				abort()
+			}
+		}(id, node)
+	}
+	if hook := c.cfg.PhaseHook; hook != nil {
+		hook(sim.PhaseExecuting)
+	}
+	//lint:allow lockblock attempts hold only the read side of memMu (membership changes queue behind them by design), and the watchdog unwedges this wait by fencing dead peers (kill + PeerDown) without ever taking memMu
+	wg.Wait()
+	close(watchStop)
+	//lint:allow lockblock the watchdog goroutine never takes memMu; closing watchStop guarantees it exits
+	watchWG.Wait()
+	dur := time.Since(start)
+	var firstErr error
+	for id, err := range errs {
+		if err == nil {
+			continue
+		}
+		wrapped := fmt.Errorf("cluster: server %d: %w", id, err)
+		if firstErr == nil || errors.Is(firstErr, engine.ErrCancelled) {
+			// Prefer the root cause over cascade cancellations.
+			if firstErr == nil || !errors.Is(err, engine.ErrCancelled) {
+				firstErr = wrapped
+			}
+		}
+	}
+	if firstErr != nil {
+		mQueryErrors.Inc()
+		return nil, QueryStats{}, att, firstErr
+	}
+
+	mQueries.Inc()
+	mCompileSeconds.ObserveDuration(compileDur)
+	mExecSeconds.ObserveDuration(dur)
+	stats := QueryStats{
+		Duration:      compileDur + dur,
+		Compile:       compileDur,
+		Exec:          dur,
+		PipelineStats: pstats,
+	}
+	if obs.Enabled() {
+		stats.Trace = buildTrace(qid, len(nodes), compileDur, pstats)
+	}
+	for _, st := range pstats {
+		stats.ServerOverlap = append(stats.ServerOverlap, engine.OverlapRatio(st))
+	}
+	for id, n := range nodes {
+		s := n.Mux.Stats()
+		stats.BytesSent += s.BytesSent - before[id].BytesSent
+		stats.MessagesSent += s.MsgsSent - before[id].MsgsSent
+		stats.StolenMsgs += s.StolenMsgs - before[id].StolenMsgs
+		stats.LocalMsgs += s.LocalMsgs - before[id].LocalMsgs
+	}
+	result := compiled[0].Result.Flatten(compiled[0].Schema)
+	return result, stats, att, nil
+}
+
+// watch is the per-attempt liveness watchdog: from the attempt's
+// coordinator it probes every other participant each heartbeat interval
+// (two consecutive missed echoes make a suspect — one miss can be a probe
+// lost behind a full send queue at fabric teardown) and aborts the attempt
+// when any participant is dead, frozen or unreachable.
+func (c *Cluster) watch(att *attempt, abort func(), stop <-chan struct{}) {
+	interval := c.cfg.HeartbeatInterval
+	if interval <= 0 {
+		interval = DefaultHeartbeatInterval
+	}
+	timeout := c.cfg.HeartbeatTimeout
+	if timeout <= 0 {
+		timeout = DefaultHeartbeatTimeout
+	}
+	coord := att.nodes[0]
+	misses := make([]int, len(att.nodes))
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+		}
+		var down []*Node
+		for i, node := range att.nodes {
+			if !node.alive.Load() {
+				down = append(down, node)
+				continue
+			}
+			if i == 0 {
+				continue // the coordinator does not probe itself
+			}
+			if coord.Mux.Ping(i, timeout) {
+				misses[i] = 0
+				continue
+			}
+			select {
+			case <-stop:
+				// The attempt finished while we waited on a probe; a late
+				// echo is not a failure.
+				return
+			default:
+			}
+			misses[i]++
+			if misses[i] >= 2 {
+				down = append(down, node)
+			}
+		}
+		if len(down) == 0 {
+			continue
+		}
+		att.mu.Lock()
+		att.suspects = down
+		att.majority = len(down) > len(att.nodes)/2
+		att.mu.Unlock()
+		// Fence every suspect (STONITH): a hung or partitioned server may
+		// still hold send queues full of traffic and workers blocked on
+		// them; killing it unblocks everything it owns. Then tell every
+		// survivor's multiplexer the peer is gone, so schedule barriers
+		// with it complete instead of parking the survivors' network loops.
+		for _, node := range down {
+			node.kill()
+		}
+		for _, node := range att.nodes {
+			if !node.alive.Load() {
+				continue
+			}
+			for j, d := range att.nodes {
+				if !d.alive.Load() {
+					node.Mux.PeerDown(j)
+				}
+			}
+		}
+		abort()
+		return
+	}
+}
+
+// --- deprecated entry points (thin wrappers over RunContext) ---
+
+// Run executes a query across the cluster.
+//
+// Deprecated: use RunContext.
+func (c *Cluster) Run(q *plan.Query) (*storage.Batch, QueryStats, error) {
+	return c.RunContext(context.Background(), q)
+}
+
+// RunWithCancel is Run with a caller-supplied cancellation channel:
+// closing userCancel aborts this query (and only this query) cluster-wide.
+//
+// Deprecated: use RunContext; ctx cancellation replaces the channel.
+func (c *Cluster) RunWithCancel(q *plan.Query, userCancel <-chan struct{}) (*storage.Batch, QueryStats, error) {
+	ctx, stop := contextForChannel(userCancel)
+	defer stop()
+	return c.RunContext(ctx, q)
+}
+
+// contextForChannel adapts a legacy cancellation channel to a Context for
+// the deprecated wrappers. The returned stop func releases the adapter
+// goroutine; always call it.
+func contextForChannel(cancel <-chan struct{}) (context.Context, func()) {
+	if cancel == nil {
+		return context.Background(), func() {}
+	}
+	ctx, cancelCtx := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		select {
+		case <-cancel:
+			cancelCtx()
+		case <-done:
+		}
+	}()
+	return ctx, func() {
+		close(done)
+		cancelCtx()
+	}
+}

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -118,26 +119,16 @@ func (s *Session) Queued() int { return int(s.queued.Load()) }
 // Running reports how many queries hold an execution slot right now.
 func (s *Session) Running() int { return int(s.running.Load()) }
 
-// Run executes one query through the session's admission control. It
-// blocks while the query is queued or running and returns the
+// RunContext executes one query through the session's admission control.
+// It blocks while the query is queued or running and returns the
 // coordinator's result rows; ErrOverloaded is returned immediately when
-// the admission queue is full.
-func (s *Session) Run(q *plan.Query) (*storage.Batch, QueryStats, error) {
-	return s.RunTenant("", q, nil)
-}
-
-// RunWithCancel is Run with a per-query cancellation channel: closing it
-// aborts this query only (whether still queued or already executing).
-func (s *Session) RunWithCancel(q *plan.Query, cancel <-chan struct{}) (*storage.Batch, QueryStats, error) {
-	return s.RunTenant("", q, cancel)
-}
-
-// RunTenant is RunWithCancel with a tenant label: when the session has an
-// Admission controller the label selects whose queue the query waits in
-// (weighted-fair scheduling across tenants); without one the label is
-// ignored and the flat FIFO applies. The returned QueryStats records the
-// admission wait in QueueWait.
-func (s *Session) RunTenant(tenant string, q *plan.Query, cancel <-chan struct{}) (*storage.Batch, QueryStats, error) {
+// the admission queue is full. ctx cancellation aborts the query whether
+// it is still queued or already executing; WithTenant selects whose
+// admission queue the query waits in when the session has an Admission
+// controller. The returned QueryStats records the admission wait in
+// QueueWait.
+func (s *Session) RunContext(ctx context.Context, q *plan.Query, opts ...RunOption) (*storage.Batch, QueryStats, error) {
+	o := ResolveRunOptions(opts...)
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -164,7 +155,7 @@ func (s *Session) RunTenant(tenant string, q *plan.Query, cancel <-chan struct{}
 	}()
 
 	queued := time.Now()
-	release, err := s.acquire(tenant, cancel)
+	release, err := s.acquire(o.Tenant, ctx.Done())
 	if err != nil {
 		return nil, QueryStats{}, err
 	}
@@ -172,7 +163,7 @@ func (s *Session) RunTenant(tenant string, q *plan.Query, cancel <-chan struct{}
 	wait := time.Since(queued)
 	mQueueWaitSeconds.ObserveDuration(wait)
 
-	res, stats, err := s.c.RunWithCancel(q, cancel)
+	res, stats, err := s.c.RunContext(ctx, q, opts...)
 	stats.QueueWait = wait
 	if stats.Trace != nil {
 		// Make room for the admission phase at the front of the timeline
@@ -185,6 +176,32 @@ func (s *Session) RunTenant(tenant string, q *plan.Query, cancel <-chan struct{}
 		})
 	}
 	return res, stats, err
+}
+
+// Run executes one query through the session's admission control.
+//
+// Deprecated: use RunContext.
+func (s *Session) Run(q *plan.Query) (*storage.Batch, QueryStats, error) {
+	return s.RunContext(context.Background(), q)
+}
+
+// RunWithCancel is Run with a per-query cancellation channel: closing it
+// aborts this query only (whether still queued or already executing).
+//
+// Deprecated: use RunContext; ctx cancellation replaces the channel.
+func (s *Session) RunWithCancel(q *plan.Query, cancel <-chan struct{}) (*storage.Batch, QueryStats, error) {
+	ctx, stop := contextForChannel(cancel)
+	defer stop()
+	return s.RunContext(ctx, q)
+}
+
+// RunTenant is RunWithCancel with a tenant label.
+//
+// Deprecated: use RunContext with WithTenant.
+func (s *Session) RunTenant(tenant string, q *plan.Query, cancel <-chan struct{}) (*storage.Batch, QueryStats, error) {
+	ctx, stop := contextForChannel(cancel)
+	defer stop()
+	return s.RunContext(ctx, q, WithTenant(tenant))
 }
 
 // acquire waits for an execution slot: through the Admission controller
@@ -293,6 +310,9 @@ type QueryOutcome struct {
 // at most maxConcurrent at a time (0 = DefaultMaxConcurrent) — and
 // returns the outcomes in input order. The admission queue is sized to
 // hold the whole batch, so no query is rejected; overload just queues.
+//
+// Deprecated: create a Session and issue RunContext calls; this helper
+// remains as a convenience over exactly that.
 func (c *Cluster) RunConcurrent(qs []*plan.Query, maxConcurrent int) []QueryOutcome {
 	if maxConcurrent <= 0 {
 		maxConcurrent = DefaultMaxConcurrent
@@ -305,7 +325,7 @@ func (c *Cluster) RunConcurrent(qs []*plan.Query, maxConcurrent int) []QueryOutc
 		wg.Add(1)
 		go func(i int, q *plan.Query) {
 			defer wg.Done()
-			res, stats, err := s.Run(q)
+			res, stats, err := s.RunContext(context.Background(), q)
 			out[i] = QueryOutcome{
 				Result:    res,
 				Stats:     stats,

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"runtime"
 	"testing"
@@ -171,7 +172,7 @@ func TestSessionQueueWaitRecorded(t *testing.T) {
 
 	done := make(chan QueryStats, 1)
 	go func() {
-		_, stats, err := s.RunTenant("t", groupByQueryPlan(), nil)
+		_, stats, err := s.RunContext(context.Background(), groupByQueryPlan(), WithTenant("t"))
 		if err != nil {
 			t.Errorf("run: %v", err)
 		}

@@ -140,6 +140,12 @@ type Fabric struct {
 
 	bytesDelivered atomic.Uint64
 	msgsDelivered  atomic.Uint64
+	msgsDropped    atomic.Uint64
+
+	// partitioned[port] marks a port cut off from the switch: the switch
+	// drops every frame to or from it (a cable pull / switch-port failure).
+	// Loopback traffic never reaches the switch and is unaffected.
+	partitioned []atomic.Bool
 
 	startOnce sync.Once
 	stopOnce  sync.Once
@@ -158,13 +164,14 @@ func New(cfg Config) (*Fabric, error) {
 	}
 	c := cfg.withDefaults()
 	f := &Fabric{
-		cfg:     c,
-		egress:  make([]chan *Message, c.Ports),
-		ingress: make([]chan *Message, c.Ports),
-		sinks:   make([]func(*Message), c.Ports),
-		epace:   make([]*pacer, c.Ports),
-		ipace:   make([]*pacer, c.Ports),
-		stopCh:  make(chan struct{}),
+		cfg:         c,
+		egress:      make([]chan *Message, c.Ports),
+		ingress:     make([]chan *Message, c.Ports),
+		sinks:       make([]func(*Message), c.Ports),
+		epace:       make([]*pacer, c.Ports),
+		ipace:       make([]*pacer, c.Ports),
+		partitioned: make([]atomic.Bool, c.Ports),
+		stopCh:      make(chan struct{}),
 	}
 	for i := 0; i < c.Ports; i++ {
 		f.egress[i] = make(chan *Message, c.EgressQueue)
@@ -245,6 +252,24 @@ func (f *Fabric) TrySend(m *Message) bool {
 	}
 }
 
+// SetPartitioned cuts port off from (or reconnects it to) the switch.
+// While partitioned, every non-loopback message to or from the port —
+// inline barriers and probes included — is silently dropped at the switch,
+// exactly like a pulled cable: neither side gets an error, traffic just
+// stops. Payloads of dropped messages are not released back to their
+// pools; the simulation accepts that bounded leak the same way a real NIC
+// loses in-flight frames.
+func (f *Fabric) SetPartitioned(port int, on bool) {
+	f.partitioned[port].Store(on)
+}
+
+// Partitioned reports whether the port is currently cut off.
+func (f *Fabric) Partitioned(port int) bool { return f.partitioned[port].Load() }
+
+// MessagesDropped returns the number of messages dropped at partitioned
+// ports.
+func (f *Fabric) MessagesDropped() uint64 { return f.msgsDropped.Load() }
+
 // BytesDelivered returns the total payload bytes delivered so far.
 func (f *Fabric) BytesDelivered() uint64 { return f.bytesDelivered.Load() }
 
@@ -267,6 +292,13 @@ func (f *Fabric) egressPump(port int) {
 		select {
 		case m := <-f.egress[port]:
 			f.epace[port].wait(m.Size)
+			if f.partitioned[m.Src].Load() || f.partitioned[m.Dst].Load() {
+				// The switch drops frames touching a partitioned port after
+				// the sender paid its egress serialization — the sender
+				// cannot tell a drop from a delivery.
+				f.msgsDropped.Add(1)
+				continue
+			}
 			select {
 			case f.ingress[m.Dst] <- m:
 			case <-f.stopCh:

@@ -21,7 +21,7 @@ func TestObsgate(t *testing.T) {
 }
 
 func TestWiredeterminism(t *testing.T) {
-	linttest.Run(t, ".", []*analysis.Analyzer{lint.Wiredeterminism}, "wiredeterminism/ser")
+	linttest.Run(t, ".", []*analysis.Analyzer{lint.Wiredeterminism}, "wiredeterminism/ser", "wiredeterminism/cluster")
 }
 
 func TestNopanic(t *testing.T) {

@@ -1,0 +1,59 @@
+// Package cluster mirrors the membership-rebuild paths: a rebuild
+// re-installs every cataloged table on the new mesh, and the install
+// order reaches the wire (replica copies to joiners), so it must not
+// come from map iteration. The sanctioned idiom is catalogNames-style
+// sorted key collection (docs/invariants.md "Membership").
+package cluster
+
+import "sort"
+
+type peer struct{}
+
+func (p *peer) Send(name string, rows []byte) {}
+
+type spec struct {
+	rows []byte
+}
+
+// --- firing cases ---
+
+// installUnsorted re-partitions the catalog in map order: the joiner
+// receives tables in a different order every rebuild, so placement
+// splits — pure functions of (source, n) — stop round-tripping
+// byte-identically.
+func installUnsorted(catalog map[string]spec, joiner *peer) {
+	for name, s := range catalog {
+		joiner.Send(name, s.rows) // want wiredeterminism:"Send called during map iteration"
+	}
+}
+
+// drainUnsorted mirrors RemoveServer's hand-off: surviving peers are a
+// map keyed by server id, and map order decides who hears first.
+func drainUnsorted(survivors map[int]*peer, rows []byte) {
+	for _, p := range survivors {
+		p.Send("orders", rows) // want wiredeterminism:"Send called during map iteration"
+	}
+}
+
+// --- non-firing cases ---
+
+// installSorted is the catalogNames idiom used by rebuildLocked: bare
+// keys out, sort, then install in that total order.
+func installSorted(catalog map[string]spec, joiner *peer) {
+	var names []string
+	for name := range catalog {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		joiner.Send(name, catalog[name].rows)
+	}
+}
+
+// epochBump: arithmetic on map-derived counts carries no order.
+func epochBump(catalog map[string]spec, epoch uint64) uint64 {
+	for range catalog {
+		epoch++
+	}
+	return epoch
+}

@@ -81,6 +81,17 @@ type ExchangeKey struct {
 // sends) are dropped instead of accumulating in the pending map forever.
 const closedQueryMemory = 1024
 
+// Inline tags are shared between the scheduler's synchronization barriers
+// and the failure detector's probes. The two high bits discriminate:
+// barriers use plain sequence numbers (the barrier counter would need 2^30
+// phases to collide, far beyond any run), probes set probeReqBit on the
+// request and probeAckBit on the echo.
+const (
+	probeReqBit uint32 = 1 << 31
+	probeAckBit uint32 = 1 << 30
+	probeSeqMax uint32 = probeAckBit - 1
+)
+
 // Mux is one server's communication multiplexer.
 type Mux struct {
 	cfg       Config
@@ -97,9 +108,15 @@ type Mux struct {
 
 	recvRotate atomic.Uint64 // rotates posted receive buffers over sockets
 
-	inlineMu   sync.Mutex
-	inlineCond *sync.Cond
-	inlineSeen map[uint64]struct{} // key: src<<32 | tag
+	inlineMu    sync.Mutex
+	inlineCond  *sync.Cond
+	inlineSeen  map[uint64]struct{} // key: src<<32 | tag
+	probeEchoes map[int]uint64      // echoes received per source (bounded by cluster size)
+	deadPeers   map[int]struct{}    // failed servers: barriers with them are no-ops
+
+	probeSeq  atomic.Uint32
+	probeMute atomic.Bool // a frozen process answers no probes
+	frozen    atomic.Bool // network goroutine parks (models SIGSTOP)
 
 	bytesSent   atomic.Uint64
 	msgsSent    atomic.Uint64
@@ -136,15 +153,17 @@ func New(cfg Config) (*Mux, error) {
 		return nil, err
 	}
 	m := &Mux{
-		cfg:        cfg,
-		schedule:   sc,
-		sendQ:      make([]chan *memory.Message, cfg.Servers),
-		exchanges:  make(map[ExchangeKey]*ExchangeRecv),
-		pending:    make(map[ExchangeKey][]*memory.Message),
-		closed:     make(map[int32]struct{}),
-		inlineSeen: make(map[uint64]struct{}),
-		wakeCh:     make(chan struct{}, 1),
-		stopCh:     make(chan struct{}),
+		cfg:         cfg,
+		schedule:    sc,
+		sendQ:       make([]chan *memory.Message, cfg.Servers),
+		exchanges:   make(map[ExchangeKey]*ExchangeRecv),
+		pending:     make(map[ExchangeKey][]*memory.Message),
+		closed:      make(map[int32]struct{}),
+		inlineSeen:  make(map[uint64]struct{}),
+		probeEchoes: make(map[int]uint64),
+		deadPeers:   make(map[int]struct{}),
+		wakeCh:      make(chan struct{}, 1),
+		stopCh:      make(chan struct{}),
 	}
 	m.inlineCond = sync.NewCond(&m.inlineMu)
 	for i := range m.sendQ {
@@ -169,13 +188,100 @@ func (m *Mux) OnRecv(msg *memory.Message) {
 	m.route(msg, false)
 }
 
-// OnInline is the transport's inline-delivery callback (sync barriers).
+// OnInline is the transport's inline-delivery callback: scheduler sync
+// barriers plus the failure detector's probe request/echo traffic.
 func (m *Mux) OnInline(src int, tag uint32) {
-	key := uint64(src)<<32 | uint64(tag)
+	switch {
+	case tag&probeReqBit != 0:
+		// Liveness probe: echo it back unless this server is "frozen" or
+		// already shut down (a dead or stopped process answers nothing).
+		// The reply runs on the transport's delivery goroutine; it is a
+		// single inline send, the same cost class as a barrier.
+		if m.probeMute.Load() || m.stopped.Load() {
+			return
+		}
+		m.transport.SendInline(src, (tag&^probeReqBit)|probeAckBit)
+	case tag&probeAckBit != 0:
+		m.inlineMu.Lock()
+		m.probeEchoes[src]++
+		m.inlineCond.Broadcast()
+		m.inlineMu.Unlock()
+	default:
+		key := uint64(src)<<32 | uint64(tag)
+		m.inlineMu.Lock()
+		m.inlineSeen[key] = struct{}{}
+		m.inlineCond.Broadcast()
+		m.inlineMu.Unlock()
+	}
+}
+
+// Ping sends a liveness probe to server dst and waits up to timeout for
+// an echo. It reports false when no echo arrived in time — the
+// destination is dead, frozen, or unreachable — or when this multiplexer
+// is shutting down. Probes bypass the network loop entirely (they go
+// straight to the transport), so a stalled send schedule cannot mask a
+// live peer, and a frozen local loop cannot stop the local server from
+// probing others. Concurrent Pings to the same destination (one watchdog
+// per in-flight query) each succeed on any echo received after their own
+// request: an echo proves the peer was alive after every request that
+// preceded it, so matching exact sequence numbers would only manufacture
+// false misses when echoes interleave.
+func (m *Mux) Ping(dst int, timeout time.Duration) bool {
+	seq := m.probeSeq.Add(1) & probeSeqMax
 	m.inlineMu.Lock()
-	m.inlineSeen[key] = struct{}{}
+	before := m.probeEchoes[dst]
+	m.inlineMu.Unlock()
+	m.transport.SendInline(dst, seq|probeReqBit)
+	//lint:allow obsgate this timestamp is the probe's liveness deadline, not instrumentation
+	deadline := time.Now().Add(timeout)
+	m.inlineMu.Lock()
+	defer m.inlineMu.Unlock()
+	for {
+		if m.probeEchoes[dst] > before {
+			return true
+		}
+		//lint:allow obsgate deadline comparison for the probe timeout, not instrumentation
+		if m.stopped.Load() || !time.Now().Before(deadline) {
+			return false
+		}
+		// Poll: the echo arrives on a transport goroutine that broadcasts
+		// inlineCond, but a dropped probe wakes nobody, so bound each wait.
+		m.inlineMu.Unlock()
+		//lint:allow lockblock inlineMu is explicitly dropped on the line above and retaken after; only the deferred unlock is still pending
+		time.Sleep(200 * time.Microsecond)
+		m.inlineMu.Lock()
+	}
+}
+
+// PeerDown records that server src has failed. The round-robin schedule
+// barriers with every peer each round; a dead peer answers no barriers,
+// which would park this server's network loop — and, through the
+// then-full send queues, the whole worker pool — forever. After PeerDown
+// a barrier whose source is the failed server completes immediately (the
+// failure notification stands in for the sync the peer can no longer
+// send), so the loop keeps draining traffic for the surviving servers
+// while the aborted query unwinds. The cluster's failure detector calls
+// this on every survivor after fencing the failed server.
+func (m *Mux) PeerDown(src int) {
+	m.inlineMu.Lock()
+	m.deadPeers[src] = struct{}{}
 	m.inlineCond.Broadcast()
 	m.inlineMu.Unlock()
+}
+
+// Freeze models a SIGSTOPped server process: the network goroutine parks
+// (nothing is sent, barriers are never answered) and liveness probes go
+// unanswered, while the simulated NIC keeps acknowledging inbound traffic
+// — exactly what peers of a frozen process observe. Freeze(false) resumes.
+func (m *Mux) Freeze(on bool) {
+	m.frozen.Store(on)
+	m.probeMute.Store(on)
+	if !on {
+		select {
+		case m.wakeCh <- struct{}{}:
+		default:
+		}
+	}
 }
 
 // Start launches the network goroutine. The caller is responsible for
@@ -371,6 +477,9 @@ func (m *Mux) eagerLoop() {
 	n := m.cfg.Servers
 	rng := uint64(m.cfg.Server)*0x9e3779b97f4a7c15 + 1
 	for {
+		if m.parkWhileFrozen() {
+			return
+		}
 		moved := false
 		rng ^= rng << 13
 		rng ^= rng >> 7
@@ -412,6 +521,9 @@ func (m *Mux) scheduledLoop() {
 	phases := m.schedule.Phases()
 	var seq uint32
 	for {
+		if m.parkWhileFrozen() {
+			return
+		}
 		roundMoved := false
 		for k := 0; k < phases; k++ {
 			target := m.schedule.Target(m.cfg.Server, k)
@@ -452,6 +564,19 @@ func (m *Mux) scheduledLoop() {
 	}
 }
 
+// parkWhileFrozen holds the network loop while the mux is frozen; it
+// reports true when the mux shut down during the freeze.
+func (m *Mux) parkWhileFrozen() bool {
+	for m.frozen.Load() {
+		select {
+		case <-m.stopCh:
+			return true
+		case <-time.After(time.Millisecond):
+		}
+	}
+	return false
+}
+
 func (m *Mux) transportSend(dst int, msg *memory.Message) {
 	m.bytesSent.Add(uint64(msg.WireSize()))
 	m.msgsSent.Add(1)
@@ -467,6 +592,11 @@ func (m *Mux) waitInline(src int, tag uint32) bool {
 	for {
 		if _, ok := m.inlineSeen[key]; ok {
 			delete(m.inlineSeen, key)
+			return true
+		}
+		if _, down := m.deadPeers[src]; down {
+			// The peer failed: it will never send this barrier. Complete the
+			// phase so the loop keeps serving the surviving servers.
 			return true
 		}
 		if m.stopped.Load() {

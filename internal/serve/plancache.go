@@ -70,8 +70,18 @@ const DefaultPlanCacheEntries = 64
 
 // Get returns the prepared statement for the text, preparing it on first
 // use. hit reports whether the plan came from the cache (no compile).
+//
+// The cache maintains that an entry's key epoch always equals its
+// handle's Prepared.Epoch(). The key is computed before the prepare runs,
+// so a table load (or membership change) racing with the single-flight
+// prepare can advance the epoch in between; such an entry would be keyed
+// on the old epoch but hold a plan compiled against the new placements —
+// never stale, but unreachable by future lookups. Get detects the
+// mismatch after preparing and re-keys the entry under the epoch the plan
+// was actually prepared against.
 func (pc *PlanCache) Get(stmt string) (p *cluster.Prepared, hit bool, err error) {
-	key := fmt.Sprintf("%s|e%d", stmt, pc.c.Epoch())
+	epoch := pc.c.Epoch()
+	key := fmt.Sprintf("%s|e%d", stmt, epoch)
 
 	pc.mu.Lock()
 	if e, ok := pc.entries[key]; ok {
@@ -113,6 +123,29 @@ func (pc *PlanCache) Get(stmt string) (p *cluster.Prepared, hit bool, err error)
 		}
 		pc.mu.Unlock()
 		return nil, false, err
+	}
+	if p.Epoch() != epoch {
+		// A table load (or membership change) raced with the prepare: the
+		// plan was compiled against a newer epoch than the key says. Re-key
+		// the entry so the key-epoch == handle-epoch invariant holds and
+		// future lookups at the new epoch hit it.
+		newKey := fmt.Sprintf("%s|e%d", stmt, p.Epoch())
+		pc.mu.Lock()
+		if cur, ok := pc.entries[key]; ok && cur == e {
+			pc.lru.Remove(e.lruEl)
+			delete(pc.entries, key)
+		}
+		if _, ok := pc.entries[newKey]; !ok {
+			ne := &planEntry{key: newKey, ready: e.ready, prepared: p}
+			ne.lruEl = pc.lru.PushFront(newKey)
+			pc.entries[newKey] = ne
+			for pc.lru.Len() > pc.max {
+				oldest := pc.lru.Back()
+				pc.lru.Remove(oldest)
+				delete(pc.entries, oldest.Value.(string))
+			}
+		}
+		pc.mu.Unlock()
 	}
 	return p, false, nil
 }

@@ -1,0 +1,148 @@
+package serve
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"hsqp/internal/cluster"
+	"hsqp/internal/storage"
+	"hsqp/internal/tpch"
+)
+
+// TestPlanCacheEpochConsistency is the regression test for the prepare/
+// epoch race: Get used to compute the cache key from the epoch *before*
+// the single-flight prepare ran, so a table load racing with the prepare
+// could leave an entry whose key epoch disagreed with the epoch the plan
+// was actually compiled against. The invariant now enforced: every cached
+// entry's key epoch equals its handle's Prepared.Epoch().
+func TestPlanCacheEpochConsistency(t *testing.T) {
+	c, err := cluster.New(cluster.Config{
+		Servers:          2,
+		WorkersPerServer: 2,
+		Transport:        cluster.RDMA,
+		TimeScale:        0.005,
+		MorselSize:       4096,
+		MessageSize:      64 * 1024,
+	})
+	if err != nil {
+		t.Fatalf("cluster.New: %v", err)
+	}
+	t.Cleanup(c.Close)
+	db := tpch.Generate(0.005, 1)
+	c.LoadTPCH(db, false)
+	nation := db.Tables["nation"]
+
+	pc := NewPlanCache(c, 0.005, 0)
+
+	// Storm: several goroutines resolving statements while a loader keeps
+	// reloading a table (each reload bumps the epoch). The race window is
+	// between Get's key computation and the end of its prepare.
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			stmts := []string{"q6", "q12", "q14"}
+			for i := 0; i < 60; i++ {
+				stmt := stmts[(g+i)%len(stmts)]
+				p, _, err := pc.Get(stmt)
+				if err != nil {
+					t.Errorf("Get(%s): %v", stmt, err)
+					return
+				}
+				if p == nil {
+					t.Errorf("Get(%s): nil handle", stmt)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 60; i++ {
+			c.LoadTable("nation", nation, storage.PlacementReplicated, 0)
+		}
+	}()
+	wg.Wait()
+
+	// Invariant: key epoch == handle epoch for every surviving entry.
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if len(pc.entries) == 0 {
+		t.Fatal("plan cache ended empty")
+	}
+	for key, e := range pc.entries {
+		if e.prepared == nil {
+			t.Errorf("entry %q has no handle after all gets returned", key)
+			continue
+		}
+		keyEpoch := parseKeyEpoch(t, key)
+		if got := e.prepared.Epoch(); got != keyEpoch {
+			t.Errorf("entry %q: key epoch %d but prepared against epoch %d", key, keyEpoch, got)
+		}
+	}
+}
+
+func parseKeyEpoch(t *testing.T, key string) uint64 {
+	t.Helper()
+	i := strings.LastIndex(key, "|e")
+	if i < 0 {
+		t.Fatalf("malformed plan-cache key %q", key)
+	}
+	n, err := strconv.ParseUint(key[i+2:], 10, 64)
+	if err != nil {
+		t.Fatalf("malformed plan-cache key %q: %v", key, err)
+	}
+	return n
+}
+
+// TestPlanCacheRekeyedEntryIsHit pins the re-key path: an entry moved to
+// the epoch its plan was prepared against must serve later lookups at
+// that epoch as a cache hit.
+func TestPlanCacheRekeyedEntryIsHit(t *testing.T) {
+	c, err := cluster.New(cluster.Config{
+		Servers:          2,
+		WorkersPerServer: 2,
+		Transport:        cluster.RDMA,
+		TimeScale:        0.005,
+		MorselSize:       4096,
+		MessageSize:      64 * 1024,
+	})
+	if err != nil {
+		t.Fatalf("cluster.New: %v", err)
+	}
+	t.Cleanup(c.Close)
+	db := tpch.Generate(0.005, 1)
+	c.LoadTPCH(db, false)
+
+	pc := NewPlanCache(c, 0.005, 0)
+	p1, hit, err := pc.Get("q6")
+	if err != nil || hit {
+		t.Fatalf("first Get: hit=%v err=%v", hit, err)
+	}
+	p2, hit, err := pc.Get("q6")
+	if err != nil || !hit || p2 != p1 {
+		t.Fatalf("second Get: hit=%v same=%v err=%v", hit, p2 == p1, err)
+	}
+	// A table load invalidates: the next Get must re-prepare at the new
+	// epoch and key the entry there.
+	c.LoadTable("nation", db.Tables["nation"], storage.PlacementReplicated, 0)
+	p3, hit, err := pc.Get("q6")
+	if err != nil || hit {
+		t.Fatalf("post-load Get: hit=%v err=%v", hit, err)
+	}
+	if p3.Epoch() != c.Epoch() {
+		t.Fatalf("post-load handle epoch %d, cluster epoch %d", p3.Epoch(), c.Epoch())
+	}
+	key := fmt.Sprintf("q6|e%d", p3.Epoch())
+	pc.mu.Lock()
+	e, ok := pc.entries[key]
+	pc.mu.Unlock()
+	if !ok || e.prepared != p3 {
+		t.Fatalf("entry not keyed at the prepared epoch (ok=%v)", ok)
+	}
+}

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -436,7 +437,7 @@ func (s *Server) runStatement(tenant, norm string) (*ResultEntry, doneInfo, erro
 	if err != nil {
 		return nil, doneInfo{}, err
 	}
-	res, stats, err := s.session.RunTenant(tenant, prepared.Query(), nil)
+	res, stats, err := s.session.RunContext(context.Background(), prepared.Query(), cluster.WithTenant(tenant))
 	if err != nil {
 		return nil, doneInfo{}, err
 	}
